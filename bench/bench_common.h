@@ -1,0 +1,104 @@
+// Shared helpers for the XSACT benchmark/reproduction harnesses.
+//
+// Every bench binary prints the rows of the paper artifact it regenerates
+// (see EXPERIMENTS.md for the mapping) and exits non-zero if a sanity
+// check on the expected SHAPE of the result fails, so the bench suite
+// doubles as an end-to-end regression gate.
+
+#ifndef XSACT_BENCH_BENCH_COMMON_H_
+#define XSACT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/selector.h"
+#include "engine/xsact.h"
+
+namespace xsact::bench {
+
+/// Prints a horizontal rule sized for a standard report line.
+inline void Rule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+/// Prints a bench header.
+inline void Header(const std::string& id, const std::string& title) {
+  Rule();
+  std::printf("[%s] %s\n", id.c_str(), title.c_str());
+  Rule();
+}
+
+/// Runs `fn` `repeats` times and reports per-run wall time statistics.
+template <typename Fn>
+SampleStats TimeRepeated(int repeats, Fn&& fn) {
+  SampleStats stats;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    fn();
+    stats.Add(timer.ElapsedSeconds());
+  }
+  return stats;
+}
+
+/// One row of a Figure-4-style per-query report.
+struct QueryReport {
+  std::string id;
+  size_t num_results = 0;
+  int64_t dod_snippet = 0;
+  int64_t dod_greedy = 0;
+  int64_t dod_single = 0;
+  int64_t dod_multi = 0;
+  double time_single_ms = 0;
+  double time_multi_ms = 0;
+};
+
+/// Executes one workload query with every algorithm and measures the swap
+/// algorithms' selection time (median over `repeats` runs).
+inline QueryReport RunQuery(const engine::Xsact& xsact,
+                            const std::string& id, const std::string& query,
+                            int size_bound, int repeats = 9) {
+  QueryReport report;
+  report.id = id;
+
+  auto run = [&](core::SelectorKind kind) {
+    engine::CompareOptions options;
+    options.algorithm = kind;
+    options.selector.size_bound = size_bound;
+    auto outcome = xsact.SearchAndCompare(query, 0, options);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query %s failed: %s\n", id.c_str(),
+                   outcome.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(outcome).value();
+  };
+
+  auto snippet = run(core::SelectorKind::kSnippet);
+  report.num_results = snippet.table.headers.size();
+  report.dod_snippet = snippet.total_dod;
+  report.dod_greedy = run(core::SelectorKind::kGreedy).total_dod;
+
+  SampleStats single_times;
+  for (int r = 0; r < repeats; ++r) {
+    auto outcome = run(core::SelectorKind::kSingleSwap);
+    report.dod_single = outcome.total_dod;
+    single_times.Add(outcome.select_seconds);
+  }
+  report.time_single_ms = single_times.Median() * 1e3;
+
+  SampleStats multi_times;
+  for (int r = 0; r < repeats; ++r) {
+    auto outcome = run(core::SelectorKind::kMultiSwap);
+    report.dod_multi = outcome.total_dod;
+    multi_times.Add(outcome.select_seconds);
+  }
+  report.time_multi_ms = multi_times.Median() * 1e3;
+  return report;
+}
+
+}  // namespace xsact::bench
+
+#endif  // XSACT_BENCH_BENCH_COMMON_H_

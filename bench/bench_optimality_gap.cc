@@ -1,0 +1,107 @@
+// A4 — ablation: approximation quality of the heuristics against the
+// exhaustive joint optimum on small random instances (the paper leaves
+// "algorithms with a guaranteed approximation ratio" as future work;
+// this bench measures the empirical gap).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/dod.h"
+#include "core/exhaustive.h"
+#include "core/multi_swap.h"
+#include "core/selector.h"
+#include "core/single_swap.h"
+#include "core/snippet_selector.h"
+#include "data/paper_example.h"
+#include "feature/result_features.h"
+
+namespace {
+
+/// Small random opinion-style instance (shared aspect pool).
+xsact::data::PaperGpsInstance RandomSmallInstance(uint64_t seed, int n,
+                                                  int pool) {
+  using namespace xsact;
+  auto catalog = std::make_unique<feature::FeatureCatalog>();
+  Rng rng(seed);
+  std::vector<feature::ResultFeatures> results;
+  for (int i = 0; i < n; ++i) {
+    feature::ResultFeatures rf;
+    rf.set_label("R" + std::to_string(i));
+    const double cardinality = static_cast<double>(rng.Range(8, 40));
+    rf.AddObservation(catalog->InternType("product", "name"),
+                      catalog->InternValue("model-" + std::to_string(i)), 1,
+                      1);
+    for (int t = 0; t < pool; ++t) {
+      if (!rng.Chance(0.7)) continue;
+      rf.AddObservation(
+          catalog->InternType("review", "aspect-" + std::to_string(t)),
+          catalog->InternValue("yes"),
+          static_cast<double>(rng.Range(1, static_cast<int64_t>(cardinality))),
+          cardinality);
+    }
+    rf.Seal();
+    results.push_back(std::move(rf));
+  }
+  data::PaperGpsInstance out{std::move(catalog),
+                             xsact::core::ComparisonInstance()};
+  out.instance = xsact::core::ComparisonInstance::Build(
+      std::move(results), out.catalog.get(), 0.10);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xsact;
+  bench::Header("Ablation A4",
+                "Heuristics vs the exhaustive optimum (random instances)");
+
+  constexpr int kInstances = 40;
+  core::SelectorOptions options;
+  options.size_bound = 3;
+
+  int snippet_opt = 0, single_opt = 0, multi_opt = 0;
+  double snippet_ratio = 0, single_ratio = 0, multi_ratio = 0;
+  int counted = 0;
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    auto fx = RandomSmallInstance(seed, 3, 6);
+    const int64_t exact = core::TotalDod(
+        fx.instance, core::ExhaustiveSelector().Select(fx.instance, options));
+    if (exact == 0) continue;
+    const int64_t snip = core::TotalDod(
+        fx.instance, core::SnippetSelector().Select(fx.instance, options));
+    const int64_t single = core::TotalDod(
+        fx.instance,
+        core::SingleSwapOptimizer().Select(fx.instance, options));
+    const int64_t multi = core::TotalDod(
+        fx.instance, core::MultiSwapOptimizer().Select(fx.instance, options));
+    if (single > exact || multi > exact) {
+      std::fprintf(stderr, "heuristic beat the oracle: impossible\n");
+      return 1;
+    }
+    ++counted;
+    snippet_opt += snip == exact;
+    single_opt += single == exact;
+    multi_opt += multi == exact;
+    snippet_ratio += static_cast<double>(snip) / static_cast<double>(exact);
+    single_ratio += static_cast<double>(single) / static_cast<double>(exact);
+    multi_ratio += static_cast<double>(multi) / static_cast<double>(exact);
+  }
+  std::printf("instances with positive optimum: %d / %d\n", counted,
+              kInstances);
+  std::printf("%-12s %14s %18s\n", "algorithm", "hits optimum",
+              "mean DoD ratio");
+  std::printf("%-12s %11d/%d %18.3f\n", "snippet", snippet_opt, counted,
+              snippet_ratio / counted);
+  std::printf("%-12s %11d/%d %18.3f\n", "single-swap", single_opt, counted,
+              single_ratio / counted);
+  std::printf("%-12s %11d/%d %18.3f\n", "multi-swap", multi_opt, counted,
+              multi_ratio / counted);
+  bench::Rule();
+  const bool ok = counted > 0 && multi_opt >= single_opt &&
+                  multi_ratio >= single_ratio && single_ratio >= snippet_ratio;
+  std::printf("shape check (multi >= single >= snippet in ratio): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// A1 — ablation: DoD and selection time as the number of compared
+// results n grows (the paper's user selects results via checkboxes; this
+// sweep shows how the objective and cost scale with the selection size).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dod.h"
+#include "data/movies.h"
+
+int main() {
+  using namespace xsact;
+  bench::Header("Ablation A1",
+                "Scaling with the number of compared results n (L=5)");
+
+  // One big franchise so a single query yields up to 32 results.
+  data::MoviesConfig config;
+  config.franchise_sizes = {32};
+  engine::Xsact xsact(data::GenerateMovies(config));
+
+  std::printf("%-4s %10s %12s %11s %17s %16s\n", "n", "snippet",
+              "single-swap", "multi-swap", "single time (ms)",
+              "multi time (ms)");
+  bool monotone_ok = true;
+  int64_t prev_multi = -1;
+  for (int n : {2, 4, 8, 16, 32}) {
+    int64_t dods[3] = {0, 0, 0};
+    double times[2] = {0, 0};
+    int i = 0;
+    for (core::SelectorKind kind :
+         {core::SelectorKind::kSnippet, core::SelectorKind::kSingleSwap,
+          core::SelectorKind::kMultiSwap}) {
+      engine::CompareOptions options;
+      options.algorithm = kind;
+      options.selector.size_bound = 5;
+      SampleStats stats;
+      for (int r = 0; r < 5; ++r) {
+        auto outcome =
+            xsact.SearchAndCompare("star", static_cast<size_t>(n), options);
+        if (!outcome.ok()) {
+          std::fprintf(stderr, "failed: %s\n",
+                       outcome.status().ToString().c_str());
+          return 1;
+        }
+        dods[i] = outcome->total_dod;
+        stats.Add(outcome->select_seconds);
+      }
+      if (i >= 1) times[i - 1] = stats.Median() * 1e3;
+      ++i;
+    }
+    std::printf("%-4d %10lld %12lld %11lld %17.4f %16.4f\n", n,
+                static_cast<long long>(dods[0]),
+                static_cast<long long>(dods[1]),
+                static_cast<long long>(dods[2]), times[0], times[1]);
+    // Total DoD sums over pairs, so it must grow with n.
+    if (dods[2] < prev_multi) monotone_ok = false;
+    prev_multi = dods[2];
+  }
+  bench::Rule();
+  std::printf("shape check (total DoD grows with n): %s\n",
+              monotone_ok ? "PASS" : "FAIL");
+  return monotone_ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Movie explorer: runs the paper's evaluation workload (QM1..QM8 on the
+// IMDB-shaped corpus) interactively and prints, for each query, the
+// result list, the DoD of every algorithm and the winning table — a
+// command-line rendition of the evaluation behind Figure 4.
+//
+//   $ ./examples/movie_explorer            # run all eight queries
+//   $ ./examples/movie_explorer QM3        # run one query
+//   $ ./examples/movie_explorer dragon 8   # free-form query, bound 8
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/movies.h"
+#include "engine/xsact.h"
+#include "table/renderer.h"
+
+namespace {
+
+void RunOne(const xsact::engine::Xsact& xsact, const std::string& id,
+            const std::string& query, int bound, bool print_table) {
+  using namespace xsact;
+  auto results = xsact.Search(query);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s: search failed: %s\n", id.c_str(),
+                 results.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s  \"%s\": %zu results\n", id.c_str(), query.c_str(),
+              results->size());
+  if (results->size() < 2) return;
+
+  long long dods[3];
+  double times[3];
+  int i = 0;
+  engine::ComparisonOutcome winner;
+  for (core::SelectorKind kind :
+       {core::SelectorKind::kSnippet, core::SelectorKind::kSingleSwap,
+        core::SelectorKind::kMultiSwap}) {
+    engine::CompareOptions options;
+    options.algorithm = kind;
+    options.selector.size_bound = bound;
+    auto outcome = xsact.SearchAndCompare(query, 0, options);
+    if (!outcome.ok()) return;
+    dods[i] = outcome->total_dod;
+    times[i] = outcome->select_seconds * 1e3;
+    if (kind == core::SelectorKind::kMultiSwap) {
+      winner = std::move(outcome).value();
+    }
+    ++i;
+  }
+  std::printf("    DoD: snippet=%lld  single-swap=%lld  multi-swap=%lld"
+              "   (times ms: %.3f / %.3f / %.3f)\n",
+              dods[0], dods[1], dods[2], times[0], times[1], times[2]);
+  if (print_table) {
+    std::printf("%s\n", xsact::table::RenderAscii(winner.table).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xsact;
+  engine::Xsact xsact(data::GenerateMovies({}));
+  const auto workload = data::MovieQueryWorkload(5);
+
+  if (argc > 1 && std::string(argv[1]).rfind("QM", 0) == 0) {
+    for (const auto& spec : workload) {
+      if (spec.id == argv[1]) {
+        RunOne(xsact, spec.id, spec.query, spec.size_bound,
+               /*print_table=*/true);
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "unknown query id %s (QM1..QM8)\n", argv[1]);
+    return 1;
+  }
+  if (argc > 1) {
+    const int bound = argc > 2 ? std::atoi(argv[2]) : 5;
+    RunOne(xsact, "ad-hoc", argv[1], bound > 0 ? bound : 5,
+           /*print_table=*/true);
+    return 0;
+  }
+  for (const auto& spec : workload) {
+    RunOne(xsact, spec.id, spec.query, spec.size_bound,
+           /*print_table=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shopping comparison: the paper's primary demo scenario (§3, Product
+// Reviews dataset). Generates a buzzillions-shaped catalog, lets the
+// "user" pick a query and a table size bound, and contrasts the XSACT
+// comparison table with the non-comparative snippet baseline.
+//
+//   $ ./examples/shopping_comparison [query] [table_bound]
+//     (defaults: "gps" 8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/product_reviews.h"
+#include "engine/xsact.h"
+#include "table/renderer.h"
+
+int main(int argc, char** argv) {
+  using namespace xsact;
+  const std::string query = argc > 1 ? argv[1] : "gps";
+  const int bound = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (bound <= 0) {
+    std::fprintf(stderr, "table bound must be positive\n");
+    return 1;
+  }
+
+  data::ProductReviewsConfig config;
+  config.num_products = 30;
+  config.min_reviews = 10;
+  config.max_reviews = 60;
+  engine::Xsact xsact(data::GenerateProductReviews(config));
+
+  auto results = xsact.Search(query);
+  if (!results.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query \"%s\": %zu results\n", query.c_str(), results->size());
+  if (results->size() < 2) {
+    std::printf("need at least two results to compare; try \"gps\", "
+                "\"camera\" or a brand name\n");
+    return 1;
+  }
+
+  // The demo compares the first four checkboxes.
+  engine::CompareOptions options;
+  options.selector.size_bound = bound;
+
+  options.algorithm = core::SelectorKind::kSnippet;
+  auto snippet = xsact.SearchAndCompare(query, 4, options);
+  options.algorithm = core::SelectorKind::kMultiSwap;
+  auto best = xsact.SearchAndCompare(query, 4, options);
+  if (!snippet.ok() || !best.ok()) {
+    std::fprintf(stderr, "comparison failed\n");
+    return 1;
+  }
+
+  std::printf("\n--- snippet baseline (eXtract-style, DoD %lld) ---\n",
+              static_cast<long long>(snippet->total_dod));
+  std::printf("%s", table::RenderAscii(snippet->table).c_str());
+  std::printf("\n--- XSACT multi-swap DFSs (DoD %lld, %.3f ms) ---\n",
+              static_cast<long long>(best->total_dod),
+              best->select_seconds * 1e3);
+  std::printf("%s", table::RenderAscii(best->table).c_str());
+
+  std::printf("\nXSACT improves the degree of differentiation by %+lld "
+              "within the same %d-row budget.\n",
+              static_cast<long long>(best->total_dod - snippet->total_dod),
+              bound);
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "cli/app.h"
+
+#include "common/string_util.h"
+#include "core/multi_swap.h"
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/product_reviews.h"
+#include "table/explainer.h"
+#include "table/renderer.h"
+
+namespace xsact::cli {
+
+namespace {
+
+std::string Render(const table::ComparisonTable& table, OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kAscii:
+      return table::RenderAscii(table);
+    case OutputFormat::kMarkdown:
+      return table::RenderMarkdown(table);
+    case OutputFormat::kHtml:
+      return table::RenderHtml(table);
+    case OutputFormat::kCsv:
+      return table::RenderCsv(table);
+    case OutputFormat::kJson:
+      return table::RenderJson(table) + "\n";
+  }
+  return "";
+}
+
+}  // namespace
+
+StatusOr<engine::Xsact> BuildEngine(const CliOptions& options) {
+  if (options.dataset == "products") {
+    data::ProductReviewsConfig config;
+    if (options.seed != 0) config.seed = options.seed;
+    return engine::Xsact(data::GenerateProductReviews(config));
+  }
+  if (options.dataset == "outdoor") {
+    data::OutdoorRetailerConfig config;
+    if (options.seed != 0) config.seed = options.seed;
+    return engine::Xsact(data::GenerateOutdoorRetailer(config));
+  }
+  if (options.dataset == "movies") {
+    data::MoviesConfig config;
+    if (options.seed != 0) config.seed = options.seed;
+    return engine::Xsact(data::GenerateMovies(config));
+  }
+  if (EndsWith(options.dataset, ".xml") ||
+      options.dataset.find('/') != std::string::npos) {
+    return engine::Xsact::FromFile(options.dataset);
+  }
+  return Status::InvalidArgument(
+      "unknown dataset '" + options.dataset +
+      "' (products|outdoor|movies|path/to/file.xml)");
+}
+
+int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (options.help) {
+    out << CliUsage();
+    return 0;
+  }
+  StatusOr<engine::Xsact> xsact = BuildEngine(options);
+  if (!xsact.ok()) {
+    err << xsact.status() << "\n";
+    return 1;
+  }
+
+  auto results = options.ranked ? xsact->SearchRanked(options.query)
+                                : xsact->Search(options.query);
+  if (!results.ok()) {
+    err << results.status() << "\n";
+    return 1;
+  }
+  out << "query \"" << options.query << "\": " << results->size()
+      << " results\n";
+  if (options.list_only || results->size() < 2) {
+    size_t shown = 0;
+    for (const auto& r : *results) {
+      out << "  " << ++shown << ". " << r.title;
+      const std::string snippet = search::BriefSnippet(*r.root);
+      if (!snippet.empty()) out << "  [" << snippet << "]";
+      out << "\n";
+    }
+    if (!options.list_only && results->size() < 2) {
+      err << "need at least two results to compare\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  engine::CompareOptions compare;
+  compare.algorithm = options.algorithm;
+  compare.selector.size_bound = options.bound;
+  compare.diff_threshold = options.threshold;
+  compare.lift_results_to = options.lift;
+  compare.max_compared = options.max_results;
+  auto outcome = xsact->SearchAndCompare(options.query, 0, compare);
+  if (!outcome.ok()) {
+    err << outcome.status() << "\n";
+    return 1;
+  }
+  if (options.algorithm == core::SelectorKind::kWeightedMultiSwap &&
+      options.weight_scheme != core::WeightScheme::kInterestingness) {
+    // MakeSelector defaults the weighted algorithm to interestingness;
+    // re-select with the requested scheme on the already-built instance.
+    core::WeightedMultiSwapOptimizer selector(options.weight_scheme);
+    core::SelectorOptions sopts;
+    sopts.size_bound = options.bound;
+    outcome->dfss = selector.Select(outcome->instance, sopts);
+    outcome->table = table::BuildComparisonTable(outcome->instance,
+                                                 outcome->dfss);
+    outcome->total_dod = outcome->table.total_dod;
+  }
+
+  out << Render(outcome->table, options.format);
+  if (options.explain) {
+    const auto explanations =
+        table::ExplainDifferences(outcome->instance, outcome->dfss);
+    out << "\nkey differences:\n"
+        << table::RenderExplanations(explanations);
+  }
+  if (options.show_dfs) {
+    out << "\nselected DFSs (" << core::SelectorKindName(options.algorithm)
+        << "):\n";
+    for (int i = 0; i < outcome->instance.num_results(); ++i) {
+      out << "  " << outcome->table.headers[static_cast<size_t>(i)] << ": "
+          << outcome->dfss[static_cast<size_t>(i)].ToString(outcome->instance)
+          << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace xsact::cli

@@ -1,0 +1,24 @@
+// The xsact_cli application logic, separated from main() for testing.
+
+#ifndef XSACT_CLI_APP_H_
+#define XSACT_CLI_APP_H_
+
+#include <ostream>
+#include <string>
+
+#include "cli/options.h"
+#include "common/statusor.h"
+#include "engine/xsact.h"
+
+namespace xsact::cli {
+
+/// Builds the corpus selected by `options.dataset`: one of the built-in
+/// generators (honoring --seed) or an XML file.
+StatusOr<engine::Xsact> BuildEngine(const CliOptions& options);
+
+/// Runs the full CLI flow against `out`; returns the process exit code.
+int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace xsact::cli
+
+#endif  // XSACT_CLI_APP_H_

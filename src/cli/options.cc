@@ -1,0 +1,189 @@
+#include "cli/options.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace xsact::cli {
+
+namespace {
+
+/// Splits "--flag=value"; returns true when `arg` starts with "--name".
+bool MatchFlag(std::string_view arg, std::string_view name,
+               std::string_view* value, bool* has_value) {
+  if (!StartsWith(arg, "--")) return false;
+  std::string_view body = arg.substr(2);
+  const size_t eq = body.find('=');
+  const std::string_view flag = eq == std::string_view::npos
+                                    ? body
+                                    : body.substr(0, eq);
+  if (flag != name) return false;
+  *has_value = eq != std::string_view::npos;
+  *value = *has_value ? body.substr(eq + 1) : std::string_view();
+  return true;
+}
+
+Status NeedValue(std::string_view flag) {
+  return Status::InvalidArgument("--" + std::string(flag) +
+                                 " requires a value (--" + std::string(flag) +
+                                 "=...)");
+}
+
+StatusOr<int> ParseInt(std::string_view flag, std::string_view value) {
+  char* end = nullptr;
+  const std::string text(value);
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(flag) +
+                                   ": not an integer: '" + text + "'");
+  }
+  return static_cast<int>(parsed);
+}
+
+StatusOr<double> ParseDouble(std::string_view flag, std::string_view value) {
+  char* end = nullptr;
+  const std::string text(value);
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(flag) +
+                                   ": not a number: '" + text + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StatusOr<core::SelectorKind> SelectorKindFromName(std::string_view name) {
+  if (name == "snippet") return core::SelectorKind::kSnippet;
+  if (name == "greedy") return core::SelectorKind::kGreedy;
+  if (name == "single-swap" || name == "single") {
+    return core::SelectorKind::kSingleSwap;
+  }
+  if (name == "multi-swap" || name == "multi") {
+    return core::SelectorKind::kMultiSwap;
+  }
+  if (name == "exhaustive") return core::SelectorKind::kExhaustive;
+  if (name == "weighted") return core::SelectorKind::kWeightedMultiSwap;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + std::string(name) +
+      "' (snippet|greedy|single-swap|multi-swap|exhaustive|weighted)");
+}
+
+StatusOr<OutputFormat> OutputFormatFromName(std::string_view name) {
+  if (name == "ascii") return OutputFormat::kAscii;
+  if (name == "markdown" || name == "md") return OutputFormat::kMarkdown;
+  if (name == "html") return OutputFormat::kHtml;
+  if (name == "csv") return OutputFormat::kCsv;
+  if (name == "json") return OutputFormat::kJson;
+  return Status::InvalidArgument("unknown format '" + std::string(name) +
+                                 "' (ascii|markdown|html|csv|json)");
+}
+
+StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    bool has_value = false;
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--list") {
+      options.list_only = true;
+    } else if (arg == "--ranked") {
+      options.ranked = true;
+    } else if (arg == "--show-dfs") {
+      options.show_dfs = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (MatchFlag(arg, "dataset", &value, &has_value)) {
+      if (!has_value || value.empty()) return NeedValue("dataset");
+      options.dataset = std::string(value);
+    } else if (MatchFlag(arg, "query", &value, &has_value)) {
+      if (!has_value || value.empty()) return NeedValue("query");
+      options.query = std::string(value);
+    } else if (MatchFlag(arg, "algorithm", &value, &has_value)) {
+      if (!has_value) return NeedValue("algorithm");
+      XSACT_ASSIGN_OR_RETURN(options.algorithm, SelectorKindFromName(value));
+    } else if (MatchFlag(arg, "weights", &value, &has_value)) {
+      if (!has_value) return NeedValue("weights");
+      if (value == "uniform") {
+        options.weight_scheme = core::WeightScheme::kUniform;
+      } else if (value == "interestingness") {
+        options.weight_scheme = core::WeightScheme::kInterestingness;
+      } else if (value == "significance") {
+        options.weight_scheme = core::WeightScheme::kSignificance;
+      } else {
+        return Status::InvalidArgument(
+            "unknown weight scheme '" + std::string(value) +
+            "' (uniform|interestingness|significance)");
+      }
+    } else if (MatchFlag(arg, "format", &value, &has_value)) {
+      if (!has_value) return NeedValue("format");
+      XSACT_ASSIGN_OR_RETURN(options.format, OutputFormatFromName(value));
+    } else if (MatchFlag(arg, "lift", &value, &has_value)) {
+      if (!has_value) return NeedValue("lift");
+      options.lift = std::string(value);
+    } else if (MatchFlag(arg, "bound", &value, &has_value)) {
+      if (!has_value) return NeedValue("bound");
+      XSACT_ASSIGN_OR_RETURN(const int bound, ParseInt("bound", value));
+      if (bound <= 0) {
+        return Status::InvalidArgument("--bound must be positive");
+      }
+      options.bound = bound;
+    } else if (MatchFlag(arg, "max-results", &value, &has_value)) {
+      if (!has_value) return NeedValue("max-results");
+      XSACT_ASSIGN_OR_RETURN(const int n, ParseInt("max-results", value));
+      if (n < 0) {
+        return Status::InvalidArgument("--max-results must be >= 0");
+      }
+      options.max_results = static_cast<size_t>(n);
+    } else if (MatchFlag(arg, "threshold", &value, &has_value)) {
+      if (!has_value) return NeedValue("threshold");
+      XSACT_ASSIGN_OR_RETURN(const double x, ParseDouble("threshold", value));
+      if (x < 0) {
+        return Status::InvalidArgument("--threshold must be >= 0");
+      }
+      options.threshold = x;
+    } else if (MatchFlag(arg, "seed", &value, &has_value)) {
+      if (!has_value) return NeedValue("seed");
+      XSACT_ASSIGN_OR_RETURN(const int seed, ParseInt("seed", value));
+      options.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown argument '" + std::string(arg) +
+                                     "'; see --help");
+    }
+  }
+  if (!options.help && options.query.empty()) {
+    return Status::InvalidArgument("--query is required; see --help");
+  }
+  return options;
+}
+
+std::string CliUsage() {
+  return
+      "xsact_cli - compare structured keyword-search results (XSACT)\n"
+      "\n"
+      "usage: xsact_cli --query=KEYWORDS [options]\n"
+      "\n"
+      "options:\n"
+      "  --dataset=NAME       products | outdoor | movies | path/to.xml\n"
+      "                       (default: products)\n"
+      "  --query=KEYWORDS     keyword query, e.g. --query=\"tomtom gps\"\n"
+      "  --algorithm=ALGO     snippet | greedy | single-swap | multi-swap |\n"
+      "                       exhaustive | weighted  (default: multi-swap)\n"
+      "  --weights=SCHEME     uniform | interestingness | significance\n"
+      "                       (for --algorithm=weighted)\n"
+      "  --bound=L            DFS size bound (default: 6)\n"
+      "  --max-results=N      compare at most N results, 0 = all (default 4)\n"
+      "  --threshold=X        differentiability threshold (default 0.10)\n"
+      "  --lift=TAG           lift results to the enclosing TAG entity\n"
+      "  --format=FMT         ascii | markdown | html | csv | json\n"
+      "  --seed=N             dataset generator seed override\n"
+      "  --ranked             order results by relevance\n"
+      "  --list               only list results (with snippets)\n"
+      "  --show-dfs           also print the selected DFS per result\n"
+      "  --explain            also print natural-language differences\n"
+      "  --help               this text\n";
+}
+
+}  // namespace xsact::cli

@@ -1,0 +1,57 @@
+// Command-line options for the xsact_cli tool (the terminal rendition of
+// the demo's web UI, Figure 5). Parsing is a pure function so it is unit
+// tested apart from the binary.
+
+#ifndef XSACT_CLI_OPTIONS_H_
+#define XSACT_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "core/selector.h"
+#include "core/weights.h"
+
+namespace xsact::cli {
+
+/// Output format for the comparison table.
+enum class OutputFormat { kAscii, kMarkdown, kHtml, kCsv, kJson };
+
+/// Parsed command line.
+struct CliOptions {
+  /// Built-in dataset name ("products", "outdoor", "movies") or a path to
+  /// an XML file (detected by a ".xml" suffix or an existing "/").
+  std::string dataset = "products";
+  std::string query;
+  core::SelectorKind algorithm = core::SelectorKind::kMultiSwap;
+  core::WeightScheme weight_scheme = core::WeightScheme::kInterestingness;
+  OutputFormat format = OutputFormat::kAscii;
+  std::string lift;          ///< --lift=brand: compare enclosing entities
+  int bound = 6;             ///< DFS size bound L
+  size_t max_results = 4;    ///< compare at most this many results (0=all)
+  double threshold = 0.10;   ///< differentiability threshold x
+  uint64_t seed = 0;         ///< generator seed override (0 = default)
+  bool list_only = false;    ///< print the result list, no comparison
+  bool ranked = false;       ///< order results by relevance
+  bool show_dfs = false;     ///< also print each DFS
+  bool explain = false;      ///< also print natural-language differences
+  bool help = false;
+};
+
+/// Parses argv (argv[0] is skipped). Unknown flags, malformed values and
+/// missing arguments yield kInvalidArgument with an explanatory message.
+StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv);
+
+/// Human-readable usage text.
+std::string CliUsage();
+
+/// Maps an algorithm name ("snippet", "greedy", "single-swap",
+/// "multi-swap", "exhaustive", "weighted") to a SelectorKind.
+StatusOr<core::SelectorKind> SelectorKindFromName(std::string_view name);
+
+/// Maps a format name to OutputFormat.
+StatusOr<OutputFormat> OutputFormatFromName(std::string_view name);
+
+}  // namespace xsact::cli
+
+#endif  // XSACT_CLI_OPTIONS_H_

@@ -1,0 +1,56 @@
+// String interning: maps strings to dense integer ids.
+//
+// XSACT's feature catalog compares feature types and values billions of
+// times inside the swap loops; interning turns those comparisons into
+// integer equality and makes tie-breaking deterministic.
+
+#ifndef XSACT_COMMON_INTERNER_H_
+#define XSACT_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace xsact {
+
+/// Bidirectional string <-> dense-id map. Ids are assigned in insertion
+/// order starting at 0, which also gives a stable deterministic ordering.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, inserting it if new.
+  int32_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    const int32_t id = static_cast<int32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s`, or -1 when not interned.
+  int32_t Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// Returns the string for a valid id.
+  const std::string& Lookup(int32_t id) const {
+    XSACT_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size());
+    return strings_[static_cast<size_t>(id)];
+  }
+
+  /// Number of interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> ids_;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_INTERNER_H_

@@ -1,0 +1,50 @@
+// Error-propagation and invariant-checking macros.
+
+#ifndef XSACT_COMMON_MACROS_H_
+#define XSACT_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define XSACT_RETURN_IF_ERROR(expr)                       \
+  do {                                                    \
+    ::xsact::Status xsact_status_ = (expr);               \
+    if (!xsact_status_.ok()) return xsact_status_;        \
+  } while (false)
+
+#define XSACT_CONCAT_IMPL(a, b) a##b
+#define XSACT_CONCAT(a, b) XSACT_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a StatusOr expression); on success assigns its value to
+/// `lhs`, otherwise returns the error status from the enclosing function.
+#define XSACT_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  auto XSACT_CONCAT(xsact_statusor_, __LINE__) = (rexpr);                \
+  if (!XSACT_CONCAT(xsact_statusor_, __LINE__).ok())                     \
+    return XSACT_CONCAT(xsact_statusor_, __LINE__).status();             \
+  lhs = std::move(XSACT_CONCAT(xsact_statusor_, __LINE__)).value()
+
+/// Aborts the process when an internal invariant is broken. Used for
+/// programmer errors, never for malformed user input (use Status for that).
+#define XSACT_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XSACT_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define XSACT_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "XSACT_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // XSACT_COMMON_MACROS_H_

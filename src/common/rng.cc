@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace xsact {
+
+size_t Rng::Zipf(size_t n, double s) {
+  XSACT_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return Below(n);
+  // Inverse-CDF sampling over the (unnormalized) Zipf mass 1/k^s.
+  // n is small in all our workloads (tens to hundreds), so a linear scan
+  // over precomputable partial sums is simpler and fast enough; we compute
+  // the normalizer on the fly to keep the generator stateless w.r.t. n/s.
+  double norm = 0.0;
+  for (size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace xsact

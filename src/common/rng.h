@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All XSACT dataset generators and benchmarks are seeded, so every run of
+// the reproduction produces the same documents, queries and tables. We use
+// SplitMix64 for seeding and xoshiro256** as the workhorse generator
+// (both public-domain algorithms by Blackman & Vigna).
+
+#ifndef XSACT_COMMON_RNG_H_
+#define XSACT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace xsact {
+
+/// SplitMix64: tiny 64-bit generator, used to expand a single seed into
+/// the 256-bit state required by Xoshiro256.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit pseudo-random value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG used for all synthetic data.
+class Rng {
+ public:
+  /// Seeds the full state deterministically from a single 64-bit seed.
+  explicit Rng(uint64_t seed = 0xD1FF5E7ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound) {
+    XSACT_CHECK(bound > 0);
+    // Debiased modulo via rejection sampling on the top range.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    XSACT_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    XSACT_CHECK(!items.empty());
+    return items[Below(items.size())];
+  }
+
+  /// Zipf-distributed rank in [0, n) with skew `s` (s=0 is uniform).
+  ///
+  /// Used to make some feature types far more popular than others, matching
+  /// the heavy-tailed attribute popularity of real review/catalog data.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      std::swap(items[i], items[Below(i + 1)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_RNG_H_

@@ -1,0 +1,75 @@
+// Streaming descriptive statistics used by the benchmark harnesses.
+
+#ifndef XSACT_COMMON_STATS_H_
+#define XSACT_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace xsact {
+
+/// Accumulates samples and reports mean / stddev / min / max / percentiles.
+///
+/// Percentile queries sort an internal copy lazily; intended for benchmark
+/// reporting (thousands of samples), not hot paths.
+class SampleStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (samples_.size() == 1) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+  }
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  /// Population standard deviation (0 when fewer than 2 samples).
+  double StdDev() const {
+    const size_t n = samples_.size();
+    if (n < 2) return 0.0;
+    const double mean = Mean();
+    double var = sum_sq_ / static_cast<double>(n) - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  /// p-th percentile via nearest-rank on a sorted copy, p in [0, 100].
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_STATS_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace xsact {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kIoError:
+      return "io error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+}  // namespace xsact

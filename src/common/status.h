@@ -1,0 +1,106 @@
+// Status: canonical error propagation type for fallible XSACT operations.
+//
+// Modeled on the Status idiom used by production database codebases
+// (Arrow, RocksDB, LevelDB): cheap to move, explicit error codes, a
+// human-readable message, and no exceptions across library boundaries.
+
+#ifndef XSACT_COMMON_STATUS_H_
+#define XSACT_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xsact {
+
+/// Canonical error categories for XSACT operations.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed a malformed argument
+  kNotFound = 2,          ///< a referenced object does not exist
+  kAlreadyExists = 3,     ///< an object with the same key already exists
+  kOutOfRange = 4,        ///< index/size constraint violated
+  kParseError = 5,        ///< malformed input document / syntax error
+  kInternal = 6,          ///< invariant broken inside the library
+  kUnimplemented = 7,     ///< feature not available
+  kIoError = 8,           ///< underlying I/O failure
+};
+
+/// Returns a stable lowercase name for a status code ("ok", "parse error"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// A `Status` is either OK (the default) or carries an error code plus a
+/// message. Errors are created through the named factory functions
+/// (`Status::ParseError(...)` etc.). The class is cheap to copy for OK
+/// statuses and allocates only when a message is attached.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when `ok()`).
+  StatusCode code() const { return code_; }
+
+  /// The attached message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with `context` (no-op on OK statuses); returns
+  /// the modified status to allow chaining while unwinding.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_STATUS_H_

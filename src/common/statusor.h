@@ -1,0 +1,72 @@
+// StatusOr<T>: value-or-error union used by fallible producers.
+
+#ifndef XSACT_COMMON_STATUSOR_H_
+#define XSACT_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xsact {
+
+/// Holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+/// ```
+/// StatusOr<Document> doc = Parser::Parse(text);
+/// if (!doc.ok()) return doc.status();
+/// Use(doc.value());
+/// ```
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Constructs from a value (implicit to allow `return value;`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status. Must not be OK: an OK status carries
+  /// no value and would leave the StatusOr in an inconsistent state.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Accessors for the contained value. Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ has a value
+  std::optional<T> value_;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_STATUSOR_H_

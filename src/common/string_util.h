@@ -1,0 +1,47 @@
+// Small string helpers shared across modules (tokenization, case folding,
+// joining). Keyword matching in the search engine is case-insensitive and
+// token-based, so these utilities define the library's canonical notion of
+// a "term".
+
+#ifndef XSACT_COMMON_STRING_UTIL_H_
+#define XSACT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsact {
+
+/// Splits `input` on `delim`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits `input` into maximal runs of alphanumeric characters, lowercased.
+/// This is the tokenizer used for both indexing and query parsing.
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True iff `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats a double with `digits` fractional digits (locale-independent).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+// Monotonic wall-clock timing for the benchmark harnesses.
+
+#ifndef XSACT_COMMON_TIMER_H_
+#define XSACT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xsact {
+
+/// Stopwatch over the steady (monotonic) clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_TIMER_H_

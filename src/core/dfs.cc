@@ -1,0 +1,108 @@
+#include "core/dfs.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xsact::core {
+
+Dfs::Dfs(const ComparisonInstance& instance, int result_index)
+    : result_index_(result_index),
+      bitmap_(instance.entries(result_index).size(), false) {}
+
+void Dfs::Add(int entry_index) {
+  auto ref = bitmap_[static_cast<size_t>(entry_index)];
+  if (!ref) {
+    ref = true;
+    ++size_;
+  }
+}
+
+void Dfs::Remove(int entry_index) {
+  auto ref = bitmap_[static_cast<size_t>(entry_index)];
+  if (ref) {
+    ref = false;
+    --size_;
+  }
+}
+
+std::vector<int> Dfs::SelectedEntries() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(size_));
+  for (size_t i = 0; i < bitmap_.size(); ++i) {
+    if (bitmap_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<feature::TypeId> Dfs::SelectedTypes(
+    const ComparisonInstance& instance) const {
+  const auto& entries = instance.entries(result_index_);
+  std::vector<feature::TypeId> out;
+  out.reserve(static_cast<size_t>(size_));
+  for (size_t i = 0; i < bitmap_.size(); ++i) {
+    if (bitmap_[i]) out.push_back(entries[i].type_id);
+  }
+  return out;
+}
+
+bool Dfs::IsValid(const ComparisonInstance& instance) const {
+  const auto& entries = instance.entries(result_index_);
+  for (const EntityGroup& group : instance.groups(result_index_)) {
+    // Entries are sorted by occurrence desc inside the group. Find the
+    // smallest occurrence among selected entries, then make sure no
+    // unselected entry is strictly more significant.
+    double min_selected = -1;
+    bool any_selected = false;
+    for (int k = group.begin; k < group.end; ++k) {
+      if (Contains(k)) {
+        any_selected = true;
+        min_selected = entries[static_cast<size_t>(k)].occurrence;
+      }
+    }
+    if (!any_selected) continue;
+    for (int k = group.begin; k < group.end; ++k) {
+      const Entry& e = entries[static_cast<size_t>(k)];
+      if (e.occurrence <= min_selected) break;  // sorted: nothing bigger left
+      if (!Contains(k)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Dfs::ToString(const ComparisonInstance& instance) const {
+  const auto& entries = instance.entries(result_index_);
+  const auto& catalog = instance.catalog();
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < bitmap_.size(); ++i) {
+    if (!bitmap_[i]) continue;
+    const Entry& e = entries[i];
+    std::string part = catalog.TypeName(e.type_id);
+    double rel = e.RelOccurrence();
+    if (e.dominant_value != feature::kInvalidValueId) {
+      part += "=" + catalog.ValueOf(e.dominant_value);
+      // Show the displayed value's share, matching the comparison table.
+      const feature::TypeStats* stats =
+          instance.result(result_index_).Find(e.type_id);
+      if (stats != nullptr) {
+        rel = stats->RelativeOccurrenceOf(e.dominant_value);
+      }
+    }
+    part += " (" + FormatDouble(100.0 * rel, 0) + "%)";
+    parts.push_back(std::move(part));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+bool AllValid(const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
+              int size_bound) {
+  if (static_cast<int>(dfss.size()) != instance.num_results()) return false;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const Dfs& d = dfss[static_cast<size_t>(i)];
+    if (d.result_index() != i) return false;
+    if (d.size() > size_bound) return false;
+    if (!d.IsValid(instance)) return false;
+  }
+  return true;
+}
+
+}  // namespace xsact::core

@@ -1,0 +1,80 @@
+// Dfs: a Differentiation Feature Set for one result, plus the validity
+// predicate of Definition 1(2) in the paper.
+//
+// A DFS is a subset of the result's entries (see instance.h). It is VALID
+// iff, within every entity group, no unselected entry has a strictly
+// larger occurrence than some selected entry — i.e. feature types are
+// taken in significance order, with free choice only inside tie groups.
+
+#ifndef XSACT_CORE_DFS_H_
+#define XSACT_CORE_DFS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace xsact::core {
+
+/// One result's selected feature set.
+class Dfs {
+ public:
+  Dfs() = default;
+
+  /// An empty DFS for result `result_index` of `instance`.
+  Dfs(const ComparisonInstance& instance, int result_index);
+
+  int result_index() const { return result_index_; }
+
+  /// Number of selected features (|D| of the paper).
+  int size() const { return size_; }
+
+  /// True iff entry `entry_index` is selected.
+  bool Contains(int entry_index) const {
+    return bitmap_[static_cast<size_t>(entry_index)];
+  }
+
+  /// True iff the feature type is selected (type present and its entry
+  /// selected).
+  bool ContainsType(const ComparisonInstance& instance,
+                    feature::TypeId t) const {
+    const int idx = instance.EntryIndexOfType(result_index_, t);
+    return idx >= 0 && Contains(idx);
+  }
+
+  /// Selects / deselects an entry (no validity enforcement here; callers
+  /// use IsValid / the algorithms maintain it).
+  void Add(int entry_index);
+  void Remove(int entry_index);
+
+  /// Selected entry indices in ascending order.
+  std::vector<int> SelectedEntries() const;
+
+  /// Selected feature types (ascending entry order).
+  std::vector<feature::TypeId> SelectedTypes(
+      const ComparisonInstance& instance) const;
+
+  /// Validity per Definition 1(2): within each entity group of the result,
+  /// selected types must be a significance-downward-closed set.
+  bool IsValid(const ComparisonInstance& instance) const;
+
+  /// Human-readable listing, e.g. "{review.pro: compact (73%), ...}".
+  std::string ToString(const ComparisonInstance& instance) const;
+
+  friend bool operator==(const Dfs& a, const Dfs& b) {
+    return a.result_index_ == b.result_index_ && a.bitmap_ == b.bitmap_;
+  }
+
+ private:
+  int result_index_ = -1;
+  int size_ = 0;
+  std::vector<bool> bitmap_;  // over instance.entries(result_index_)
+};
+
+/// Checks |D| <= L and validity for a whole DFS assignment.
+bool AllValid(const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
+              int size_bound);
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_DFS_H_

@@ -1,0 +1,77 @@
+#include "core/dod.h"
+
+namespace xsact::core {
+
+int PairDod(const ComparisonInstance& instance, const Dfs& a, const Dfs& b) {
+  const int i = a.result_index();
+  const int j = b.result_index();
+  int dod = 0;
+  // Iterate over the smaller DFS's selected types.
+  const Dfs& smaller = a.size() <= b.size() ? a : b;
+  const Dfs& larger = a.size() <= b.size() ? b : a;
+  for (feature::TypeId t : smaller.SelectedTypes(instance)) {
+    if (larger.ContainsType(instance, t) && instance.Differentiable(t, i, j)) {
+      ++dod;
+    }
+  }
+  return dod;
+}
+
+int64_t TotalDod(const ComparisonInstance& instance,
+                 const std::vector<Dfs>& dfss) {
+  int64_t total = 0;
+  for (size_t i = 0; i < dfss.size(); ++i) {
+    for (size_t j = i + 1; j < dfss.size(); ++j) {
+      total += PairDod(instance, dfss[i], dfss[j]);
+    }
+  }
+  return total;
+}
+
+int TypeGain(const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
+             int i, feature::TypeId t) {
+  int gain = 0;
+  for (int j = 0; j < instance.num_results(); ++j) {
+    if (j == i) continue;
+    if (dfss[static_cast<size_t>(j)].ContainsType(instance, t) &&
+        instance.Differentiable(t, i, j)) {
+      ++gain;
+    }
+  }
+  return gain;
+}
+
+double WeightedPairDod(const ComparisonInstance& instance, const Dfs& a,
+                       const Dfs& b, const TypeWeights& weights) {
+  const int i = a.result_index();
+  const int j = b.result_index();
+  double dod = 0;
+  const Dfs& smaller = a.size() <= b.size() ? a : b;
+  const Dfs& larger = a.size() <= b.size() ? b : a;
+  for (feature::TypeId t : smaller.SelectedTypes(instance)) {
+    if (larger.ContainsType(instance, t) && instance.Differentiable(t, i, j)) {
+      dod += weights.Of(t);
+    }
+  }
+  return dod;
+}
+
+double WeightedTotalDod(const ComparisonInstance& instance,
+                        const std::vector<Dfs>& dfss,
+                        const TypeWeights& weights) {
+  double total = 0;
+  for (size_t i = 0; i < dfss.size(); ++i) {
+    for (size_t j = i + 1; j < dfss.size(); ++j) {
+      total += WeightedPairDod(instance, dfss[i], dfss[j], weights);
+    }
+  }
+  return total;
+}
+
+double WeightedTypeGain(const ComparisonInstance& instance,
+                        const std::vector<Dfs>& dfss, int i,
+                        feature::TypeId t, const TypeWeights& weights) {
+  return TypeGain(instance, dfss, i, t) * weights.Of(t);
+}
+
+}  // namespace xsact::core

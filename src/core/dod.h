@@ -1,0 +1,49 @@
+// Degree of Differentiation (DoD) — the paper's objective function.
+//
+//   DoD(D_i, D_j)  = number of feature types t selected in BOTH DFSs on
+//                    which the two results are differentiable.
+//   DoD(D_1..D_n)  = sum of DoD over all unordered pairs (Desideratum 3).
+
+#ifndef XSACT_CORE_DOD_H_
+#define XSACT_CORE_DOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dfs.h"
+#include "core/instance.h"
+#include "core/weights.h"
+
+namespace xsact::core {
+
+/// DoD of one pair of DFSs.
+int PairDod(const ComparisonInstance& instance, const Dfs& a, const Dfs& b);
+
+/// Total DoD over all unordered pairs.
+int64_t TotalDod(const ComparisonInstance& instance,
+                 const std::vector<Dfs>& dfss);
+
+/// Marginal contribution of type `t` being selected in D_i, against the
+/// current assignment: the number of other results j whose DFS selects t
+/// and is differentiable from i on t. This is the quantity both swap
+/// algorithms maximize; adding t to D_i raises total DoD by exactly this
+/// amount (and removing t lowers it by the same amount).
+int TypeGain(const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
+             int i, feature::TypeId t);
+
+/// Weighted variants (the future-work extension, see weights.h): every
+/// differentiable shared type contributes w(t) per pair instead of 1.
+/// With TypeWeights::Uniform() these agree exactly with the unweighted
+/// functions.
+double WeightedPairDod(const ComparisonInstance& instance, const Dfs& a,
+                       const Dfs& b, const TypeWeights& weights);
+double WeightedTotalDod(const ComparisonInstance& instance,
+                        const std::vector<Dfs>& dfss,
+                        const TypeWeights& weights);
+double WeightedTypeGain(const ComparisonInstance& instance,
+                        const std::vector<Dfs>& dfss, int i,
+                        feature::TypeId t, const TypeWeights& weights);
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_DOD_H_

@@ -1,0 +1,156 @@
+#include "core/exhaustive.h"
+
+#include "common/macros.h"
+#include "core/dod.h"
+
+namespace xsact::core {
+
+namespace {
+
+/// Recursively enumerates valid selections group by group.
+///
+/// Within one group a valid selection is: all entries of the first few
+/// tie levels, plus a PROPER subset of the next level (possibly empty).
+/// Representing selections this way enumerates each exactly once.
+void EnumerateGroupChoices(const ComparisonInstance& instance, int i,
+                           size_t group_idx, int size_bound, Dfs* current,
+                           std::vector<Dfs>* out) {
+  const auto& groups = instance.groups(i);
+  if (group_idx == groups.size()) {
+    out->push_back(*current);
+    return;
+  }
+  const EntityGroup& group = groups[group_idx];
+  const auto& entries = instance.entries(i);
+
+  // Tie levels of this group.
+  std::vector<std::pair<int, int>> levels;
+  int pos = group.begin;
+  while (pos < group.end) {
+    int end = pos + 1;
+    while (end < group.end &&
+           entries[static_cast<size_t>(end)].occurrence ==
+               entries[static_cast<size_t>(pos)].occurrence) {
+      ++end;
+    }
+    levels.emplace_back(pos, end);
+    pos = end;
+  }
+
+  // prefix_level = number of fully selected levels.
+  int full_count = 0;
+  for (size_t prefix_level = 0; prefix_level <= levels.size();
+       ++prefix_level) {
+    if (current->size() + full_count <= size_bound) {
+      // Select the full prefix.
+      std::vector<int> added;
+      for (size_t l = 0; l < prefix_level; ++l) {
+        for (int e = levels[l].first; e < levels[l].second; ++e) {
+          current->Add(e);
+          added.push_back(e);
+        }
+      }
+      if (prefix_level == levels.size()) {
+        EnumerateGroupChoices(instance, i, group_idx + 1, size_bound, current,
+                              out);
+      } else {
+        // Proper subsets of the boundary level (empty subset included).
+        const int lb = levels[prefix_level].first;
+        const int le = levels[prefix_level].second;
+        const int level_size = le - lb;
+        XSACT_CHECK_MSG(level_size <= 20,
+                        "tie level too wide for exhaustive enumeration");
+        const uint32_t subsets = 1u << level_size;
+        for (uint32_t mask = 0; mask + 1 < subsets; ++mask) {  // proper only
+          std::vector<int> level_added;
+          for (int bit = 0; bit < level_size; ++bit) {
+            if (mask & (1u << bit)) {
+              current->Add(lb + bit);
+              level_added.push_back(lb + bit);
+            }
+          }
+          if (current->size() <= size_bound) {
+            EnumerateGroupChoices(instance, i, group_idx + 1, size_bound,
+                                  current, out);
+          }
+          for (int e : level_added) current->Remove(e);
+        }
+      }
+      for (int e : added) current->Remove(e);
+    }
+    if (prefix_level < levels.size()) {
+      full_count += levels[prefix_level].second - levels[prefix_level].first;
+      if (current->size() + full_count > size_bound &&
+          prefix_level + 1 <= levels.size()) {
+        // Even the bare prefix no longer fits; deeper prefixes only grow.
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Dfs> ExhaustiveSelector::EnumerateValid(
+    const ComparisonInstance& instance, int i, int size_bound) {
+  std::vector<Dfs> out;
+  Dfs scratch(instance, i);
+  EnumerateGroupChoices(instance, i, 0, size_bound, &scratch, &out);
+  return out;
+}
+
+std::vector<Dfs> ExhaustiveSelector::Select(const ComparisonInstance& instance,
+                                            const SelectorOptions& options)
+    const {
+  const int n = instance.num_results();
+  std::vector<std::vector<Dfs>> candidates;
+  candidates.reserve(static_cast<size_t>(n));
+  int64_t assignments = 1;
+  for (int i = 0; i < n; ++i) {
+    candidates.push_back(EnumerateValid(instance, i, options.size_bound));
+    XSACT_CHECK(!candidates.back().empty());
+    assignments *= static_cast<int64_t>(candidates.back().size());
+    XSACT_CHECK_MSG(assignments <= kMaxAssignments,
+                    "instance too large for exhaustive search");
+  }
+
+  std::vector<Dfs> current;
+  current.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) current.push_back(candidates[static_cast<size_t>(i)][0]);
+
+  std::vector<Dfs> best = current;
+  // Tie-break by larger total size to match the optimizers' fill behavior.
+  int64_t best_dod = TotalDod(instance, best);
+  int best_size = 0;
+  for (const Dfs& d : best) best_size += d.size();
+
+  // Odometer-style enumeration of the cartesian product.
+  std::vector<size_t> cursor(static_cast<size_t>(n), 0);
+  for (;;) {
+    const int64_t dod = TotalDod(instance, current);
+    int size = 0;
+    for (const Dfs& d : current) size += d.size();
+    if (dod > best_dod || (dod == best_dod && size > best_size)) {
+      best = current;
+      best_dod = dod;
+      best_size = size;
+    }
+    // Advance the odometer.
+    int pos = n - 1;
+    while (pos >= 0) {
+      auto& c = cursor[static_cast<size_t>(pos)];
+      if (++c < candidates[static_cast<size_t>(pos)].size()) {
+        current[static_cast<size_t>(pos)] =
+            candidates[static_cast<size_t>(pos)][c];
+        break;
+      }
+      c = 0;
+      current[static_cast<size_t>(pos)] = candidates[static_cast<size_t>(pos)][0];
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return best;
+}
+
+}  // namespace xsact::core

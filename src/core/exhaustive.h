@@ -1,0 +1,32 @@
+// ExhaustiveSelector: exact joint optimum by enumeration.
+//
+// The DFS construction problem is NP-hard (paper Theorem 2.1); this
+// solver enumerates every valid DFS assignment and is therefore only
+// usable on small instances (it aborts beyond a combination cap). It is
+// the ground-truth oracle for the optimality-gap tests and benchmarks.
+
+#ifndef XSACT_CORE_EXHAUSTIVE_H_
+#define XSACT_CORE_EXHAUSTIVE_H_
+
+#include "core/selector.h"
+
+namespace xsact::core {
+
+class ExhaustiveSelector : public DfsSelector {
+ public:
+  /// Hard cap on enumerated assignments (~tens of millions of DoD
+  /// evaluations); Select() aborts via XSACT_CHECK beyond it.
+  static constexpr int64_t kMaxAssignments = 20'000'000;
+
+  std::string_view name() const override { return "exhaustive"; }
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+
+  /// Enumerates all valid DFSs (size <= size_bound) of one result.
+  static std::vector<Dfs> EnumerateValid(const ComparisonInstance& instance,
+                                         int i, int size_bound);
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_EXHAUSTIVE_H_

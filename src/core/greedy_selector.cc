@@ -1,0 +1,68 @@
+#include "core/greedy_selector.h"
+
+#include "core/dod.h"
+
+namespace xsact::core {
+
+namespace {
+
+/// Optimistic gain: partners that CARRY the type differentiably,
+/// regardless of their current DFS contents.
+int PotentialGain(const ComparisonInstance& instance, int i,
+                  feature::TypeId t) {
+  int gain = 0;
+  for (int j = 0; j < instance.num_results(); ++j) {
+    if (j != i && instance.Differentiable(t, i, j)) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+std::vector<Dfs> GreedySelector::Select(const ComparisonInstance& instance,
+                                        const SelectorOptions& options) const {
+  const int n = instance.num_results();
+  std::vector<Dfs> dfss;
+  dfss.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) dfss.emplace_back(instance, i);
+
+  // Phase 1: positive-potential additions, steepest first.
+  for (;;) {
+    int best_result = -1;
+    int best_entry = -1;
+    int best_gain = 0;  // strictly positive gains only
+    for (int i = 0; i < n; ++i) {
+      Dfs& dfs = dfss[static_cast<size_t>(i)];
+      if (dfs.size() >= options.size_bound) continue;
+      const auto& entries = instance.entries(i);
+      for (const EntityGroup& group : instance.groups(i)) {
+        // Only frontier entries of each group are valid additions; a
+        // frontier is a maximal tie run, so scan until the first
+        // unselected occurrence level ends.
+        double frontier_occ = -1;
+        for (int k = group.begin; k < group.end; ++k) {
+          if (dfs.Contains(k)) continue;
+          const Entry& e = entries[static_cast<size_t>(k)];
+          if (frontier_occ < 0) frontier_occ = e.occurrence;
+          if (e.occurrence != frontier_occ) break;
+          const int gain = PotentialGain(instance, i, e.type_id);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_result = i;
+            best_entry = k;
+          }
+        }
+      }
+    }
+    if (best_result < 0) break;
+    dfss[static_cast<size_t>(best_result)].Add(best_entry);
+  }
+
+  // Phase 2: keep DFSs reasonable summaries.
+  if (options.fill_to_bound) {
+    FillToBound(instance, options.size_bound, &dfss);
+  }
+  return dfss;
+}
+
+}  // namespace xsact::core

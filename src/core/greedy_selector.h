@@ -1,0 +1,29 @@
+// GreedySelector: global greedy baseline.
+//
+// Starting from empty DFSs, repeatedly performs the single valid feature
+// addition (across ALL results) with the largest POTENTIAL gain: the
+// number of other results that carry the same type with differentiable
+// occurrences, whether or not their DFS currently shows it. The
+// optimistic gain sidesteps the cold-start problem of exact marginal
+// gains (which are all zero while every DFS is empty) but overestimates
+// whenever a partner never ends up displaying the type — which is
+// exactly the weakness the swap algorithms fix. Included as the
+// mid-strength baseline for the ablation benchmarks.
+
+#ifndef XSACT_CORE_GREEDY_SELECTOR_H_
+#define XSACT_CORE_GREEDY_SELECTOR_H_
+
+#include "core/selector.h"
+
+namespace xsact::core {
+
+class GreedySelector : public DfsSelector {
+ public:
+  std::string_view name() const override { return "greedy"; }
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_GREEDY_SELECTOR_H_

@@ -1,0 +1,158 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+
+namespace xsact::core {
+
+namespace {
+
+/// The paper's predicate: relative occurrences a, b "differ more than x%
+/// of the smaller one". A value absent on one side (occurrence 0) differs
+/// from any present value. The epsilon keeps the strict comparison stable
+/// against floating-point noise (0.55 - 0.5 slightly exceeds 0.05 in
+/// binary), so exact-boundary cases are NOT differentiable, as specified.
+bool OccurrencesDiffer(double a, double b, double threshold) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  constexpr double kEps = 1e-9;
+  return (hi - lo) > threshold * lo + kEps;
+}
+
+}  // namespace
+
+ComparisonInstance ComparisonInstance::Build(
+    std::vector<feature::ResultFeatures> results,
+    const feature::FeatureCatalog* catalog, double diff_threshold) {
+  XSACT_CHECK(catalog != nullptr);
+  XSACT_CHECK(diff_threshold >= 0);
+  ComparisonInstance inst;
+  inst.results_ = std::move(results);
+  inst.catalog_ = catalog;
+  inst.diff_threshold_ = diff_threshold;
+
+  const int n = inst.num_results();
+  inst.entries_.resize(static_cast<size_t>(n));
+  inst.groups_.resize(static_cast<size_t>(n));
+  inst.type_to_entry_.resize(static_cast<size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const feature::ResultFeatures& rf = inst.results_[static_cast<size_t>(i)];
+    // Bucket types by entity name (the first half of the type).
+    std::map<std::string, std::vector<const feature::TypeStats*>> by_entity;
+    for (const feature::TypeStats& ts : rf.types()) {
+      by_entity[catalog->EntityOf(ts.type_id)].push_back(&ts);
+    }
+    auto& entries = inst.entries_[static_cast<size_t>(i)];
+    auto& groups = inst.groups_[static_cast<size_t>(i)];
+    for (auto& [entity_name, stats] : by_entity) {
+      // Validity order: occurrence desc, then type id for determinism.
+      std::sort(stats.begin(), stats.end(),
+                [](const feature::TypeStats* a, const feature::TypeStats* b) {
+                  if (a->occurrence != b->occurrence) {
+                    return a->occurrence > b->occurrence;
+                  }
+                  return a->type_id < b->type_id;
+                });
+      EntityGroup group;
+      group.entity = entity_name;
+      group.begin = static_cast<int32_t>(entries.size());
+      for (const feature::TypeStats* ts : stats) {
+        Entry e;
+        e.type_id = ts->type_id;
+        e.dominant_value = ts->DominantValue();
+        e.occurrence = ts->occurrence;
+        e.cardinality = ts->entity_cardinality;
+        e.group = static_cast<int32_t>(groups.size());
+        entries.push_back(e);
+      }
+      group.end = static_cast<int32_t>(entries.size());
+      groups.push_back(std::move(group));
+    }
+    auto& type_map = inst.type_to_entry_[static_cast<size_t>(i)];
+    for (size_t k = 0; k < entries.size(); ++k) {
+      type_map.emplace(entries[k].type_id, static_cast<int>(k));
+    }
+  }
+
+  // Dense-index every type seen anywhere, then precompute the symmetric
+  // differentiability matrix per type.
+  for (int i = 0; i < n; ++i) {
+    for (const Entry& e : inst.entries_[static_cast<size_t>(i)]) {
+      inst.type_index_.emplace(e.type_id,
+                               static_cast<int>(inst.type_index_.size()));
+    }
+  }
+  inst.diff_.assign(inst.type_index_.size(),
+                    std::vector<uint8_t>(static_cast<size_t>(n) *
+                                             static_cast<size_t>(n),
+                                         0));
+  for (const auto& [type_id, dense] : inst.type_index_) {
+    auto& matrix = inst.diff_[static_cast<size_t>(dense)];
+    for (int i = 0; i < n; ++i) {
+      if (!inst.HasType(i, type_id)) continue;
+      for (int j = i + 1; j < n; ++j) {
+        if (!inst.HasType(j, type_id)) continue;
+        const uint8_t d = inst.ComputeDiff(type_id, i, j) ? 1 : 0;
+        matrix[static_cast<size_t>(i) * static_cast<size_t>(n) +
+               static_cast<size_t>(j)] = d;
+        matrix[static_cast<size_t>(j) * static_cast<size_t>(n) +
+               static_cast<size_t>(i)] = d;
+      }
+    }
+  }
+  return inst;
+}
+
+int ComparisonInstance::EntryIndexOfType(int i, feature::TypeId t) const {
+  const auto& map = type_to_entry_[static_cast<size_t>(i)];
+  auto it = map.find(t);
+  return it == map.end() ? -1 : it->second;
+}
+
+bool ComparisonInstance::Differentiable(feature::TypeId t, int i,
+                                        int j) const {
+  auto it = type_index_.find(t);
+  if (it == type_index_.end()) return false;
+  const int n = num_results();
+  return diff_[static_cast<size_t>(it->second)]
+              [static_cast<size_t>(i) * static_cast<size_t>(n) +
+               static_cast<size_t>(j)] != 0;
+}
+
+bool ComparisonInstance::ComputeDiff(feature::TypeId t, int i, int j) const {
+  const feature::TypeStats* si = results_[static_cast<size_t>(i)].Find(t);
+  const feature::TypeStats* sj = results_[static_cast<size_t>(j)].Find(t);
+  XSACT_CHECK(si != nullptr && sj != nullptr);
+  // The displayed feature of t on each side is its dominant value; the
+  // pair is differentiable when EITHER displayed feature's relative
+  // occurrences differ across the two results by more than the threshold.
+  for (const feature::ValueId v : {si->DominantValue(), sj->DominantValue()}) {
+    if (v == feature::kInvalidValueId) continue;
+    const double rel_i = si->RelativeOccurrenceOf(v);
+    const double rel_j = sj->RelativeOccurrenceOf(v);
+    if (OccurrencesDiffer(rel_i, rel_j, diff_threshold_)) return true;
+  }
+  return false;
+}
+
+int64_t ComparisonInstance::DifferentiationCeiling() const {
+  const int n = num_results();
+  int64_t ceiling = 0;
+  for (const auto& [type_id, dense] : type_index_) {
+    (void)type_id;
+    const auto& matrix = diff_[static_cast<size_t>(dense)];
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        ceiling += matrix[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                          static_cast<size_t>(j)];
+      }
+    }
+  }
+  return ceiling;
+}
+
+}  // namespace xsact::core

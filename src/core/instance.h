@@ -1,0 +1,122 @@
+// ComparisonInstance: the immutable problem statement handed to the DFS
+// selection algorithms.
+//
+// It freezes, for a set of results selected by the user:
+//   * per result, the selectable features ("entries") grouped by entity
+//     and sorted by significance (the paper's validity order), and
+//   * the precomputed differentiability predicate diff(t, i, j) for every
+//     feature type shared by a pair of results (paper §2: occurrences of
+//     some selected feature of t differ by more than x% of the smaller).
+//
+// A selected entry denotes the feature type plus its DOMINANT value in
+// that result — exactly what XSACT's comparison table displays (one value
+// and its percentage per cell, Figure 2).
+
+#ifndef XSACT_CORE_INSTANCE_H_
+#define XSACT_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "feature/catalog.h"
+#include "feature/result_features.h"
+
+namespace xsact::core {
+
+/// One selectable feature of one result.
+struct Entry {
+  feature::TypeId type_id = feature::kInvalidTypeId;
+  feature::ValueId dominant_value = feature::kInvalidValueId;
+  /// Absolute occurrence of the type in the result (significance key).
+  double occurrence = 0;
+  /// Cardinality of the owning entity within the result.
+  double cardinality = 1;
+  /// Dense index of the entity group this entry belongs to.
+  int32_t group = 0;
+
+  /// Relative occurrence of the type (occurrence / cardinality).
+  double RelOccurrence() const {
+    return cardinality > 0 ? occurrence / cardinality : 0;
+  }
+};
+
+/// Contiguous [begin, end) range of entries of one entity within one
+/// result's entry list, sorted by significance (occurrence desc).
+struct EntityGroup {
+  std::string entity;
+  int32_t begin = 0;
+  int32_t end = 0;
+  int32_t size() const { return end - begin; }
+};
+
+/// Immutable comparison problem over n results.
+class ComparisonInstance {
+ public:
+  /// Builds the instance. `results` must all be sealed and share `catalog`
+  /// (both are copied/retained by value or pointer as documented).
+  /// `diff_threshold` is the paper's x (default 10%).
+  static ComparisonInstance Build(std::vector<feature::ResultFeatures> results,
+                                  const feature::FeatureCatalog* catalog,
+                                  double diff_threshold = 0.10);
+
+  int num_results() const { return static_cast<int>(results_.size()); }
+  const feature::ResultFeatures& result(int i) const {
+    return results_[static_cast<size_t>(i)];
+  }
+  const feature::FeatureCatalog& catalog() const { return *catalog_; }
+  double diff_threshold() const { return diff_threshold_; }
+
+  /// All selectable entries of result `i`, grouped by entity, each group
+  /// sorted by (occurrence desc, type_id asc): the validity order.
+  const std::vector<Entry>& entries(int i) const {
+    return entries_[static_cast<size_t>(i)];
+  }
+
+  /// Entity groups of result `i` as ranges into entries(i).
+  const std::vector<EntityGroup>& groups(int i) const {
+    return groups_[static_cast<size_t>(i)];
+  }
+
+  /// Index of the entry carrying type `t` in result `i`, or -1.
+  int EntryIndexOfType(int i, feature::TypeId t) const;
+
+  /// True iff type `t` occurs in result `i`.
+  bool HasType(int i, feature::TypeId t) const {
+    return EntryIndexOfType(i, t) >= 0;
+  }
+
+  /// Precomputed differentiability of results i and j on type t.
+  /// False when the type is missing in either result.
+  bool Differentiable(feature::TypeId t, int i, int j) const;
+
+  /// Number of distinct feature types across all results.
+  size_t NumTypesTotal() const { return type_index_.size(); }
+
+  /// Upper bound on achievable total DoD: for every pair, the number of
+  /// shared differentiable types (useful for reporting).
+  int64_t DifferentiationCeiling() const;
+
+ private:
+  /// Evaluates the paper's differentiability predicate for the dominant
+  /// values of type `t` in results i and j.
+  bool ComputeDiff(feature::TypeId t, int i, int j) const;
+
+  std::vector<feature::ResultFeatures> results_;
+  const feature::FeatureCatalog* catalog_ = nullptr;
+  double diff_threshold_ = 0.10;
+
+  std::vector<std::vector<Entry>> entries_;
+  std::vector<std::vector<EntityGroup>> groups_;
+  // per result: type_id -> entry index
+  std::vector<std::unordered_map<feature::TypeId, int>> type_to_entry_;
+  // types that occur in >= 1 result, dense-indexed for the diff matrix
+  std::unordered_map<feature::TypeId, int> type_index_;
+  // diff matrix: [dense type][i * n + j] (symmetric, diagonal false)
+  std::vector<std::vector<uint8_t>> diff_;
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_INSTANCE_H_

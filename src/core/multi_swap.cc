@@ -1,0 +1,233 @@
+#include "core/multi_swap.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "core/dod.h"
+#include "core/snippet_selector.h"
+
+namespace xsact::core {
+
+namespace {
+
+/// Strict-improvement epsilon for weighted (floating-point) gains;
+/// uniform-weight gains are small integers, which doubles represent
+/// exactly, so the epsilon never misorders the unweighted DP.
+constexpr double kGainEps = 1e-9;
+
+/// (gain, size) pair ordered lexicographically; the DP value domain.
+struct Value {
+  double gain = -1;  // -1 marks "unreachable"
+  int size = 0;
+
+  bool Reachable() const { return gain >= 0; }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.gain < b.gain - kGainEps) return true;
+    if (b.gain < a.gain - kGainEps) return false;
+    return a.size < b.size;
+  }
+};
+
+/// Per-group precomputation: for each k (number of selected types in the
+/// group), the best achievable gain and the concrete choice realizing it.
+struct GroupPlan {
+  // best[k] = max gain using exactly k types of this group (k <= size()).
+  std::vector<double> best;
+  // chosen[k] = entry indices realizing best[k].
+  std::vector<std::vector<int>> chosen;
+};
+
+/// Builds the plan for one entity group. `gain` is indexed by entry.
+GroupPlan PlanGroup(const ComparisonInstance& instance, int i,
+                    const EntityGroup& group, const std::vector<double>& gain,
+                    int max_k) {
+  const auto& entries = instance.entries(i);
+  GroupPlan plan;
+  const int limit = std::min(max_k, group.size());
+  plan.best.assign(static_cast<size_t>(limit) + 1, 0);
+  plan.chosen.assign(static_cast<size_t>(limit) + 1, {});
+
+  // Split the group into tie levels (equal occurrence runs).
+  struct Level {
+    int begin;
+    int end;
+  };
+  std::vector<Level> levels;
+  int pos = group.begin;
+  while (pos < group.end) {
+    int end = pos + 1;
+    while (end < group.end &&
+           entries[static_cast<size_t>(end)].occurrence ==
+               entries[static_cast<size_t>(pos)].occurrence) {
+      ++end;
+    }
+    levels.push_back(Level{pos, end});
+    pos = end;
+  }
+
+  for (int k = 1; k <= limit; ++k) {
+    // Take full levels until the boundary level containing the k-th slot,
+    // then the highest-gain types within the boundary level. Within one
+    // level choices are independent, so the greedy top-k is exact.
+    double total = 0;
+    std::vector<int> picked;
+    int remaining = k;
+    for (const Level& level : levels) {
+      const int level_size = level.end - level.begin;
+      if (remaining >= level_size) {
+        for (int e = level.begin; e < level.end; ++e) {
+          total += gain[static_cast<size_t>(e)];
+          picked.push_back(e);
+        }
+        remaining -= level_size;
+        if (remaining == 0) break;
+      } else {
+        std::vector<int> idx;
+        idx.reserve(static_cast<size_t>(level_size));
+        for (int e = level.begin; e < level.end; ++e) idx.push_back(e);
+        std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+          return gain[static_cast<size_t>(a)] >
+                 gain[static_cast<size_t>(b)] + kGainEps;
+        });
+        for (int r = 0; r < remaining; ++r) {
+          total += gain[static_cast<size_t>(idx[static_cast<size_t>(r)])];
+          picked.push_back(idx[static_cast<size_t>(r)]);
+        }
+        remaining = 0;
+        break;
+      }
+    }
+    XSACT_CHECK(remaining == 0);
+    plan.best[static_cast<size_t>(k)] = total;
+    plan.chosen[static_cast<size_t>(k)] = std::move(picked);
+  }
+  return plan;
+}
+
+/// The exact per-result DP over per-entry gains.
+Dfs OptimizeWithGains(const ComparisonInstance& instance, int i,
+                      int size_bound, const std::vector<double>& gain) {
+  const auto& groups = instance.groups(i);
+
+  std::vector<GroupPlan> plans;
+  plans.reserve(groups.size());
+  for (const EntityGroup& g : groups) {
+    plans.push_back(PlanGroup(instance, i, g, gain, size_bound));
+  }
+
+  // Multiple-choice knapsack over groups. dp[b] = best Value with total
+  // size exactly b after processing a prefix of groups; parent pointers
+  // record the per-group allocation for reconstruction.
+  const size_t budget = static_cast<size_t>(size_bound);
+  std::vector<Value> dp(budget + 1);
+  dp[0] = Value{0, 0};
+  std::vector<std::vector<int>> choice(
+      plans.size(), std::vector<int>(budget + 1, -1));
+
+  for (size_t g = 0; g < plans.size(); ++g) {
+    std::vector<Value> next(budget + 1, Value{});
+    for (size_t b = 0; b <= budget; ++b) {
+      if (!dp[b].Reachable()) continue;
+      const size_t max_k = std::min(budget - b, plans[g].best.size() - 1);
+      for (size_t k = 0; k <= max_k; ++k) {
+        Value candidate{dp[b].gain + plans[g].best[k],
+                        dp[b].size + static_cast<int>(k)};
+        if (next[b + k] < candidate) {
+          next[b + k] = candidate;
+          choice[g][b + k] = static_cast<int>(k);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  // Best budget <= L.
+  size_t best_b = 0;
+  for (size_t b = 1; b <= budget; ++b) {
+    if (dp[b].Reachable() && dp[best_b] < dp[b]) best_b = b;
+  }
+
+  // Reconstruct.
+  Dfs result(instance, i);
+  size_t b = best_b;
+  for (size_t g = plans.size(); g-- > 0;) {
+    const int k = choice[g][b];
+    XSACT_CHECK(k >= 0 || b == 0);
+    if (k > 0) {
+      for (int e : plans[g].chosen[static_cast<size_t>(k)]) result.Add(e);
+      b -= static_cast<size_t>(k);
+    }
+  }
+  XSACT_CHECK(b == 0);
+  return result;
+}
+
+/// Round-robin fixpoint loop shared by the weighted and unweighted
+/// optimizers. An update is accepted only when it improves (gain, size)
+/// lexicographically, so the potential (total weighted DoD, total size)
+/// strictly increases and iteration terminates.
+std::vector<Dfs> SelectLoop(const ComparisonInstance& instance,
+                            const SelectorOptions& options,
+                            const TypeWeights& weights) {
+  std::vector<Dfs> dfss = SnippetSelector().Select(instance, options);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (int i = 0; i < instance.num_results(); ++i) {
+      Dfs candidate = MultiSwapOptimizer::OptimizeOneWeighted(
+          instance, dfss, i, options.size_bound, weights);
+      double current_gain = 0;
+      const Dfs& current = dfss[static_cast<size_t>(i)];
+      for (feature::TypeId t : current.SelectedTypes(instance)) {
+        current_gain += WeightedTypeGain(instance, dfss, i, t, weights);
+      }
+      double candidate_gain = 0;
+      for (feature::TypeId t : candidate.SelectedTypes(instance)) {
+        candidate_gain += WeightedTypeGain(instance, dfss, i, t, weights);
+      }
+      const Value cur{current_gain, current.size()};
+      const Value cand{candidate_gain, candidate.size()};
+      if (cur < cand) {
+        dfss[static_cast<size_t>(i)] = std::move(candidate);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return dfss;
+}
+
+}  // namespace
+
+Dfs MultiSwapOptimizer::OptimizeOne(const ComparisonInstance& instance,
+                                    const std::vector<Dfs>& dfss, int i,
+                                    int size_bound) {
+  return OptimizeOneWeighted(instance, dfss, i, size_bound,
+                             TypeWeights::Uniform());
+}
+
+Dfs MultiSwapOptimizer::OptimizeOneWeighted(const ComparisonInstance& instance,
+                                            const std::vector<Dfs>& dfss,
+                                            int i, int size_bound,
+                                            const TypeWeights& weights) {
+  const auto& entries = instance.entries(i);
+  std::vector<double> gain(entries.size(), 0);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    gain[k] = WeightedTypeGain(instance, dfss, i, entries[k].type_id, weights);
+  }
+  return OptimizeWithGains(instance, i, size_bound, gain);
+}
+
+std::vector<Dfs> MultiSwapOptimizer::Select(const ComparisonInstance& instance,
+                                            const SelectorOptions& options)
+    const {
+  return SelectLoop(instance, options, TypeWeights::Uniform());
+}
+
+std::vector<Dfs> WeightedMultiSwapOptimizer::Select(
+    const ComparisonInstance& instance, const SelectorOptions& options) const {
+  const TypeWeights weights = TypeWeights::Compute(instance, scheme_);
+  return SelectLoop(instance, options, weights);
+}
+
+}  // namespace xsact::core

@@ -1,0 +1,75 @@
+// MultiSwapOptimizer: the paper's multi-swap optimal method.
+//
+// "A set of DFSs is multi-swap optimal if, by making changes to any
+//  number of features in a DFS, while keeping its validity and size limit
+//  bound, the degree of differentiation cannot increase." (paper §2)
+//
+// Checking every feature combination is exponential; the paper proposes a
+// dynamic programming algorithm. Our DP re-optimizes one result exactly
+// while the other DFSs are fixed:
+//
+//   1. The DoD objective decomposes over feature types, so with the other
+//      DFSs fixed each type t of result i has an independent gain
+//      (the number of differentiable partners selecting t).
+//   2. Within one entity group, a valid selection of exactly k types is
+//      forced except inside the boundary tie level, where the best choice
+//      is simply the k' highest-gain types of that level (independence).
+//      This yields bestGain_g(k) for every k via prefix sums.
+//   3. Across entity groups, distributing the budget L is a multiple-
+//      choice knapsack solved by DP in O(#groups * L * maxGroupSize).
+//
+// The DP maximizes (gain, size) lexicographically, so spare budget is
+// spent on the most significant remaining features (the "reasonable
+// summary" desideratum) without sacrificing DoD. Re-optimization loops
+// round-robin over the results until a fixpoint: the assignment is then
+// multi-swap optimal by construction.
+
+#ifndef XSACT_CORE_MULTI_SWAP_H_
+#define XSACT_CORE_MULTI_SWAP_H_
+
+#include "core/selector.h"
+#include "core/weights.h"
+
+namespace xsact::core {
+
+class MultiSwapOptimizer : public DfsSelector {
+ public:
+  std::string_view name() const override { return "multi-swap"; }
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+
+  /// Exposed for tests and the single-result DP benchmark: the exact best
+  /// valid DFS (<= size_bound features) for result `i` against the other
+  /// DFSs in `dfss`, maximizing (DoD gain, size) lexicographically.
+  static Dfs OptimizeOne(const ComparisonInstance& instance,
+                         const std::vector<Dfs>& dfss, int i, int size_bound);
+
+  /// Weighted variant of the DP (see weights.h); the unweighted
+  /// OptimizeOne is this with uniform weights.
+  static Dfs OptimizeOneWeighted(const ComparisonInstance& instance,
+                                 const std::vector<Dfs>& dfss, int i,
+                                 int size_bound, const TypeWeights& weights);
+};
+
+/// Multi-swap optimization of the WEIGHTED objective (paper future work:
+/// "considering more factors (e.g., interestingness) when selecting
+/// features"). Identical DP; gains are w(t) per differentiable partner.
+class WeightedMultiSwapOptimizer : public DfsSelector {
+ public:
+  explicit WeightedMultiSwapOptimizer(
+      WeightScheme scheme = WeightScheme::kInterestingness)
+      : scheme_(scheme) {}
+
+  std::string_view name() const override { return "weighted-multi-swap"; }
+  WeightScheme scheme() const { return scheme_; }
+
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+
+ private:
+  WeightScheme scheme_;
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_MULTI_SWAP_H_

@@ -1,0 +1,77 @@
+#include "core/selector.h"
+
+#include "common/macros.h"
+#include "core/exhaustive.h"
+#include "core/greedy_selector.h"
+#include "core/multi_swap.h"
+#include "core/single_swap.h"
+#include "core/snippet_selector.h"
+
+namespace xsact::core {
+
+std::string_view SelectorKindName(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kSnippet:
+      return "snippet";
+    case SelectorKind::kGreedy:
+      return "greedy";
+    case SelectorKind::kSingleSwap:
+      return "single-swap";
+    case SelectorKind::kMultiSwap:
+      return "multi-swap";
+    case SelectorKind::kExhaustive:
+      return "exhaustive";
+    case SelectorKind::kWeightedMultiSwap:
+      return "weighted-multi-swap";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<DfsSelector> MakeSelector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kSnippet:
+      return std::make_unique<SnippetSelector>();
+    case SelectorKind::kGreedy:
+      return std::make_unique<GreedySelector>();
+    case SelectorKind::kSingleSwap:
+      return std::make_unique<SingleSwapOptimizer>();
+    case SelectorKind::kMultiSwap:
+      return std::make_unique<MultiSwapOptimizer>();
+    case SelectorKind::kExhaustive:
+      return std::make_unique<ExhaustiveSelector>();
+    case SelectorKind::kWeightedMultiSwap:
+      return std::make_unique<WeightedMultiSwapOptimizer>();
+  }
+  XSACT_CHECK_MSG(false, "unknown selector kind");
+  return nullptr;
+}
+
+void FillToBound(const ComparisonInstance& instance, int size_bound,
+                 std::vector<Dfs>* dfss) {
+  for (int i = 0; i < instance.num_results(); ++i) {
+    Dfs& dfs = (*dfss)[static_cast<size_t>(i)];
+    const auto& entries = instance.entries(i);
+    while (dfs.size() < size_bound &&
+           dfs.size() < static_cast<int>(entries.size())) {
+      // The next addable entry of each group is its first unselected one
+      // (groups are sorted by significance); pick the globally most
+      // significant frontier by relative occurrence.
+      int best = -1;
+      for (const EntityGroup& group : instance.groups(i)) {
+        for (int k = group.begin; k < group.end; ++k) {
+          if (dfs.Contains(k)) continue;
+          if (best < 0 ||
+              entries[static_cast<size_t>(k)].RelOccurrence() >
+                  entries[static_cast<size_t>(best)].RelOccurrence()) {
+            best = k;
+          }
+          break;
+        }
+      }
+      if (best < 0) break;
+      dfs.Add(best);
+    }
+  }
+}
+
+}  // namespace xsact::core

@@ -1,0 +1,72 @@
+// DfsSelector: common interface of the DFS generation algorithms, plus a
+// factory. The paper's "DFS generator" module with its two methods
+// (single-swap, multi-swap); we additionally provide the eXtract-style
+// snippet baseline, a greedy baseline, and an exhaustive exact solver
+// used as a test oracle on small instances.
+
+#ifndef XSACT_CORE_SELECTOR_H_
+#define XSACT_CORE_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dfs.h"
+#include "core/instance.h"
+
+namespace xsact::core {
+
+/// Tuning knobs common to all selectors.
+struct SelectorOptions {
+  /// The paper's L: upper bound on each DFS's size (number of features).
+  int size_bound = 5;
+  /// Safety valve for the iterative algorithms: maximum number of
+  /// round-robin passes over the results (each pass re-optimizes every
+  /// DFS once). Both algorithms converge long before this in practice.
+  int max_rounds = 64;
+  /// Fill remaining capacity with the most significant non-gaining
+  /// features after optimization, so DFSs stay reasonable summaries even
+  /// when few types differentiate (never decreases DoD).
+  bool fill_to_bound = true;
+};
+
+/// Abstract DFS generation algorithm.
+class DfsSelector {
+ public:
+  virtual ~DfsSelector() = default;
+
+  /// Algorithm name for reports ("single-swap", "multi-swap", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Computes one DFS per result. Postcondition: the assignment is valid
+  /// and every DFS respects options.size_bound.
+  virtual std::vector<Dfs> Select(const ComparisonInstance& instance,
+                                  const SelectorOptions& options) const = 0;
+};
+
+/// Available algorithms.
+enum class SelectorKind {
+  kSnippet,            ///< eXtract-style per-result top-significance snippet
+  kGreedy,             ///< global greedy by potential DoD gain
+  kSingleSwap,         ///< single-swap optimal local search (paper §2)
+  kMultiSwap,          ///< multi-swap optimal via per-result DP (paper §2)
+  kExhaustive,         ///< exact joint optimum (small instances only)
+  kWeightedMultiSwap,  ///< interestingness-weighted multi-swap (extension)
+};
+
+/// Display name of a selector kind.
+std::string_view SelectorKindName(SelectorKind kind);
+
+/// Instantiates a selector.
+std::unique_ptr<DfsSelector> MakeSelector(SelectorKind kind);
+
+/// Greedily extends every DFS to the size bound with the most significant
+/// unselected valid entries (used by `fill_to_bound`; DoD never drops
+/// because DoD is monotone under adding types).
+void FillToBound(const ComparisonInstance& instance, int size_bound,
+                 std::vector<Dfs>* dfss);
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_SELECTOR_H_

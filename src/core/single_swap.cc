@@ -1,0 +1,134 @@
+#include "core/single_swap.h"
+
+#include "core/dod.h"
+#include "core/snippet_selector.h"
+
+namespace xsact::core {
+
+namespace {
+
+/// Validity of one entity group's current selection (same rule as
+/// Dfs::IsValid, restricted to the group).
+bool GroupValid(const ComparisonInstance& instance, const Dfs& dfs,
+                const EntityGroup& group) {
+  const auto& entries = instance.entries(dfs.result_index());
+  double min_selected = -1;
+  bool any = false;
+  for (int k = group.begin; k < group.end; ++k) {
+    if (dfs.Contains(k)) {
+      any = true;
+      min_selected = entries[static_cast<size_t>(k)].occurrence;
+    }
+  }
+  if (!any) return true;
+  for (int k = group.begin; k < group.end; ++k) {
+    const Entry& e = entries[static_cast<size_t>(k)];
+    if (e.occurrence <= min_selected) break;
+    if (!dfs.Contains(k)) return false;
+  }
+  return true;
+}
+
+struct Move {
+  int remove = -1;  // entry index, or -1 for a pure addition
+  int add = -1;     // entry index
+  int delta = 0;    // DoD change
+};
+
+/// Finds the best single add/replace move for result `i`, or a move with
+/// delta == 0 when none improves. Gains are evaluated against the other
+/// results' CURRENT DFSs (changing D_i does not change its own gains).
+Move BestMove(const ComparisonInstance& instance, std::vector<Dfs>& dfss,
+              int i, int size_bound) {
+  Dfs& dfs = dfss[static_cast<size_t>(i)];
+  const auto& entries = instance.entries(i);
+  const auto& groups = instance.groups(i);
+
+  // Gain of each type of this result against the fixed other DFSs.
+  std::vector<int> gain(entries.size(), 0);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    gain[k] = TypeGain(instance, dfss, i, entries[k].type_id);
+  }
+
+  Move best;
+  auto try_move = [&](int remove, int add) {
+    const int delta = gain[static_cast<size_t>(add)] -
+                      (remove >= 0 ? gain[static_cast<size_t>(remove)] : 0);
+    if (delta <= best.delta) return;  // cannot beat current best
+    // Validate by applying tentatively.
+    if (remove >= 0) dfs.Remove(remove);
+    dfs.Add(add);
+    const EntityGroup& ga = groups[static_cast<size_t>(
+        entries[static_cast<size_t>(add)].group)];
+    bool valid = GroupValid(instance, dfs, ga);
+    if (valid && remove >= 0) {
+      const EntityGroup& gr = groups[static_cast<size_t>(
+          entries[static_cast<size_t>(remove)].group)];
+      if (gr.begin != ga.begin) valid = GroupValid(instance, dfs, gr);
+    }
+    dfs.Remove(add);
+    if (remove >= 0) dfs.Add(remove);
+    if (valid) best = Move{remove, add, delta};
+  };
+
+  const std::vector<int> selected = dfs.SelectedEntries();
+  for (size_t a = 0; a < entries.size(); ++a) {
+    if (dfs.Contains(static_cast<int>(a))) continue;
+    if (gain[a] == 0) continue;  // additions/arrivals must bring gain
+    if (dfs.size() < size_bound) try_move(-1, static_cast<int>(a));
+    for (int o : selected) try_move(o, static_cast<int>(a));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Dfs> SingleSwapOptimizer::Select(
+    const ComparisonInstance& instance, const SelectorOptions& options) const {
+  // Paper: start from a reasonable summary and iteratively improve.
+  std::vector<Dfs> dfss = SnippetSelector().Select(instance, options);
+
+  // Alternate swap optimization and (optional) filling until neither
+  // changes anything. Every optimization move strictly raises total DoD
+  // and every fill strictly grows total size with DoD non-decreasing, so
+  // the (DoD, total size) potential guarantees termination; max_rounds is
+  // only a safety valve.
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    for (int pass = 0; pass < options.max_rounds; ++pass) {
+      bool pass_improved = false;
+      for (int i = 0; i < instance.num_results(); ++i) {
+        // Exhaust improving moves on result i before moving on.
+        for (;;) {
+          const Move move = BestMove(instance, dfss, i, options.size_bound);
+          if (move.delta <= 0) break;
+          Dfs& dfs = dfss[static_cast<size_t>(i)];
+          if (move.remove >= 0) dfs.Remove(move.remove);
+          dfs.Add(move.add);
+          pass_improved = true;
+          changed = true;
+        }
+      }
+      if (!pass_improved) break;
+    }
+    if (options.fill_to_bound) {
+      const std::vector<Dfs> before = dfss;
+      FillToBound(instance, options.size_bound, &dfss);
+      if (!(dfss == before)) changed = true;
+    }
+    if (!changed) break;
+  }
+  return dfss;
+}
+
+bool SingleSwapOptimizer::HasImprovingMove(const ComparisonInstance& instance,
+                                           const std::vector<Dfs>& dfss,
+                                           int size_bound) {
+  std::vector<Dfs> copy = dfss;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    if (BestMove(instance, copy, i, size_bound).delta > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace xsact::core

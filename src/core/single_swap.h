@@ -1,0 +1,39 @@
+// SingleSwapOptimizer: the paper's single-swap optimal method.
+//
+// "A set of DFSs is single-swap optimal if by changing or adding one
+//  feature in a DFS, while keeping its validity and size limit bound, the
+//  degree of differentiation cannot increase." (paper §2)
+//
+// We start from the snippet assignment (most significant features) and
+// perform steepest-ascent local search. The move set on one result is:
+//   * ADD a single feature (if the budget allows), or
+//   * REPLACE one selected feature by one unselected feature,
+// accepting only strict DoD improvements and only validity-preserving
+// states. Pure removals are never beneficial (DoD is monotone under
+// adding types) and are therefore not searched. Iteration proceeds
+// round-robin over results until a global fixpoint — by construction the
+// result is single-swap optimal.
+
+#ifndef XSACT_CORE_SINGLE_SWAP_H_
+#define XSACT_CORE_SINGLE_SWAP_H_
+
+#include "core/selector.h"
+
+namespace xsact::core {
+
+class SingleSwapOptimizer : public DfsSelector {
+ public:
+  std::string_view name() const override { return "single-swap"; }
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+
+  /// Exposed for tests: true iff some single add/replace on some DFS
+  /// strictly increases total DoD (i.e. the assignment is NOT single-swap
+  /// optimal).
+  static bool HasImprovingMove(const ComparisonInstance& instance,
+                               const std::vector<Dfs>& dfss, int size_bound);
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_SINGLE_SWAP_H_

@@ -1,0 +1,39 @@
+#include "core/snippet_selector.h"
+
+namespace xsact::core {
+
+std::vector<Dfs> SnippetSelector::Select(const ComparisonInstance& instance,
+                                         const SelectorOptions& options) const {
+  std::vector<Dfs> dfss;
+  dfss.reserve(static_cast<size_t>(instance.num_results()));
+  for (int i = 0; i < instance.num_results(); ++i) {
+    Dfs dfs(instance, i);
+    const auto& entries = instance.entries(i);
+    // Repeatedly add the highest-relative-occurrence entry that keeps the
+    // selection valid. Within an entity group relative and absolute
+    // occurrence order coincide (same cardinality), so the next addable
+    // entry of a group is always the first unselected one.
+    while (dfs.size() < options.size_bound &&
+           dfs.size() < static_cast<int>(entries.size())) {
+      int best = -1;
+      for (const EntityGroup& group : instance.groups(i)) {
+        for (int k = group.begin; k < group.end; ++k) {
+          if (dfs.Contains(k)) continue;
+          // First unselected entry of the group is its frontier.
+          if (best < 0 ||
+              entries[static_cast<size_t>(k)].RelOccurrence() >
+                  entries[static_cast<size_t>(best)].RelOccurrence()) {
+            best = k;
+          }
+          break;
+        }
+      }
+      if (best < 0) break;
+      dfs.Add(best);
+    }
+    dfss.push_back(std::move(dfs));
+  }
+  return dfss;
+}
+
+}  // namespace xsact::core

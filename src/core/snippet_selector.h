@@ -1,0 +1,24 @@
+// SnippetSelector: the eXtract-style [2] baseline.
+//
+// Each result's snippet independently shows its most significant features
+// (highest relative occurrence), with no awareness of the other results —
+// exactly the snippets of Figure 1 that the paper's introduction shows are
+// weakly differentiating (DoD = 2 on the GPS example).
+
+#ifndef XSACT_CORE_SNIPPET_SELECTOR_H_
+#define XSACT_CORE_SNIPPET_SELECTOR_H_
+
+#include "core/selector.h"
+
+namespace xsact::core {
+
+class SnippetSelector : public DfsSelector {
+ public:
+  std::string_view name() const override { return "snippet"; }
+  std::vector<Dfs> Select(const ComparisonInstance& instance,
+                          const SelectorOptions& options) const override;
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_SNIPPET_SELECTOR_H_

@@ -1,0 +1,109 @@
+#include "core/weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace xsact::core {
+
+std::string_view WeightSchemeName(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kUniform:
+      return "uniform";
+    case WeightScheme::kInterestingness:
+      return "interestingness";
+    case WeightScheme::kSignificance:
+      return "significance";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Normalized Shannon entropy of a histogram (0 when <= 1 bucket).
+double NormalizedEntropy(const std::map<feature::ValueId, int>& histogram,
+                         int total) {
+  if (histogram.size() <= 1 || total <= 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : histogram) {
+    (void)value;
+    const double p = static_cast<double>(count) / total;
+    if (p > 0) h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(histogram.size()));
+}
+
+/// Interestingness of one type: how much its presentation varies across
+/// the results that carry it.
+double Interestingness(const ComparisonInstance& instance,
+                       feature::TypeId type) {
+  std::map<feature::ValueId, int> dominant_values;
+  double min_rel = 1.0;
+  double max_rel = 0.0;
+  int carriers = 0;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const feature::TypeStats* stats = instance.result(i).Find(type);
+    if (stats == nullptr) continue;
+    ++carriers;
+    const feature::ValueId v = stats->DominantValue();
+    ++dominant_values[v];
+    const double rel = stats->RelativeOccurrenceOf(v);
+    min_rel = std::min(min_rel, rel);
+    max_rel = std::max(max_rel, rel);
+  }
+  if (carriers <= 1) return 0.0;  // nothing to contrast
+  const double value_diversity = NormalizedEntropy(dominant_values, carriers);
+  const double share_spread = Clamp01(max_rel - min_rel);
+  return std::max(value_diversity, share_spread);
+}
+
+/// Mean relative occurrence across carriers.
+double Significance(const ComparisonInstance& instance,
+                    feature::TypeId type) {
+  double sum = 0.0;
+  int carriers = 0;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const feature::TypeStats* stats = instance.result(i).Find(type);
+    if (stats == nullptr) continue;
+    ++carriers;
+    sum += Clamp01(stats->RelativeOccurrence());
+  }
+  return carriers > 0 ? sum / carriers : 0.0;
+}
+
+}  // namespace
+
+TypeWeights TypeWeights::Compute(const ComparisonInstance& instance,
+                                 WeightScheme scheme) {
+  TypeWeights weights;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    for (const Entry& e : instance.entries(i)) {
+      if (weights.weights_.count(e.type_id) > 0) continue;
+      double w = 1.0;
+      switch (scheme) {
+        case WeightScheme::kUniform:
+          w = 1.0;
+          break;
+        case WeightScheme::kInterestingness:
+          w = kFloor + (1.0 - kFloor) * Interestingness(instance, e.type_id);
+          break;
+        case WeightScheme::kSignificance:
+          w = kFloor + (1.0 - kFloor) * Significance(instance, e.type_id);
+          break;
+      }
+      weights.weights_.emplace(e.type_id, w);
+    }
+  }
+  return weights;
+}
+
+TypeWeights TypeWeights::Uniform() { return TypeWeights(); }
+
+void TypeWeights::Set(feature::TypeId type, double weight) {
+  weights_[type] = std::min(1.0, std::max(kFloor, weight));
+}
+
+}  // namespace xsact::core

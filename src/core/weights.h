@@ -1,0 +1,67 @@
+// Type weights: the paper's future-work extension ("considering more
+// factors (e.g., interestingness) when selecting features for DFS").
+//
+// The weighted objective generalizes DoD: every feature type t carries a
+// weight w(t) in (0, 1], and a differentiable shared type contributes
+// w(t) instead of 1 to each pair. With uniform weights the objective
+// reduces exactly to the paper's DoD.
+
+#ifndef XSACT_CORE_WEIGHTS_H_
+#define XSACT_CORE_WEIGHTS_H_
+
+#include <unordered_map>
+
+#include "core/instance.h"
+
+namespace xsact::core {
+
+/// How type weights are derived from the instance.
+enum class WeightScheme {
+  /// w(t) = 1 for all types: the paper's plain DoD.
+  kUniform,
+  /// Interestingness: types whose displayed values VARY across results
+  /// (high value entropy) or whose occurrence shares spread widely are
+  /// weighted higher; near-constant types sink toward the floor weight.
+  kInterestingness,
+  /// Significance: a type's weight is its mean relative occurrence across
+  /// the results carrying it (favors features true of most entity
+  /// instances, e.g. 91% "easy to read" over a 9% fringe opinion).
+  kSignificance,
+};
+
+/// Display name ("uniform", "interestingness", "significance").
+std::string_view WeightSchemeName(WeightScheme scheme);
+
+/// Immutable per-instance weight table.
+class TypeWeights {
+ public:
+  /// Weights never sink to zero: even a "boring" type still separates
+  /// results, it just stops dominating the budget.
+  static constexpr double kFloor = 0.25;
+
+  /// Computes weights for every type of the instance under `scheme`.
+  static TypeWeights Compute(const ComparisonInstance& instance,
+                             WeightScheme scheme);
+
+  /// Uniform table (all weights 1).
+  static TypeWeights Uniform();
+
+  /// Weight of a type; 1.0 for unknown types.
+  double Of(feature::TypeId type) const {
+    auto it = weights_.find(type);
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  /// Sets/overrides one weight (clamped to [kFloor, 1]); exposed so
+  /// applications can inject domain knowledge (e.g. boost "price").
+  void Set(feature::TypeId type, double weight);
+
+  size_t size() const { return weights_.size(); }
+
+ private:
+  std::unordered_map<feature::TypeId, double> weights_;
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_WEIGHTS_H_

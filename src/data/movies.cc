@@ -1,0 +1,114 @@
+#include "data/movies.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/vocab.h"
+
+namespace xsact::data {
+
+namespace {
+
+const std::vector<std::string>& SubtitleWords() {
+  static const std::vector<std::string> kPool = {
+      "quest",  "odyssey", "legacy", "awakening", "reckoning",
+      "origins", "ascension", "requiem", "horizon", "eclipse",
+  };
+  return kPool;
+}
+
+}  // namespace
+
+xml::Document GenerateMovies(const MoviesConfig& config) {
+  Rng rng(config.seed);
+  xml::Document doc = xml::Document::WithRoot("movies");
+  xml::Node* root = doc.root();
+
+  const auto& franchises = MovieFranchises();
+  const auto& genres = MovieGenres();
+  const auto& aspects = MovieAspects();
+  XSACT_CHECK(config.franchise_sizes.size() <= franchises.size());
+
+  for (size_t f = 0; f < config.franchise_sizes.size(); ++f) {
+    // A franchise shares a genre palette and era, like real sagas do;
+    // individual movies differ in reception (ratings, review aspects).
+    const size_t genre_a = rng.Below(genres.size());
+    const size_t genre_b = (genre_a + 1 + rng.Below(genres.size() - 1)) %
+                           genres.size();
+    const int era_start = static_cast<int>(rng.Range(1965, 2000));
+
+    for (int m = 0; m < config.franchise_sizes[f]; ++m) {
+      xml::Node* movie = root->AddElement("movie");
+      std::string title = franchises[f] + " " + rng.Pick(SubtitleWords());
+      if (m > 0) title += " " + std::to_string(m + 1);
+      movie->AddElementWithText("title", title);
+      movie->AddElementWithText("year",
+                                std::to_string(era_start + 2 * m));
+      movie->AddElementWithText("director", rng.Pick(DirectorNames()));
+      movie->AddElementWithText("runtime",
+                                std::to_string(rng.Range(84, 192)));
+      movie->AddElementWithText("country", rng.Pick(Countries()));
+      movie->AddElementWithText(
+          "rating", FormatDouble(4.0 + rng.NextDouble() * 5.5, 1));
+      movie->AddElementWithText(
+          "votes", std::to_string(rng.Range(500, 250000)));
+
+      xml::Node* genres_node = movie->AddElement("genres");
+      genres_node->AddElementWithText("genre", genres[genre_a]);
+      if (rng.Chance(0.7)) {
+        genres_node->AddElementWithText("genre", genres[genre_b]);
+      }
+      if (rng.Chance(0.3)) {
+        genres_node->AddElementWithText("genre", rng.Pick(genres));
+      }
+
+      // Movie-specific review profile over aspects, so the percentage of
+      // reviewers praising "acting" etc. varies between movies.
+      std::vector<double> praise(aspects.size());
+      std::vector<double> complain(aspects.size());
+      for (size_t a = 0; a < aspects.size(); ++a) {
+        praise[a] = rng.NextDouble() * 0.8;
+        complain[a] = rng.NextDouble() * 0.35;
+      }
+
+      xml::Node* reviews = movie->AddElement("reviews");
+      const int num_reviews = static_cast<int>(
+          rng.Range(config.min_reviews, config.max_reviews));
+      for (int r = 0; r < num_reviews; ++r) {
+        xml::Node* review = reviews->AddElement("review");
+        review->AddElementWithText("reviewer", rng.Pick(FirstNames()));
+        review->AddElementWithText("stars",
+                                   std::to_string(rng.Range(1, 10)));
+        xml::Node* pros = review->AddElement("pros");
+        for (size_t a = 0; a < aspects.size(); ++a) {
+          if (rng.Chance(praise[a])) {
+            pros->AddElementWithText("pro", aspects[a]);
+          }
+        }
+        xml::Node* cons = review->AddElement("cons");
+        for (size_t a = 0; a < aspects.size(); ++a) {
+          if (rng.Chance(complain[a])) {
+            cons->AddElementWithText("con", aspects[a]);
+          }
+        }
+      }
+    }
+  }
+  return doc;
+}
+
+std::vector<QuerySpec> MovieQueryWorkload(int size_bound) {
+  const auto& franchises = MovieFranchises();
+  std::vector<QuerySpec> workload;
+  workload.reserve(8);
+  for (int k = 0; k < 8; ++k) {
+    QuerySpec spec;
+    spec.id = "QM" + std::to_string(k + 1);
+    spec.query = franchises[static_cast<size_t>(k)];
+    spec.size_bound = size_bound;
+    workload.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+}  // namespace xsact::data

@@ -1,0 +1,63 @@
+#include "data/outdoor_retailer.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/vocab.h"
+
+namespace xsact::data {
+
+xml::Document GenerateOutdoorRetailer(const OutdoorRetailerConfig& config) {
+  Rng rng(config.seed);
+  xml::Document doc = xml::Document::WithRoot("catalog");
+  xml::Node* root = doc.root();
+
+  const auto& brands = OutdoorBrands();
+  const auto& categories = OutdoorCategories();
+  const auto& subcategories = OutdoorSubcategories();
+  const auto& materials = OutdoorMaterials();
+  const auto& genders = Genders();
+
+  const int num_brands =
+      std::min<int>(config.num_brands, static_cast<int>(brands.size()));
+  for (int b = 0; b < num_brands; ++b) {
+    xml::Node* brand = root->AddElement("brand");
+    brand->AddElementWithText("name", brands[static_cast<size_t>(b)]);
+    brand->AddElementWithText("founded",
+                              std::to_string(rng.Range(1900, 1995)));
+
+    // Brand focus: one dominant category (55-85% of the portfolio) plus a
+    // long tail; each brand also has a preferred material.
+    const size_t focus_category = static_cast<size_t>(b) % categories.size();
+    const double focus_share = 0.55 + 0.30 * rng.NextDouble();
+    const size_t focus_material = rng.Below(materials.size());
+
+    xml::Node* products = brand->AddElement("products");
+    const int num_products =
+        static_cast<int>(rng.Range(config.min_products, config.max_products));
+    for (int p = 0; p < num_products; ++p) {
+      xml::Node* product = products->AddElement("product");
+      const size_t cat = rng.Chance(focus_share)
+                             ? focus_category
+                             : rng.Below(categories.size());
+      const auto& subs = subcategories[cat];
+      product->AddElementWithText(
+          "name", brands[static_cast<size_t>(b)] + " " + categories[cat] +
+                      " " + std::to_string(rng.Range(10, 99)));
+      product->AddElementWithText("category", categories[cat]);
+      product->AddElementWithText("subcategory", rng.Pick(subs));
+      product->AddElementWithText("gender", rng.Pick(genders));
+      product->AddElementWithText(
+          "price", FormatDouble(40.0 + rng.NextDouble() * 560.0, 2));
+      const size_t mat =
+          rng.Chance(0.6) ? focus_material : rng.Below(materials.size());
+      product->AddElementWithText("material", materials[mat]);
+      product->AddElementWithText(
+          "weight_grams", std::to_string(rng.Range(180, 1400)));
+    }
+  }
+  return doc;
+}
+
+}  // namespace xsact::data

@@ -1,0 +1,32 @@
+// Outdoor Retailer dataset generator (REI.com shape, paper §3).
+//
+// Emits a catalog of brands; each brand has a set of products with
+// category / subcategory / gender / price / material features. Brands
+// have distinct category mixes (e.g. a "Marmot"-like brand concentrates
+// on rain jackets while a "Columbia"-like brand sells mostly insulated
+// ski jackets), which is exactly the brand-focus signal the paper's
+// demo scenario surfaces through the comparison table.
+
+#ifndef XSACT_DATA_OUTDOOR_RETAILER_H_
+#define XSACT_DATA_OUTDOOR_RETAILER_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xsact::data {
+
+/// Generation parameters.
+struct OutdoorRetailerConfig {
+  int num_brands = 8;   ///< capped at the brand-name pool size
+  int min_products = 18;
+  int max_products = 60;
+  uint64_t seed = 1938;  ///< REI's founding year, for flavor
+};
+
+/// Generates the catalog document (root <catalog>).
+xml::Document GenerateOutdoorRetailer(const OutdoorRetailerConfig& config = {});
+
+}  // namespace xsact::data
+
+#endif  // XSACT_DATA_OUTDOOR_RETAILER_H_

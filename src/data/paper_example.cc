@@ -1,0 +1,72 @@
+#include "data/paper_example.h"
+
+namespace xsact::data {
+
+namespace {
+
+void Add(feature::ResultFeatures* rf, feature::FeatureCatalog* catalog,
+         const std::string& entity, const std::string& attribute,
+         const std::string& value, double count, double cardinality) {
+  rf->AddObservation(catalog->InternType(entity, attribute),
+                     catalog->InternValue(value), count, cardinality);
+}
+
+}  // namespace
+
+PaperGpsInstance BuildPaperGpsInstance(bool augmented,
+                                       double diff_threshold) {
+  auto catalog = std::make_unique<feature::FeatureCatalog>();
+
+  feature::ResultFeatures gps1;
+  gps1.set_label("TomTom Go 630 Portable GPS");
+  // Product-level attribute (entity "product", cardinality 1).
+  Add(&gps1, catalog.get(), "product", "name", "TomTom Go 630 Portable GPS",
+      1, 1);
+  // Review-level opinion types ("# of reviews: 11" in Figure 1).
+  const double c1 = 11;
+  Add(&gps1, catalog.get(), "review", "pro: easy to read", "yes", 10, c1);
+  Add(&gps1, catalog.get(), "review", "pro: compact", "yes", 8, c1);
+  Add(&gps1, catalog.get(), "review", "best use: auto", "yes", 6, c1);
+  Add(&gps1, catalog.get(), "review", "category: casual user", "yes", 6, c1);
+  Add(&gps1, catalog.get(), "review", "pro: large screen", "yes", 1, c1);
+  if (augmented) {
+    Add(&gps1, catalog.get(), "review", "pro: acquires satellites quickly",
+        "yes", 3, c1);
+    Add(&gps1, catalog.get(), "review", "pro: easy to setup", "yes", 4, c1);
+    Add(&gps1, catalog.get(), "review", "best use: faster routes", "yes", 1,
+        c1);
+  }
+  gps1.Seal();
+
+  feature::ResultFeatures gps3;
+  gps3.set_label("TomTom Go 730 (Tri-linguial) BOX");
+  Add(&gps3, catalog.get(), "product", "name",
+      "TomTom Go 730 (Tri-linguial) BOX", 1, 1);
+  const double c3 = 68;
+  Add(&gps3, catalog.get(), "review", "pro: acquires satellites quickly",
+      "yes", 44, c3);
+  Add(&gps3, catalog.get(), "review", "pro: easy to setup", "yes", 40, c3);
+  Add(&gps3, catalog.get(), "review", "pro: compact", "yes", 38, c3);
+  Add(&gps3, catalog.get(), "review", "best use: faster routes", "yes", 26,
+      c3);
+  Add(&gps3, catalog.get(), "review", "pro: large screen", "yes", 4, c3);
+  if (augmented) {
+    Add(&gps3, catalog.get(), "review", "pro: easy to read", "yes", 20, c3);
+    Add(&gps3, catalog.get(), "review", "best use: auto", "yes", 10, c3);
+    Add(&gps3, catalog.get(), "review", "category: casual user", "yes", 8,
+        c3);
+  }
+  gps3.Seal();
+
+  std::vector<feature::ResultFeatures> results;
+  results.push_back(std::move(gps1));
+  results.push_back(std::move(gps3));
+
+  PaperGpsInstance out{std::move(catalog), core::ComparisonInstance()};
+  out.instance = core::ComparisonInstance::Build(std::move(results),
+                                                 out.catalog.get(),
+                                                 diff_threshold);
+  return out;
+}
+
+}  // namespace xsact::data

@@ -1,0 +1,99 @@
+#include "data/product_reviews.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/vocab.h"
+
+namespace xsact::data {
+
+namespace {
+
+/// Per-product probability that a reviewer reports an aspect: a global
+/// Zipf-ish base popularity modulated by a product-specific factor, so
+/// some products are "compact" for 80% of reviewers and others for 20%.
+std::vector<double> AspectProfile(Rng& rng, size_t pool_size,
+                                  double aspect_skew) {
+  std::vector<double> probs(pool_size, 0.0);
+  for (size_t a = 0; a < pool_size; ++a) {
+    const double base =
+        1.0 / std::pow(static_cast<double>(a) + 1.0, aspect_skew);
+    const double product_factor = 0.15 + 0.85 * rng.NextDouble();
+    probs[a] = std::min(0.95, base * product_factor);
+  }
+  return probs;
+}
+
+}  // namespace
+
+xml::Document GenerateProductReviews(const ProductReviewsConfig& config) {
+  Rng rng(config.seed);
+  xml::Document doc = xml::Document::WithRoot("products");
+  xml::Node* root = doc.root();
+
+  const auto& pros = ProAspects();
+  const auto& cons = ConAspects();
+  const auto& uses = BestUses();
+  const auto& categories = ReviewerCategories();
+
+  for (int p = 0; p < config.num_products; ++p) {
+    xml::Node* product = root->AddElement("product");
+    const std::string& brand = rng.Pick(ElectronicsBrands());
+    // Round-robin the product kind so every catalog stocks all kinds in
+    // comparable numbers (kind-keyword queries then always have enough
+    // results to compare, regardless of the seed).
+    const std::string& kind =
+        ProductKinds()[static_cast<size_t>(p) % ProductKinds().size()];
+    const int model = static_cast<int>(rng.Range(100, 999));
+    product->AddElementWithText(
+        "name", brand + " Go " + std::to_string(model) + " " + kind);
+    product->AddElementWithText("brand", brand);
+    product->AddElementWithText("kind", kind);
+    product->AddElementWithText(
+        "price", FormatDouble(49.0 + rng.NextDouble() * 450.0, 2));
+    product->AddElementWithText(
+        "rating", FormatDouble(2.5 + rng.NextDouble() * 2.5, 1));
+
+    const std::vector<double> pro_profile =
+        AspectProfile(rng, pros.size(), config.aspect_skew);
+    const std::vector<double> con_profile =
+        AspectProfile(rng, cons.size(), config.aspect_skew + 0.4);
+    const size_t favored_use = rng.Zipf(uses.size(), 1.1);
+    const size_t favored_category = rng.Below(categories.size());
+
+    xml::Node* reviews = product->AddElement("reviews");
+    const int num_reviews =
+        static_cast<int>(rng.Range(config.min_reviews, config.max_reviews));
+    for (int r = 0; r < num_reviews; ++r) {
+      xml::Node* review = reviews->AddElement("review");
+      review->AddElementWithText("reviewer", rng.Pick(FirstNames()));
+      review->AddElementWithText("stars",
+                                 std::to_string(rng.Range(1, 5)));
+      // 60% of reviewers self-report the product's dominant category.
+      const size_t cat = rng.Chance(0.6) ? favored_category
+                                         : rng.Below(categories.size());
+      review->AddElementWithText("category", categories[cat]);
+
+      xml::Node* pros_node = review->AddElement("pros");
+      for (size_t a = 0; a < pros.size(); ++a) {
+        if (rng.Chance(pro_profile[a])) {
+          pros_node->AddElementWithText("pro", pros[a]);
+        }
+      }
+      xml::Node* cons_node = review->AddElement("cons");
+      for (size_t a = 0; a < cons.size(); ++a) {
+        if (rng.Chance(con_profile[a] * 0.5)) {
+          cons_node->AddElementWithText("con", cons[a]);
+        }
+      }
+      xml::Node* uses_node = review->AddElement("uses");
+      const size_t use =
+          rng.Chance(0.7) ? favored_use : rng.Below(uses.size());
+      uses_node->AddElementWithText("use", uses[use]);
+    }
+  }
+  return doc;
+}
+
+}  // namespace xsact::data

@@ -1,0 +1,35 @@
+// Product Reviews dataset generator (buzzillions.com shape, paper §3).
+//
+// Emits an XML catalog of GPS / phone / camera products, each with a
+// price, an aggregated rating and a set of reviews; every review carries
+// the reviewer, a star rating, a reviewer category, and multi-valued
+// pros / cons / best-use opinions — the exact element shape of the
+// paper's Figure 1. Aspect popularity is product-specific (Zipf base
+// popularity plus per-product skew), which makes occurrence percentages
+// differ across products and drives the DoD objective.
+
+#ifndef XSACT_DATA_PRODUCT_REVIEWS_H_
+#define XSACT_DATA_PRODUCT_REVIEWS_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xsact::data {
+
+/// Generation parameters; defaults give a demo-sized catalog.
+struct ProductReviewsConfig {
+  int num_products = 24;
+  int min_reviews = 8;
+  int max_reviews = 72;
+  /// Zipf skew of global aspect popularity (0 = uniform).
+  double aspect_skew = 0.8;
+  uint64_t seed = 2010;
+};
+
+/// Generates the catalog document (root <products>).
+xml::Document GenerateProductReviews(const ProductReviewsConfig& config = {});
+
+}  // namespace xsact::data
+
+#endif  // XSACT_DATA_PRODUCT_REVIEWS_H_

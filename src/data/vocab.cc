@@ -1,0 +1,146 @@
+#include "data/vocab.h"
+
+namespace xsact::data {
+
+const std::vector<std::string>& ProAspects() {
+  static const std::vector<std::string> kPool = {
+      "compact",          "easy to read",     "easy to setup",
+      "acquires satellites quickly",          "large screen",
+      "accurate",         "long battery life", "lightweight",
+      "loud speaker",     "fast routing",     "good value",
+      "durable",          "intuitive menus",  "bright display",
+      "quick charging",   "reliable",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& ConAspects() {
+  static const std::vector<std::string> kPool = {
+      "short battery life", "bulky",           "slow startup",
+      "expensive",          "poor mount",      "dim screen",
+      "confusing menus",    "outdated maps",   "weak speaker",
+      "fragile",            "laggy touchscreen",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& BestUses() {
+  static const std::vector<std::string> kPool = {
+      "auto",   "hiking", "cycling", "marine",
+      "travel", "faster routes", "city driving", "off road",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& ReviewerCategories() {
+  static const std::vector<std::string> kPool = {
+      "casual user", "power user", "commuter", "professional", "first timer",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& ElectronicsBrands() {
+  static const std::vector<std::string> kPool = {
+      "TomTom", "Garmin", "Magellan", "Navigon", "Mio", "Lowrance",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& ProductKinds() {
+  static const std::vector<std::string> kPool = {
+      "GPS", "mobile phone", "digital camera",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& OutdoorBrands() {
+  static const std::vector<std::string> kPool = {
+      "Marmot",    "Columbia",  "Patagonia", "Arcteryx",
+      "North Face", "Salomon",  "Mammut",    "Outdoor Research",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& OutdoorCategories() {
+  static const std::vector<std::string> kPool = {
+      "rain jackets", "insulated ski jackets", "fleece jackets",
+      "down jackets", "softshell jackets",     "windbreakers",
+  };
+  return kPool;
+}
+
+const std::vector<std::vector<std::string>>& OutdoorSubcategories() {
+  static const std::vector<std::vector<std::string>> kPool = {
+      {"packable", "3-layer shell", "2.5-layer shell"},
+      {"resort", "backcountry", "freeride"},
+      {"midweight", "lightweight", "heavyweight"},
+      {"850 fill", "700 fill", "hybrid"},
+      {"stretch", "hooded", "technical"},
+      {"running", "casual", "ultralight"},
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& OutdoorMaterials() {
+  static const std::vector<std::string> kPool = {
+      "gore-tex", "nylon", "polyester", "down", "wool", "pertex",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Genders() {
+  static const std::vector<std::string> kPool = {"men", "women", "unisex"};
+  return kPool;
+}
+
+const std::vector<std::string>& MovieFranchises() {
+  static const std::vector<std::string> kPool = {
+      "star", "dragon", "shadow", "galaxy",
+      "crystal", "phantom", "thunder", "ember",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& MovieGenres() {
+  static const std::vector<std::string> kPool = {
+      "action",  "adventure", "sci-fi", "drama",   "comedy",
+      "fantasy", "thriller",  "horror", "romance", "mystery",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& DirectorNames() {
+  static const std::vector<std::string> kPool = {
+      "Almodovar", "Bergstrom", "Castellanos", "Dubois", "Eriksson",
+      "Fontaine",  "Guerrero",  "Hashimoto",   "Ivanova", "Jankowski",
+      "Kimura",    "Laurent",   "Moreau",      "Nakamura", "Okafor",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kPool = {
+      "usa", "uk", "france", "japan", "germany", "spain", "korea", "canada",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& MovieAspects() {
+  static const std::vector<std::string> kPool = {
+      "acting",   "plot",     "visuals",   "soundtrack", "pacing",
+      "dialogue", "effects",  "directing", "world building", "ending",
+      "humor",    "suspense", "characters", "cinematography",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kPool = {
+      "alex", "blair", "casey", "devon", "emery", "finley",
+      "gray", "harper", "indigo", "jules", "kai", "logan",
+      "morgan", "noel", "oakley", "parker", "quinn", "riley",
+  };
+  return kPool;
+}
+
+}  // namespace xsact::data

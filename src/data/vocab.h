@@ -1,0 +1,71 @@
+// Vocabulary pools for the synthetic dataset generators.
+//
+// The paper's datasets were crawled from buzzillions.com (product
+// reviews), REI.com (outdoor retailer) and the IMDB FTP dump (movies);
+// none is redistributable, so the generators in this module synthesize
+// documents with the same element shapes and statistical structure
+// (see DESIGN.md "Substitutions"). The pools below provide realistic
+// categorical values.
+
+#ifndef XSACT_DATA_VOCAB_H_
+#define XSACT_DATA_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace xsact::data {
+
+/// Review "pro" aspects for electronics (paper Figure 1 vocabulary).
+const std::vector<std::string>& ProAspects();
+
+/// Review "con" aspects.
+const std::vector<std::string>& ConAspects();
+
+/// "Best use" values for electronics.
+const std::vector<std::string>& BestUses();
+
+/// Reviewer category values ("casual user", ...).
+const std::vector<std::string>& ReviewerCategories();
+
+/// Electronics brand names.
+const std::vector<std::string>& ElectronicsBrands();
+
+/// Product kinds sold by the review site (GPS, phone, camera, ...).
+const std::vector<std::string>& ProductKinds();
+
+/// Outdoor brands (REI-like dataset).
+const std::vector<std::string>& OutdoorBrands();
+
+/// Outdoor product categories.
+const std::vector<std::string>& OutdoorCategories();
+
+/// Outdoor product subcategories per category index (parallel vector).
+const std::vector<std::vector<std::string>>& OutdoorSubcategories();
+
+/// Outdoor product materials.
+const std::vector<std::string>& OutdoorMaterials();
+
+/// Genders used by the outdoor catalog.
+const std::vector<std::string>& Genders();
+
+/// Movie franchise stems used to build titles and queries (QM1..QM8).
+const std::vector<std::string>& MovieFranchises();
+
+/// Movie genres.
+const std::vector<std::string>& MovieGenres();
+
+/// Director surname pool.
+const std::vector<std::string>& DirectorNames();
+
+/// Production country pool.
+const std::vector<std::string>& Countries();
+
+/// Review aspects for movies (acting, plot, ...).
+const std::vector<std::string>& MovieAspects();
+
+/// First names for reviewers.
+const std::vector<std::string>& FirstNames();
+
+}  // namespace xsact::data
+
+#endif  // XSACT_DATA_VOCAB_H_

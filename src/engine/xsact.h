@@ -1,0 +1,107 @@
+// Xsact: the end-to-end system facade (paper Figure 3).
+//
+//   keywords -> SearchEngine -> results -> [user selects results]
+//            -> Entity Identifier + Feature Extractor (result processor)
+//            -> DFS generator (snippet / greedy / single-swap / multi-swap)
+//            -> ComparisonTable
+//
+// This is the class a downstream application embeds; the examples/ and
+// bench/ binaries are all built on it.
+
+#ifndef XSACT_ENGINE_XSACT_H_
+#define XSACT_ENGINE_XSACT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/selector.h"
+#include "feature/extractor.h"
+#include "search/search_engine.h"
+#include "table/comparison_table.h"
+#include "xml/document.h"
+
+namespace xsact::engine {
+
+/// Options for a comparison request.
+struct CompareOptions {
+  /// DFS generation algorithm; the paper's default is multi-swap.
+  core::SelectorKind algorithm = core::SelectorKind::kMultiSwap;
+  /// Size bound L and iteration limits.
+  core::SelectorOptions selector;
+  /// Differentiability threshold x (paper: empirically 10%).
+  double diff_threshold = 0.10;
+  /// Feature extraction knobs.
+  feature::ExtractorOptions extractor;
+  /// When non-empty, lift every search result to its nearest ancestor
+  /// with this tag before comparing (e.g. compare the BRANDS owning the
+  /// matched products — the paper's Outdoor Retailer scenario).
+  std::string lift_results_to;
+  /// Cap on the number of compared results, applied AFTER lifting and
+  /// deduplication (0 = compare all distinct results). SearchAndCompare's
+  /// max_results parameter populates this field.
+  size_t max_compared = 0;
+};
+
+/// The outcome of one comparison: the problem instance, the chosen DFSs,
+/// and the rendered table model. Owns the feature catalog the instance
+/// points into, so it is self-contained and movable.
+struct ComparisonOutcome {
+  std::unique_ptr<feature::FeatureCatalog> catalog;
+  core::ComparisonInstance instance;
+  std::vector<core::Dfs> dfss;
+  table::ComparisonTable table;
+  int64_t total_dod = 0;
+  /// Wall time spent inside the DFS selection algorithm only.
+  double select_seconds = 0;
+};
+
+/// End-to-end XSACT system over one XML corpus.
+class Xsact {
+ public:
+  /// Parses `xml_text` and builds the search engine (index + schema).
+  static StatusOr<Xsact> FromXml(
+      std::string_view xml_text,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Loads and parses an XML corpus file.
+  static StatusOr<Xsact> FromFile(
+      const std::string& path,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Builds from an already-constructed document. `algorithm` selects the
+  /// answer semantics (SLCA via scan or indexed lookup, or ELCA).
+  explicit Xsact(
+      xml::Document doc,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Keyword search (document-order results; see SearchEngine::Search).
+  StatusOr<std::vector<search::SearchResult>> Search(
+      std::string_view query) const;
+
+  /// Keyword search ordered by relevance (see search/ranking.h).
+  StatusOr<std::vector<search::SearchResult>> SearchRanked(
+      std::string_view query) const;
+
+  /// Compares explicit result subtrees (the user's checkbox selection).
+  StatusOr<ComparisonOutcome> CompareResults(
+      const std::vector<const xml::Node*>& result_roots,
+      const CompareOptions& options = {}) const;
+
+  /// Convenience: search, keep the first `max_results` results (0 = all),
+  /// and compare them.
+  StatusOr<ComparisonOutcome> SearchAndCompare(
+      std::string_view query, size_t max_results = 0,
+      const CompareOptions& options = {}) const;
+
+  const search::SearchEngine& engine() const { return engine_; }
+
+ private:
+  search::SearchEngine engine_;
+};
+
+}  // namespace xsact::engine
+
+#endif  // XSACT_ENGINE_XSACT_H_

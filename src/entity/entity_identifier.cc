@@ -1,0 +1,116 @@
+#include "entity/entity_identifier.h"
+
+#include <unordered_map>
+
+namespace xsact::entity {
+
+namespace {
+
+struct TagStats {
+  bool repeated = false;  // some parent instance holds >1 child of this tag
+  bool internal = false;  // some instance has element children
+};
+
+using StatsMap = std::map<std::pair<std::string, std::string>, TagStats>;
+
+void CollectStats(const xml::Node& node, StatsMap* stats) {
+  if (!node.is_element()) return;
+  // Count children per tag within THIS parent instance.
+  std::unordered_map<std::string_view, int> counts;
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    ++counts[child->tag()];
+  }
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    TagStats& ts = (*stats)[{node.tag(), child->tag()}];
+    if (counts[child->tag()] > 1) ts.repeated = true;
+    if (!child->IsLeafElement()) ts.internal = true;
+    CollectStats(*child, stats);
+  }
+}
+
+EntitySchema SchemaFromStats(const StatsMap& stats) {
+  EntitySchema schema;
+  for (const auto& [key, ts] : stats) {
+    NodeCategory category;
+    if (ts.repeated && ts.internal) {
+      category = NodeCategory::kEntity;
+    } else if (ts.repeated) {
+      category = NodeCategory::kMultiAttribute;
+    } else if (ts.internal) {
+      category = NodeCategory::kConnection;
+    } else {
+      category = NodeCategory::kAttribute;
+    }
+    schema.Set(key.first, key.second, category);
+  }
+  return schema;
+}
+
+}  // namespace
+
+NodeCategory EntitySchema::CategoryOf(std::string_view parent_tag,
+                                      std::string_view tag) const {
+  auto it = categories_.find({std::string(parent_tag), std::string(tag)});
+  if (it != categories_.end()) return it->second;
+  return NodeCategory::kAttribute;
+}
+
+NodeCategory EntitySchema::CategoryOf(const xml::Node& node) const {
+  if (node.is_text()) return NodeCategory::kValue;
+  const xml::Node* parent = node.parent();
+  if (parent == nullptr) {
+    // The document root groups everything; treat as connection unless leaf.
+    return node.IsLeafElement() ? NodeCategory::kAttribute
+                                : NodeCategory::kConnection;
+  }
+  auto it = categories_.find({parent->tag(), node.tag()});
+  if (it != categories_.end()) return it->second;
+  return node.IsLeafElement() ? NodeCategory::kAttribute
+                              : NodeCategory::kConnection;
+}
+
+const xml::Node* EntitySchema::OwningEntity(const xml::Node& node,
+                                            const xml::Node& within) const {
+  const xml::Node* cur = &node;
+  while (cur != nullptr) {
+    if (cur == &within) return cur;  // result root acts as its own entity
+    if (cur->is_element() && CategoryOf(*cur) == NodeCategory::kEntity) {
+      return cur;
+    }
+    cur = cur->parent();
+  }
+  return &within;
+}
+
+std::vector<std::pair<std::pair<std::string, std::string>, NodeCategory>>
+EntitySchema::Entries() const {
+  return {categories_.begin(), categories_.end()};
+}
+
+bool EntitySchema::Contains(std::string_view parent_tag,
+                            std::string_view tag) const {
+  return categories_.count({std::string(parent_tag), std::string(tag)}) > 0;
+}
+
+void EntitySchema::Set(std::string parent_tag, std::string tag,
+                       NodeCategory category) {
+  categories_[{std::move(parent_tag), std::move(tag)}] = category;
+}
+
+EntitySchema InferSchema(const xml::Document& doc) {
+  StatsMap stats;
+  if (!doc.empty()) CollectStats(*doc.root(), &stats);
+  return SchemaFromStats(stats);
+}
+
+EntitySchema InferSchemaFromRoots(const std::vector<const xml::Node*>& roots) {
+  StatsMap stats;
+  for (const xml::Node* root : roots) {
+    if (root != nullptr) CollectStats(*root, &stats);
+  }
+  return SchemaFromStats(stats);
+}
+
+}  // namespace xsact::entity

@@ -1,0 +1,65 @@
+// Entity identifier: infers an entity/attribute schema from document
+// structure (the "Entity Identifier" box of the XSACT architecture,
+// Figure 3 of the paper).
+
+#ifndef XSACT_ENTITY_ENTITY_IDENTIFIER_H_
+#define XSACT_ENTITY_ENTITY_IDENTIFIER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "entity/node_category.h"
+#include "xml/document.h"
+
+namespace xsact::entity {
+
+/// Inferred structural schema for a document.
+///
+/// Categories are keyed by (parent tag, tag): real catalogs use the same
+/// tag consistently under a given parent, and this keying is robust to the
+/// same tag name playing different roles in different contexts.
+class EntitySchema {
+ public:
+  /// Category of a tag in the context of a parent tag. Unknown pairs
+  /// default to kAttribute for leaves and kConnection otherwise; since the
+  /// caller usually has the node, prefer CategoryOf(node).
+  NodeCategory CategoryOf(std::string_view parent_tag,
+                          std::string_view tag) const;
+
+  /// Category of a concrete node (kValue for text nodes).
+  NodeCategory CategoryOf(const xml::Node& node) const;
+
+  /// Nearest ancestor-or-self element categorized as an entity. Falls back
+  /// to the subtree root `within` when no entity is found on the path.
+  /// `within` bounds the walk (the result root during extraction).
+  const xml::Node* OwningEntity(const xml::Node& node,
+                                const xml::Node& within) const;
+
+  /// All (parent, tag) -> category entries, sorted, for diagnostics.
+  std::vector<std::pair<std::pair<std::string, std::string>, NodeCategory>>
+  Entries() const;
+
+  /// True iff a tag pair was observed during inference.
+  bool Contains(std::string_view parent_tag, std::string_view tag) const;
+
+  /// Registers/overrides a category (used by inference and by tests).
+  void Set(std::string parent_tag, std::string tag, NodeCategory category);
+
+ private:
+  std::map<std::pair<std::string, std::string>, NodeCategory> categories_;
+};
+
+/// Infers the schema of `doc` with the structural rules described in
+/// node_category.h. Deterministic; one full pass over the document.
+EntitySchema InferSchema(const xml::Document& doc);
+
+/// Infers a schema from a set of subtrees (used when only search results,
+/// not the whole corpus, are available).
+EntitySchema InferSchemaFromRoots(const std::vector<const xml::Node*>& roots);
+
+}  // namespace xsact::entity
+
+#endif  // XSACT_ENTITY_ENTITY_IDENTIFIER_H_

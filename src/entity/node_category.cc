@@ -1,0 +1,21 @@
+#include "entity/node_category.h"
+
+namespace xsact::entity {
+
+std::string_view NodeCategoryToString(NodeCategory category) {
+  switch (category) {
+    case NodeCategory::kEntity:
+      return "entity";
+    case NodeCategory::kAttribute:
+      return "attribute";
+    case NodeCategory::kMultiAttribute:
+      return "multi-attribute";
+    case NodeCategory::kConnection:
+      return "connection";
+    case NodeCategory::kValue:
+      return "value";
+  }
+  return "unknown";
+}
+
+}  // namespace xsact::entity

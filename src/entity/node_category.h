@@ -1,0 +1,41 @@
+// Node categories in the spirit of the Entity-Relationship model.
+//
+// XSACT's result processor first infers which XML elements denote
+// entities, which denote attributes, and which are mere connections
+// (paper §2, citing XSeek [3]). The inference is purely structural:
+//
+//   * an element tag that occurs MULTIPLE times among the children of a
+//     single parent instance is "starred" (set-like);
+//     - starred and internal (has element children)  -> ENTITY
+//       (e.g. <review>, <product> under <products>)
+//     - starred and leaf (text only)                 -> MULTI_ATTRIBUTE
+//       (e.g. <pro> under <pros>, <genre> under <genres>)
+//   * an unstarred leaf element                      -> ATTRIBUTE
+//       (e.g. <name>, <rating>)
+//   * an unstarred internal element                  -> CONNECTION
+//       (e.g. <reviews>, <pros> grouping nodes)
+//   * text nodes                                     -> VALUE
+
+#ifndef XSACT_ENTITY_NODE_CATEGORY_H_
+#define XSACT_ENTITY_NODE_CATEGORY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xsact::entity {
+
+/// Structural role of an XML element.
+enum class NodeCategory : uint8_t {
+  kEntity = 0,          ///< repeated internal node: a real-world object
+  kAttribute = 1,       ///< single-valued property of an entity
+  kMultiAttribute = 2,  ///< repeated leaf: set-valued property
+  kConnection = 3,      ///< structural grouping node
+  kValue = 4,           ///< text content
+};
+
+/// Stable display name ("entity", "attribute", ...).
+std::string_view NodeCategoryToString(NodeCategory category);
+
+}  // namespace xsact::entity
+
+#endif  // XSACT_ENTITY_NODE_CATEGORY_H_

@@ -1,0 +1,61 @@
+#include "feature/catalog.h"
+
+#include "common/macros.h"
+
+namespace xsact::feature {
+
+namespace {
+
+std::string TypeKey(std::string_view entity, std::string_view attribute) {
+  std::string key(entity);
+  key.push_back('\x1f');  // unit separator: cannot occur in tag names
+  key.append(attribute);
+  return key;
+}
+
+}  // namespace
+
+TypeId FeatureCatalog::InternType(std::string_view entity,
+                                  std::string_view attribute) {
+  const std::string key = TypeKey(entity, attribute);
+  const int32_t existing = keys_.Find(key);
+  if (existing >= 0) return existing;
+  const TypeId id = keys_.Intern(key);
+  XSACT_CHECK(static_cast<size_t>(id) == entities_.size());
+  entities_.emplace_back(entity);
+  attributes_.emplace_back(attribute);
+  return id;
+}
+
+TypeId FeatureCatalog::FindType(std::string_view entity,
+                                std::string_view attribute) const {
+  return keys_.Find(TypeKey(entity, attribute));
+}
+
+const std::string& FeatureCatalog::EntityOf(TypeId id) const {
+  XSACT_CHECK(id >= 0 && static_cast<size_t>(id) < entities_.size());
+  return entities_[static_cast<size_t>(id)];
+}
+
+const std::string& FeatureCatalog::AttributeOf(TypeId id) const {
+  XSACT_CHECK(id >= 0 && static_cast<size_t>(id) < attributes_.size());
+  return attributes_[static_cast<size_t>(id)];
+}
+
+std::string FeatureCatalog::TypeName(TypeId id) const {
+  return EntityOf(id) + "." + AttributeOf(id);
+}
+
+ValueId FeatureCatalog::InternValue(std::string_view value) {
+  return values_.Intern(value);
+}
+
+ValueId FeatureCatalog::FindValue(std::string_view value) const {
+  return values_.Find(value);
+}
+
+const std::string& FeatureCatalog::ValueOf(ValueId id) const {
+  return values_.Lookup(id);
+}
+
+}  // namespace xsact::feature

@@ -1,0 +1,53 @@
+// FeatureCatalog: interns feature types and values across a result set.
+//
+// All results being compared share one catalog so that equality of types
+// and values is integer equality, and so that tie-breaking (by id) is
+// deterministic across runs.
+
+#ifndef XSACT_FEATURE_CATALOG_H_
+#define XSACT_FEATURE_CATALOG_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+#include "feature/feature.h"
+
+namespace xsact::feature {
+
+/// Interner for (entity, attribute) feature types and value strings.
+class FeatureCatalog {
+ public:
+  /// Interns a feature type; idempotent.
+  TypeId InternType(std::string_view entity, std::string_view attribute);
+
+  /// Looks up a type id, or kInvalidTypeId when never interned.
+  TypeId FindType(std::string_view entity, std::string_view attribute) const;
+
+  /// Entity half of a type ("review" of "(review, pro: compact)").
+  const std::string& EntityOf(TypeId id) const;
+
+  /// Attribute half of a type ("pro: compact").
+  const std::string& AttributeOf(TypeId id) const;
+
+  /// Pretty "entity.attribute" rendering for display.
+  std::string TypeName(TypeId id) const;
+
+  /// Interns / looks up a value string.
+  ValueId InternValue(std::string_view value);
+  ValueId FindValue(std::string_view value) const;
+  const std::string& ValueOf(ValueId id) const;
+
+  size_t NumTypes() const { return entities_.size(); }
+  size_t NumValues() const { return values_.size(); }
+
+ private:
+  StringInterner keys_;                 // "entity\x1fattribute" -> TypeId
+  std::vector<std::string> entities_;   // TypeId -> entity
+  std::vector<std::string> attributes_; // TypeId -> attribute
+  StringInterner values_;
+};
+
+}  // namespace xsact::feature
+
+#endif  // XSACT_FEATURE_CATALOG_H_

@@ -1,0 +1,87 @@
+#include "feature/extractor.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "search/search_engine.h"
+
+namespace xsact::feature {
+
+namespace {
+
+struct ExtractionState {
+  // entity tag -> number of instances within the result subtree
+  std::unordered_map<std::string, double> cardinality;
+  // raw observations: (entity tag, attribute, value) -> count
+  std::map<std::tuple<std::string, std::string, std::string>, double> obs;
+};
+
+void CountEntities(const xml::Node& node, const xml::Node& root,
+                   const entity::EntitySchema& schema,
+                   ExtractionState* state) {
+  if (node.is_element() &&
+      (&node == &root ||
+       schema.CategoryOf(node) == entity::NodeCategory::kEntity)) {
+    state->cardinality[node.tag()] += 1;
+  }
+  for (const auto& child : node.children()) {
+    CountEntities(*child, root, schema, state);
+  }
+}
+
+}  // namespace
+
+ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
+                                         const entity::EntitySchema& schema,
+                                         FeatureCatalog* catalog) const {
+  ExtractionState state;
+  CountEntities(result_root, result_root, schema, &state);
+
+  // Walk all leaf elements and record observations.
+  std::vector<const xml::Node*> stack = {&result_root};
+  while (!stack.empty()) {
+    const xml::Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& child : node->children()) {
+      if (child->is_element()) stack.push_back(child.get());
+    }
+    if (!node->is_element() || !node->IsLeafElement()) continue;
+    if (node == &result_root) continue;  // a bare leaf result has no features
+
+    std::string value = node->InnerText();
+    if (value.empty() && options_.skip_empty_values) continue;
+    if (options_.fold_value_case) value = ToLower(value);
+    if (value.size() > options_.max_value_length) {
+      value.resize(options_.max_value_length);
+    }
+
+    const entity::NodeCategory category = schema.CategoryOf(*node);
+    const xml::Node* owner = schema.OwningEntity(*node, result_root);
+    const std::string& entity_tag = owner->tag();
+
+    if (category == entity::NodeCategory::kMultiAttribute) {
+      // Value-qualified type, boolean feature: (review, "pro: compact", yes).
+      state.obs[{entity_tag, node->tag() + ": " + value, "yes"}] += 1;
+    } else {
+      // Plain attribute: (product, "rating", "4.2").
+      state.obs[{entity_tag, node->tag(), value}] += 1;
+    }
+  }
+
+  ResultFeatures features;
+  features.set_label(search::InferTitle(result_root));
+  for (const auto& [key, count] : state.obs) {
+    const auto& [entity_tag, attribute, value] = key;
+    const TypeId type = catalog->InternType(entity_tag, attribute);
+    const ValueId value_id = catalog->InternValue(value);
+    auto it = state.cardinality.find(entity_tag);
+    const double cardinality = it == state.cardinality.end() ? 1 : it->second;
+    features.AddObservation(type, value_id, count, cardinality);
+  }
+  features.Seal();
+  return features;
+}
+
+}  // namespace xsact::feature

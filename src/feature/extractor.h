@@ -1,0 +1,63 @@
+// Feature extractor: turns a search-result subtree into ResultFeatures
+// (the "Feature Extractor" box of the XSACT architecture, Figure 3).
+//
+// Extraction rules (see DESIGN.md §2 and feature.h):
+//  * Every leaf element is an attribute observation attached to its
+//    nearest ENTITY ancestor (or the result root).
+//  * A MULTI_ATTRIBUTE leaf (repeated among siblings, e.g. <pro>) yields
+//    a value-qualified type: (entity, "pro: compact") with feature value
+//    "yes" — exactly the paper's Pro:Compact:Yes features whose
+//    occurrence is the number of entity instances agreeing.
+//  * A single-valued ATTRIBUTE leaf (e.g. <rating>) yields the type
+//    (entity, "rating") and one feature per distinct value, counting how
+//    many entity instances carry that value.
+//  * The occurrence of a type is its total count; the cardinality is the
+//    number of instances of the owning entity inside the result ("# of
+//    reviews: 11"), so relative occurrence reproduces the paper's 8/11 =
+//    73% arithmetic.
+
+#ifndef XSACT_FEATURE_EXTRACTOR_H_
+#define XSACT_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "entity/entity_identifier.h"
+#include "feature/catalog.h"
+#include "feature/result_features.h"
+#include "xml/node.h"
+
+namespace xsact::feature {
+
+/// Options controlling extraction.
+struct ExtractorOptions {
+  /// Lowercase values before interning (makes "Auto" == "auto").
+  bool fold_value_case = true;
+  /// Maximum length of a value string; longer text is truncated (free text
+  /// such as review bodies is not a comparable feature).
+  size_t max_value_length = 48;
+  /// Skip leaf elements with empty text.
+  bool skip_empty_values = true;
+};
+
+/// Stateless extractor; the catalog accumulates interned types/values
+/// across all results of a comparison.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(ExtractorOptions options = {})
+      : options_(options) {}
+
+  /// Extracts the features of the subtree rooted at `result_root`.
+  /// `schema` must have been inferred from the corpus (or the result set),
+  /// and `catalog` is shared across the results being compared.
+  ResultFeatures Extract(const xml::Node& result_root,
+                         const entity::EntitySchema& schema,
+                         FeatureCatalog* catalog) const;
+
+ private:
+  ExtractorOptions options_;
+};
+
+}  // namespace xsact::feature
+
+#endif  // XSACT_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,71 @@
+// Feature model: the statistics XSACT's DFS algorithms operate on.
+//
+// Paper §2: a FEATURE is a triplet (entity, attribute, value) with an
+// occurrence count inside a result; a FEATURE TYPE is the (entity,
+// attribute) pair. The running example treats opinion attributes such as
+// "pro: compact" as types whose value is "yes" and whose occurrence is
+// the number of reviewers agreeing — we reproduce that by qualifying the
+// attribute of a multi-valued leaf with its value ("pro: compact") and
+// giving the feature the value "yes" (see extractor.h).
+
+#ifndef XSACT_FEATURE_FEATURE_H_
+#define XSACT_FEATURE_FEATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsact::feature {
+
+/// Dense id of an interned (entity, attribute) pair.
+using TypeId = int32_t;
+
+/// Dense id of an interned value string.
+using ValueId = int32_t;
+
+inline constexpr TypeId kInvalidTypeId = -1;
+inline constexpr ValueId kInvalidValueId = -1;
+
+/// One value of a feature type within one result, with its occurrence.
+struct ValueCount {
+  ValueId value_id = kInvalidValueId;
+  double count = 0;  ///< absolute occurrences within the result
+};
+
+/// All statistics of one feature type within one result.
+struct TypeStats {
+  TypeId type_id = kInvalidTypeId;
+  /// Total occurrences of the type (sum over values). The paper's
+  /// "significance" of the type within its entity.
+  double occurrence = 0;
+  /// Number of instances of the owning entity in this result (e.g. the
+  /// "# of reviews: 11" in Figure 1). Relative occurrence = count /
+  /// cardinality; never below 1.
+  double entity_cardinality = 1;
+  /// Values sorted by (count desc, value_id asc); front() is dominant.
+  std::vector<ValueCount> values;
+
+  /// Relative occurrence of the whole type (occurrence / cardinality).
+  double RelativeOccurrence() const {
+    return entity_cardinality > 0 ? occurrence / entity_cardinality : 0.0;
+  }
+
+  /// Relative occurrence of a specific value (0 when absent).
+  double RelativeOccurrenceOf(ValueId value_id) const {
+    for (const ValueCount& vc : values) {
+      if (vc.value_id == value_id) {
+        return entity_cardinality > 0 ? vc.count / entity_cardinality : 0.0;
+      }
+    }
+    return 0.0;
+  }
+
+  /// The dominant (most frequent) value; kInvalidValueId when empty.
+  ValueId DominantValue() const {
+    return values.empty() ? kInvalidValueId : values.front().value_id;
+  }
+};
+
+}  // namespace xsact::feature
+
+#endif  // XSACT_FEATURE_FEATURE_H_

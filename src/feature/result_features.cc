@@ -1,0 +1,64 @@
+#include "feature/result_features.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace xsact::feature {
+
+void ResultFeatures::AddObservation(TypeId type, ValueId value, double count,
+                                    double cardinality) {
+  XSACT_CHECK(!sealed_);
+  XSACT_CHECK(type >= 0 && value >= 0 && count >= 0);
+  auto it = index_.find(type);
+  TypeStats* stats;
+  if (it == index_.end()) {
+    index_.emplace(type, types_.size());
+    types_.push_back(TypeStats{});
+    stats = &types_.back();
+    stats->type_id = type;
+  } else {
+    stats = &types_[it->second];
+  }
+  stats->occurrence += count;
+  stats->entity_cardinality = std::max(stats->entity_cardinality, cardinality);
+  for (ValueCount& vc : stats->values) {
+    if (vc.value_id == value) {
+      vc.count += count;
+      return;
+    }
+  }
+  stats->values.push_back(ValueCount{value, count});
+}
+
+void ResultFeatures::Seal() {
+  XSACT_CHECK(!sealed_);
+  std::sort(types_.begin(), types_.end(),
+            [](const TypeStats& a, const TypeStats& b) {
+              return a.type_id < b.type_id;
+            });
+  index_.clear();
+  for (size_t i = 0; i < types_.size(); ++i) {
+    index_.emplace(types_[i].type_id, i);
+    auto& values = types_[i].values;
+    std::sort(values.begin(), values.end(),
+              [](const ValueCount& a, const ValueCount& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.value_id < b.value_id;
+              });
+  }
+  sealed_ = true;
+}
+
+const TypeStats* ResultFeatures::Find(TypeId type) const {
+  auto it = index_.find(type);
+  return it == index_.end() ? nullptr : &types_[it->second];
+}
+
+size_t ResultFeatures::NumFeatures() const {
+  size_t n = 0;
+  for (const TypeStats& t : types_) n += t.values.size();
+  return n;
+}
+
+}  // namespace xsact::feature

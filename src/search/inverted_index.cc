@@ -1,0 +1,51 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xsact::search {
+
+InvertedIndex InvertedIndex::Build(const xml::Document& doc,
+                                   const xml::NodeTable& table) {
+  (void)doc;  // the node table fully describes the document
+  InvertedIndex index;
+  for (size_t id = 0; id < table.size(); ++id) {
+    const xml::Node* node = table.node(static_cast<xml::NodeId>(id));
+    if (!node->is_text()) continue;
+    // Attribute the text to the containing element.
+    const xml::NodeId element_id =
+        table.parent(static_cast<xml::NodeId>(id)) != xml::kInvalidNodeId
+            ? table.parent(static_cast<xml::NodeId>(id))
+            : static_cast<xml::NodeId>(id);
+    for (const std::string& term : Tokenize(node->text())) {
+      index.postings_[term].push_back(element_id);
+    }
+  }
+  // Also index attribute values on their owning element.
+  for (size_t id = 0; id < table.size(); ++id) {
+    const xml::Node* node = table.node(static_cast<xml::NodeId>(id));
+    if (!node->is_element()) continue;
+    for (const auto& [name, value] : node->attributes()) {
+      (void)name;
+      for (const std::string& term : Tokenize(value)) {
+        index.postings_[term].push_back(static_cast<xml::NodeId>(id));
+      }
+    }
+  }
+  for (auto& [term, list] : index.postings_) {
+    (void)term;
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    index.total_postings_ += list.size();
+  }
+  return index;
+}
+
+const std::vector<xml::NodeId>& InvertedIndex::Postings(
+    std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+}  // namespace xsact::search

@@ -1,0 +1,51 @@
+// Inverted index over XML text content.
+//
+// Every text node's tokens are posted against the ELEMENT that contains
+// the text. Postings are dense pre-order NodeIds (document order), so
+// posting lists double as Dewey-ordered match lists for the SLCA
+// algorithms.
+
+#ifndef XSACT_SEARCH_INVERTED_INDEX_H_
+#define XSACT_SEARCH_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// Keyword -> sorted element-id posting lists for one document.
+class InvertedIndex {
+ public:
+  /// Builds the index. `table` must describe `doc` and must outlive any
+  /// query evaluated against this index.
+  static InvertedIndex Build(const xml::Document& doc,
+                             const xml::NodeTable& table);
+
+  /// Posting list for a (case-folded) term; empty list when absent.
+  const std::vector<xml::NodeId>& Postings(std::string_view term) const;
+
+  /// Number of distinct terms.
+  size_t TermCount() const { return postings_.size(); }
+
+  /// Total number of postings across all terms.
+  size_t PostingCount() const { return total_postings_; }
+
+  /// True iff the term occurs anywhere in the document.
+  bool Contains(std::string_view term) const {
+    return postings_.count(std::string(term)) > 0;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<xml::NodeId>> postings_;
+  std::vector<xml::NodeId> empty_;
+  size_t total_postings_ = 0;
+};
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_INVERTED_INDEX_H_

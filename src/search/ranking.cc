@@ -1,0 +1,62 @@
+#include "search/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsact::search {
+
+size_t TermFrequencyInSubtree(const xml::NodeTable& table,
+                              const InvertedIndex& index,
+                              const std::string& term, xml::NodeId root_id) {
+  const std::vector<xml::NodeId>& postings = index.Postings(term);
+  const xml::NodeId end = static_cast<xml::NodeId>(
+      root_id +
+      static_cast<xml::NodeId>(table.node(root_id)->SubtreeSize()));
+  const auto lo = std::lower_bound(postings.begin(), postings.end(), root_id);
+  const auto hi = std::lower_bound(postings.begin(), postings.end(), end);
+  return static_cast<size_t>(hi - lo);
+}
+
+double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
+                   const std::vector<std::string>& terms,
+                   const SearchResult& result) {
+  if (result.root_id == xml::kInvalidNodeId) return 0.0;
+  const double corpus_elements = static_cast<double>(table.size());
+  double score = 0.0;
+  for (const std::string& term : terms) {
+    const size_t tf =
+        TermFrequencyInSubtree(table, index, term, result.root_id);
+    if (tf == 0) continue;
+    const double df = static_cast<double>(index.Postings(term).size());
+    const double idf = std::log((corpus_elements + 1.0) / (df + 1.0));
+    score += std::log1p(static_cast<double>(tf)) * std::max(idf, 0.1);
+  }
+  // Specificity: damp by the subtree size so the tightest match wins.
+  const double size =
+      static_cast<double>(table.node(result.root_id)->SubtreeSize());
+  return score / std::log(2.0 + size);
+}
+
+std::vector<SearchResult> RankResults(const xml::NodeTable& table,
+                                      const InvertedIndex& index,
+                                      const std::vector<std::string>& terms,
+                                      std::vector<SearchResult> results) {
+  std::vector<std::pair<double, size_t>> keyed;
+  keyed.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    keyed.emplace_back(ScoreResult(table, index, terms, results[i]), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<SearchResult> out;
+  out.reserve(results.size());
+  for (const auto& [score, i] : keyed) {
+    (void)score;
+    out.push_back(std::move(results[i]));
+  }
+  return out;
+}
+
+}  // namespace xsact::search

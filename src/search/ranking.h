@@ -1,0 +1,45 @@
+// Result ranking: orders keyword-search results by relevance.
+//
+// The paper situates result differentiation "with other techniques such
+// as ... result ranking" in a full keyword-search engine; this module
+// provides the standard XML-keyword-search ranking signal set:
+//   * term frequency inside the result subtree (damped logarithmically),
+//   * inverse document frequency of each term over the corpus elements,
+//   * specificity: tighter (smaller) result subtrees outrank sprawling
+//     ones that merely happen to contain all keywords somewhere.
+
+#ifndef XSACT_SEARCH_RANKING_H_
+#define XSACT_SEARCH_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "search/inverted_index.h"
+#include "search/search_engine.h"
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// Relevance score of one result subtree for a tokenized query.
+/// Monotone in term frequency, anti-monotone in subtree size.
+double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
+                   const std::vector<std::string>& terms,
+                   const SearchResult& result);
+
+/// Returns `results` sorted by descending score; ties keep document
+/// order (stable), so ranking is deterministic.
+std::vector<SearchResult> RankResults(const xml::NodeTable& table,
+                                      const InvertedIndex& index,
+                                      const std::vector<std::string>& terms,
+                                      std::vector<SearchResult> results);
+
+/// Number of postings of `term` that fall inside the subtree rooted at
+/// `root_id` (subtrees are contiguous pre-order id ranges, so this is
+/// two binary searches).
+size_t TermFrequencyInSubtree(const xml::NodeTable& table,
+                              const InvertedIndex& index,
+                              const std::string& term, xml::NodeId root_id);
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_RANKING_H_

@@ -1,0 +1,156 @@
+#include "search/search_engine.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "search/ranking.h"
+
+namespace xsact::search {
+
+SearchEngine::SearchEngine(xml::Document doc, SlcaAlgorithm algorithm)
+    : doc_(std::move(doc)),
+      table_(xml::NodeTable::Build(doc_)),
+      schema_(entity::InferSchema(doc_)),
+      index_(InvertedIndex::Build(doc_, table_)),
+      algorithm_(algorithm) {}
+
+std::vector<QueryTerm> ParseQuery(std::string_view query) {
+  std::vector<QueryTerm> out;
+  // Whitespace-separated chunks; a chunk may carry a "tag:" restriction.
+  size_t pos = 0;
+  while (pos < query.size()) {
+    while (pos < query.size() &&
+           std::isspace(static_cast<unsigned char>(query[pos]))) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < query.size() &&
+           !std::isspace(static_cast<unsigned char>(query[end]))) {
+      ++end;
+    }
+    if (end == pos) break;
+    std::string_view chunk = query.substr(pos, end - pos);
+    pos = end;
+    std::string field;
+    const size_t colon = chunk.find(':');
+    if (colon != std::string_view::npos && colon > 0) {
+      const std::vector<std::string> field_tokens =
+          Tokenize(chunk.substr(0, colon));
+      if (field_tokens.size() == 1) {
+        field = field_tokens[0];
+        chunk = chunk.substr(colon + 1);
+      }
+    }
+    for (std::string& term : Tokenize(chunk)) {
+      out.push_back(QueryTerm{std::move(term), field});
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<SearchResult>> SearchEngine::Search(
+    std::string_view query) const {
+  const std::vector<QueryTerm> terms = ParseQuery(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query contains no searchable tokens");
+  }
+  MatchLists lists;
+  lists.reserve(terms.size());
+  for (const QueryTerm& qt : terms) {
+    const std::vector<xml::NodeId>& postings = index_.Postings(qt.term);
+    if (qt.field.empty()) {
+      lists.push_back(postings);
+    } else {
+      // Fielded term: keep only matches whose containing element has the
+      // requested tag.
+      std::vector<xml::NodeId> filtered;
+      for (xml::NodeId id : postings) {
+        if (table_.node(id)->tag() == qt.field) filtered.push_back(id);
+      }
+      lists.push_back(std::move(filtered));
+    }
+    if (lists.back().empty()) {
+      return std::vector<SearchResult>{};  // conjunctive: no results
+    }
+  }
+  std::vector<xml::NodeId> slcas;
+  switch (algorithm_) {
+    case SlcaAlgorithm::kScan:
+      slcas = ComputeSlcaByScan(table_, lists);
+      break;
+    case SlcaAlgorithm::kIndexed:
+      slcas = ComputeSlcaIndexed(table_, lists);
+      break;
+    case SlcaAlgorithm::kElca:
+      slcas = ComputeElcaByScan(table_, lists);
+      break;
+  }
+
+  std::vector<SearchResult> results;
+  std::unordered_set<const xml::Node*> seen;
+  for (xml::NodeId slca_id : slcas) {
+    const xml::Node* slca = table_.node(slca_id);
+    // Return-node inference: nearest entity ancestor-or-self. The document
+    // root bounds the walk: if no entity exists on the path we fall back to
+    // the SLCA itself rather than returning the entire corpus.
+    const xml::Node* ret = slca;
+    for (const xml::Node* cur = slca; cur != nullptr; cur = cur->parent()) {
+      if (schema_.CategoryOf(*cur) == entity::NodeCategory::kEntity) {
+        ret = cur;
+        break;
+      }
+    }
+    if (!seen.insert(ret).second) continue;  // several SLCAs, one entity
+    SearchResult r;
+    r.root = ret;
+    r.root_id = table_.IdOf(ret);
+    r.slca = slca;
+    r.title = InferTitle(*ret);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+StatusOr<std::vector<SearchResult>> SearchEngine::SearchRanked(
+    std::string_view query) const {
+  XSACT_ASSIGN_OR_RETURN(std::vector<SearchResult> results, Search(query));
+  std::vector<std::string> terms;
+  for (QueryTerm& qt : ParseQuery(query)) terms.push_back(std::move(qt.term));
+  return RankResults(table_, index_, terms, std::move(results));
+}
+
+std::string InferTitle(const xml::Node& result_root) {
+  static constexpr std::string_view kTitleTags[] = {"name", "title", "id"};
+  for (std::string_view tag : kTitleTags) {
+    if (const xml::Node* child = result_root.FirstChildElement(tag)) {
+      std::string text = child->InnerText();
+      if (!text.empty()) return text;
+    }
+  }
+  std::string text = result_root.InnerText();
+  if (text.size() > 40) {
+    text.resize(40);
+    text += "...";
+  }
+  return text.empty() ? result_root.tag() : text;
+}
+
+std::string BriefSnippet(const xml::Node& result_root, size_t max_fields) {
+  std::vector<std::string> fields;
+  for (const auto& child : result_root.children()) {
+    if (fields.size() >= max_fields) break;
+    if (!child->is_element() || !child->IsLeafElement()) continue;
+    std::string value = child->InnerText();
+    if (value.empty()) continue;
+    if (value.size() > 32) {
+      value.resize(32);
+      value += "...";
+    }
+    fields.push_back(child->tag() + ": " + value);
+  }
+  return Join(fields, " | ");
+}
+
+}  // namespace xsact::search

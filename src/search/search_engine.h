@@ -1,0 +1,103 @@
+// XSeek-style keyword search engine over one XML document.
+//
+// Pipeline per query (paper Figure 3, "Search Engine" box):
+//   1. tokenize the keyword query,
+//   2. fetch posting lists from the inverted index,
+//   3. compute SLCA nodes,
+//   4. infer the RETURN NODE for each SLCA: the nearest ancestor-or-self
+//      element categorized as an entity (XSeek's "meaningful return
+//      information" heuristic), deduplicated in document order.
+//
+// The returned subtrees are exactly the "structured search results" that
+// XSACT's result processor consumes.
+
+#ifndef XSACT_SEARCH_SEARCH_ENGINE_H_
+#define XSACT_SEARCH_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "entity/entity_identifier.h"
+#include "search/inverted_index.h"
+#include "search/slca.h"
+#include "xml/document.h"
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// One keyword-search result: an entity subtree of the corpus document.
+struct SearchResult {
+  const xml::Node* root = nullptr;  ///< inferred return node (entity subtree)
+  xml::NodeId root_id = xml::kInvalidNodeId;
+  const xml::Node* slca = nullptr;  ///< the SLCA match this result came from
+  std::string title;                ///< display title (name/title child text)
+};
+
+/// Which answer semantics / algorithm the engine uses.
+///  * kScan / kIndexed — SLCA semantics via the linear-scan or the
+///    indexed-lookup algorithm (identical answers);
+///  * kElca — Exclusive LCA semantics (superset of SLCA; see slca.h).
+enum class SlcaAlgorithm { kScan, kIndexed, kElca };
+
+/// One conjunct of a parsed query: a term, optionally restricted to
+/// elements with a given tag ("director:moreau" -> {"moreau","director"}).
+struct QueryTerm {
+  std::string term;
+  std::string field;  ///< empty = unrestricted
+
+  friend bool operator==(const QueryTerm& a, const QueryTerm& b) {
+    return a.term == b.term && a.field == b.field;
+  }
+};
+
+/// Splits a query string into conjuncts. Whitespace-separated chunks may
+/// carry a "tag:" prefix restricting the match to elements of that tag;
+/// each chunk tokenizes into one or more terms sharing the restriction.
+std::vector<QueryTerm> ParseQuery(std::string_view query);
+
+/// Search engine owning the corpus document, its node table, inferred
+/// schema and inverted index.
+class SearchEngine {
+ public:
+  /// Builds all derived structures for `doc`. O(document size).
+  explicit SearchEngine(xml::Document doc,
+                        SlcaAlgorithm algorithm = SlcaAlgorithm::kIndexed);
+
+  /// Evaluates a conjunctive keyword query. Returns results in document
+  /// order; an empty vector when some keyword does not occur at all.
+  /// Fails with kInvalidArgument when the query has no tokens.
+  StatusOr<std::vector<SearchResult>> Search(std::string_view query) const;
+
+  /// Like Search, but orders results by relevance (see ranking.h).
+  StatusOr<std::vector<SearchResult>> SearchRanked(
+      std::string_view query) const;
+
+  const xml::Document& document() const { return doc_; }
+  const xml::NodeTable& table() const { return table_; }
+  const entity::EntitySchema& schema() const { return schema_; }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  xml::Document doc_;
+  xml::NodeTable table_;
+  entity::EntitySchema schema_;
+  InvertedIndex index_;
+  SlcaAlgorithm algorithm_;
+};
+
+/// Picks a human-readable title for a result subtree: the text of its
+/// first <name>/<title>/<id> child if present, else a prefix of its text.
+std::string InferTitle(const xml::Node& result_root);
+
+/// One-line listing snippet for a result: its first `max_fields` leaf
+/// children rendered as "tag: value | tag: value" (the demo's result
+/// list shows "snippets, such as product names and prices").
+std::string BriefSnippet(const xml::Node& result_root,
+                         size_t max_fields = 3);
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_SEARCH_ENGINE_H_

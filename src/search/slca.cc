@@ -1,0 +1,193 @@
+#include "search/slca.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "xml/dewey.h"
+
+namespace xsact::search {
+
+namespace {
+
+bool AnyListEmpty(const MatchLists& lists) {
+  if (lists.empty()) return true;
+  for (const auto& l : lists) {
+    if (l.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
+                                           const MatchLists& lists) {
+  std::vector<xml::NodeId> result;
+  if (AnyListEmpty(lists)) return result;
+  XSACT_CHECK_MSG(lists.size() <= 64, "scan SLCA supports up to 64 keywords");
+
+  const uint64_t full =
+      lists.size() == 64 ? ~0ULL : ((1ULL << lists.size()) - 1);
+  std::vector<uint64_t> mask(table.size(), 0);
+  for (size_t k = 0; k < lists.size(); ++k) {
+    for (xml::NodeId id : lists[k]) {
+      mask[static_cast<size_t>(id)] |= (1ULL << k);
+    }
+  }
+  // Pre-order table: children have larger ids than parents, so a reverse
+  // sweep folds every subtree's mask into its root before the root is read.
+  for (size_t i = table.size(); i-- > 1;) {
+    const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
+    if (parent != xml::kInvalidNodeId) {
+      mask[static_cast<size_t>(parent)] |= mask[i];
+    }
+  }
+  // A node is an SLCA iff it covers all keywords and no child does.
+  std::vector<bool> has_full_child(table.size(), false);
+  for (size_t i = 1; i < table.size(); ++i) {
+    if (mask[i] == full) {
+      const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
+      if (parent != xml::kInvalidNodeId) {
+        has_full_child[static_cast<size_t>(parent)] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (mask[i] == full && !has_full_child[i] &&
+        table.node(static_cast<xml::NodeId>(i))->is_element()) {
+      result.push_back(static_cast<xml::NodeId>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
+                                           const MatchLists& lists) {
+  std::vector<xml::NodeId> result;
+  if (AnyListEmpty(lists)) return result;
+  const size_t k = lists.size();
+  const size_t n = table.size();
+
+  // cnt[v][q]  = matches of keyword q in subtree(v).
+  // under[v][q]= matches of keyword q inside FULL descendants of v.
+  // Flat row-major arrays; a reverse pre-order sweep folds children into
+  // parents exactly once (children have larger ids).
+  std::vector<int32_t> cnt(n * k, 0);
+  std::vector<int32_t> under(n * k, 0);
+  for (size_t q = 0; q < k; ++q) {
+    for (xml::NodeId id : lists[q]) {
+      ++cnt[static_cast<size_t>(id) * k + q];
+    }
+  }
+  auto full = [&](size_t v) {
+    for (size_t q = 0; q < k; ++q) {
+      if (cnt[v * k + q] == 0) return false;
+    }
+    return true;
+  };
+  for (size_t v = n; v-- > 1;) {
+    const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(v));
+    if (parent == xml::kInvalidNodeId) continue;
+    const size_t p = static_cast<size_t>(parent);
+    const bool child_full = full(v);
+    for (size_t q = 0; q < k; ++q) {
+      // A full child shields ALL its matches from the parent's exclusive
+      // evidence; a non-full child only shields what its own full
+      // descendants already shield.
+      under[p * k + q] += child_full ? cnt[v * k + q] : under[v * k + q];
+      cnt[p * k + q] += cnt[v * k + q];
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!table.node(static_cast<xml::NodeId>(v))->is_element()) continue;
+    bool elca = true;
+    for (size_t q = 0; q < k; ++q) {
+      if (cnt[v * k + q] - under[v * k + q] <= 0) {
+        elca = false;
+        break;
+      }
+    }
+    if (elca) result.push_back(static_cast<xml::NodeId>(v));
+  }
+  return result;
+}
+
+namespace {
+
+/// Length of the common Dewey prefix of two labels.
+size_t CommonPrefixLen(const xml::DeweyId& a, const xml::DeweyId& b) {
+  const auto& ca = a.components();
+  const auto& cb = b.components();
+  const size_t n = std::min(ca.size(), cb.size());
+  size_t i = 0;
+  while (i < n && ca[i] == cb[i]) ++i;
+  return i;
+}
+
+/// Truncates `a` to its first `len` components.
+xml::DeweyId Prefix(const xml::DeweyId& a, size_t len) {
+  std::vector<int32_t> comps(a.components().begin(),
+                             a.components().begin() +
+                                 static_cast<ptrdiff_t>(len));
+  return xml::DeweyId(std::move(comps));
+}
+
+}  // namespace
+
+std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
+                                            const MatchLists& lists) {
+  std::vector<xml::NodeId> result;
+  if (AnyListEmpty(lists)) return result;
+
+  // Drive the algorithm with the shortest list.
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[shortest].size()) shortest = i;
+  }
+
+  std::vector<xml::DeweyId> candidates;
+  for (xml::NodeId d : lists[shortest]) {
+    xml::DeweyId u = table.dewey(d);
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == shortest) continue;
+      const auto& list = lists[i];
+      // Find pred (greatest id <= anchor) and succ (least id >= anchor) of
+      // the current candidate in pre-order. NodeId order equals pre-order,
+      // and the candidate u is always an ancestor-or-self of the original
+      // match d, so d's id is a valid in-subtree anchor for the search.
+      const auto it = std::lower_bound(list.begin(), list.end(), d);
+      size_t best = 0;
+      if (it != list.end()) {
+        best = std::max(best, CommonPrefixLen(u, table.dewey(*it)));
+      }
+      if (it != list.begin()) {
+        best = std::max(best, CommonPrefixLen(u, table.dewey(*(it - 1))));
+      }
+      if (best < u.depth()) u = Prefix(u, best);
+      if (u.empty()) break;  // already at the root; cannot get shallower
+    }
+    candidates.push_back(std::move(u));
+  }
+
+  // Keep only the deepest candidates: sort in pre-order; an ancestor is
+  // always immediately dominated by its first descendant in the order.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<xml::DeweyId> minimal;
+  for (const auto& c : candidates) {
+    while (!minimal.empty() && minimal.back().IsAncestorOrSelf(c)) {
+      minimal.pop_back();
+    }
+    minimal.push_back(c);
+  }
+  for (const auto& m : minimal) {
+    const xml::NodeId id = table.FindByDewey(m);
+    XSACT_CHECK(id != xml::kInvalidNodeId);
+    if (table.node(id)->is_element()) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace xsact::search

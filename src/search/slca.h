@@ -1,0 +1,52 @@
+// Smallest Lowest Common Ancestor (SLCA) computation.
+//
+// The SLCA semantics defines the answer set of an XML keyword query: the
+// deepest nodes whose subtree contains every query keyword, excluding any
+// node with a descendant that already contains them all. XSACT's search
+// engine (an XSeek [3,4] reimplementation) uses SLCA to locate matches
+// before inferring the entity ("return node") to present as the result.
+//
+// Two independent implementations are provided:
+//  * ComputeSlcaByScan    — one linear pass propagating keyword bitmasks
+//                           up the tree; O(nodes * keywords/64), simple
+//                           and obviously correct (used as test oracle).
+//  * ComputeSlcaIndexed   — the Indexed Lookup Eager style algorithm of
+//                           Xu & Papakonstantinou, driven by the shortest
+//                           posting list with binary searches into the
+//                           others; sublinear for selective keywords.
+
+#ifndef XSACT_SEARCH_SLCA_H_
+#define XSACT_SEARCH_SLCA_H_
+
+#include <vector>
+
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// Keyword match lists: one sorted vector of element ids per keyword.
+using MatchLists = std::vector<std::vector<xml::NodeId>>;
+
+/// Linear-scan SLCA. Supports up to 64 keywords. Returns element ids in
+/// document order; empty when any list is empty (conjunctive semantics).
+std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
+                                           const MatchLists& lists);
+
+/// Indexed-lookup SLCA (binary searches into Dewey-ordered lists).
+/// Same contract and results as ComputeSlcaByScan.
+std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
+                                            const MatchLists& lists);
+
+/// Exclusive LCA (ELCA, XRank-style) semantics: a node v answers the
+/// query iff its subtree contains every keyword through WITNESS matches
+/// that do not lie inside any descendant already containing all
+/// keywords. Every SLCA is an ELCA; ELCA additionally keeps ancestors
+/// that have their own exclusive evidence (e.g. a <product> whose <name>
+/// matches everything still answers if the product has further matches
+/// of every keyword outside that name). O(nodes * keywords).
+std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
+                                           const MatchLists& lists);
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_SLCA_H_

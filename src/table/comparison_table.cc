@@ -1,0 +1,73 @@
+#include "table/comparison_table.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "core/dod.h"
+
+namespace xsact::table {
+
+ComparisonTable BuildComparisonTable(const core::ComparisonInstance& instance,
+                                     const std::vector<core::Dfs>& dfss) {
+  const int n = instance.num_results();
+  ComparisonTable table;
+  table.headers.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string& label = instance.result(i).label();
+    table.headers.push_back(label.empty() ? "result " + std::to_string(i + 1)
+                                          : label);
+  }
+  table.total_dod = core::TotalDod(instance, dfss);
+
+  // Union of selected types, remembering who selected them.
+  std::map<feature::TypeId, std::vector<int>> selected_by;
+  for (int i = 0; i < n; ++i) {
+    for (feature::TypeId t :
+         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
+      selected_by[t].push_back(i);
+    }
+  }
+
+  const auto& catalog = instance.catalog();
+  for (const auto& [type_id, selectors] : selected_by) {
+    TableRow row;
+    row.type_id = type_id;
+    row.label = catalog.TypeName(type_id);
+    row.selected_in = static_cast<int>(selectors.size());
+    row.cells.assign(static_cast<size_t>(n), "-");
+    for (int i : selectors) {
+      const feature::TypeStats* stats = instance.result(i).Find(type_id);
+      if (stats == nullptr) continue;
+      const feature::ValueId v = stats->DominantValue();
+      std::string cell =
+          v == feature::kInvalidValueId ? "?" : catalog.ValueOf(v);
+      cell += " (" +
+              FormatDouble(100.0 * stats->RelativeOccurrenceOf(v), 0) + "%)";
+      row.cells[static_cast<size_t>(i)] = std::move(cell);
+    }
+    for (size_t a = 0; a < selectors.size() && !row.differentiating; ++a) {
+      for (size_t b = a + 1; b < selectors.size(); ++b) {
+        if (instance.Differentiable(type_id, selectors[a], selectors[b])) {
+          row.differentiating = true;
+          break;
+        }
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+
+  std::stable_sort(table.rows.begin(), table.rows.end(),
+                   [](const TableRow& a, const TableRow& b) {
+                     if (a.differentiating != b.differentiating) {
+                       return a.differentiating;
+                     }
+                     if (a.selected_in != b.selected_in) {
+                       return a.selected_in > b.selected_in;
+                     }
+                     return a.label < b.label;
+                   });
+  return table;
+}
+
+}  // namespace xsact::table

@@ -1,0 +1,42 @@
+// ComparisonTable: the user-facing artifact XSACT produces (Figure 2).
+//
+// One column per compared result, one row per feature type selected in at
+// least one DFS. A cell shows the dominant value of the type in that
+// result plus its relative occurrence; absent types render as "-" (the
+// paper's "null"/unknown semantics).
+
+#ifndef XSACT_TABLE_COMPARISON_TABLE_H_
+#define XSACT_TABLE_COMPARISON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dfs.h"
+#include "core/instance.h"
+
+namespace xsact::table {
+
+/// One row of the comparison table.
+struct TableRow {
+  feature::TypeId type_id = feature::kInvalidTypeId;
+  std::string label;               ///< "entity.attribute"
+  std::vector<std::string> cells;  ///< one per result; "-" when absent
+  int selected_in = 0;             ///< number of DFSs containing the type
+  bool differentiating = false;    ///< differentiable for >= 1 selected pair
+};
+
+/// The rendered-model of a comparison.
+struct ComparisonTable {
+  std::vector<std::string> headers;  ///< result labels
+  std::vector<TableRow> rows;
+  int64_t total_dod = 0;
+};
+
+/// Builds the table for a DFS assignment. Rows are ordered by
+/// (differentiating first, #results selecting desc, type name asc).
+ComparisonTable BuildComparisonTable(const core::ComparisonInstance& instance,
+                                     const std::vector<core::Dfs>& dfss);
+
+}  // namespace xsact::table
+
+#endif  // XSACT_TABLE_COMPARISON_TABLE_H_

@@ -1,0 +1,106 @@
+#include "table/explainer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace xsact::table {
+
+namespace {
+
+std::string LabelOf(const core::ComparisonInstance& instance, int i) {
+  const std::string& label = instance.result(i).label();
+  return label.empty() ? "result " + std::to_string(i + 1) : label;
+}
+
+std::string Percent(double rel) {
+  return FormatDouble(100.0 * rel, 0) + "%";
+}
+
+}  // namespace
+
+std::vector<Explanation> ExplainDifferences(
+    const core::ComparisonInstance& instance,
+    const std::vector<core::Dfs>& dfss, size_t max_statements) {
+  const int n = instance.num_results();
+  const auto& catalog = instance.catalog();
+
+  // Collect, per type, the results whose DFS selects it.
+  std::map<feature::TypeId, std::vector<int>> selected_by;
+  for (int i = 0; i < n; ++i) {
+    for (feature::TypeId t :
+         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
+      selected_by[t].push_back(i);
+    }
+  }
+
+  std::vector<Explanation> out;
+  for (const auto& [type_id, holders] : selected_by) {
+    // Find the most contrasting differentiable pair for the sentence and
+    // count how many pairs the type separates.
+    int pairs = 0;
+    int best_a = -1;
+    int best_b = -1;
+    double best_contrast = -1;
+    for (size_t x = 0; x < holders.size(); ++x) {
+      for (size_t y = x + 1; y < holders.size(); ++y) {
+        const int a = holders[x];
+        const int b = holders[y];
+        if (!instance.Differentiable(type_id, a, b)) continue;
+        ++pairs;
+        const feature::TypeStats* sa = instance.result(a).Find(type_id);
+        const feature::TypeStats* sb = instance.result(b).Find(type_id);
+        const double contrast =
+            std::abs(sa->RelativeOccurrenceOf(sa->DominantValue()) -
+                     sb->RelativeOccurrenceOf(sb->DominantValue())) +
+            (sa->DominantValue() != sb->DominantValue() ? 1.0 : 0.0);
+        if (contrast > best_contrast) {
+          best_contrast = contrast;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (pairs == 0) continue;
+
+    const feature::TypeStats* sa = instance.result(best_a).Find(type_id);
+    const feature::TypeStats* sb = instance.result(best_b).Find(type_id);
+    const feature::ValueId va = sa->DominantValue();
+    const feature::ValueId vb = sb->DominantValue();
+    Explanation e;
+    e.type_id = type_id;
+    e.pairs_differentiated = pairs;
+    const std::string attr = catalog.AttributeOf(type_id);
+    if (va != vb) {
+      e.text = attr + " is \"" + catalog.ValueOf(va) + "\" for " +
+               LabelOf(instance, best_a) + " but \"" + catalog.ValueOf(vb) +
+               "\" for " + LabelOf(instance, best_b);
+    } else {
+      e.text = attr + " holds for " +
+               Percent(sa->RelativeOccurrenceOf(va)) + " of " +
+               LabelOf(instance, best_a) + "'s " + catalog.EntityOf(type_id) +
+               "s vs " + Percent(sb->RelativeOccurrenceOf(vb)) + " of " +
+               LabelOf(instance, best_b) + "'s";
+    }
+    out.push_back(std::move(e));
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Explanation& a, const Explanation& b) {
+                     return a.pairs_differentiated > b.pairs_differentiated;
+                   });
+  if (out.size() > max_statements) out.resize(max_statements);
+  return out;
+}
+
+std::string RenderExplanations(
+    const std::vector<Explanation>& explanations) {
+  std::string out;
+  for (const Explanation& e : explanations) {
+    out += "  * " + e.text + "\n";
+  }
+  return out;
+}
+
+}  // namespace xsact::table

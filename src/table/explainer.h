@@ -1,0 +1,37 @@
+// Explainer: turns a comparison into the kind of natural-language
+// takeaways the paper's demo narrates ("brand Marmot mainly sells rain
+// jackets, while brand Columbia focuses on insulated ski jackets").
+
+#ifndef XSACT_TABLE_EXPLAINER_H_
+#define XSACT_TABLE_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dfs.h"
+#include "core/instance.h"
+
+namespace xsact::table {
+
+/// One human-readable difference statement.
+struct Explanation {
+  feature::TypeId type_id = feature::kInvalidTypeId;
+  std::string text;
+  /// Number of result pairs this type differentiates (sort key).
+  int pairs_differentiated = 0;
+};
+
+/// Produces at most `max_statements` explanations for the selected DFSs,
+/// most widely differentiating types first. Two sentence shapes:
+///   * differing values:   "X is `a` for R1 but `b` for R2"
+///   * differing shares:   "X holds for 73% of R1's reviews vs 56% of R2's"
+std::vector<Explanation> ExplainDifferences(
+    const core::ComparisonInstance& instance,
+    const std::vector<core::Dfs>& dfss, size_t max_statements = 5);
+
+/// Renders the explanations as a bulleted plain-text block.
+std::string RenderExplanations(const std::vector<Explanation>& explanations);
+
+}  // namespace xsact::table
+
+#endif  // XSACT_TABLE_EXPLAINER_H_

@@ -1,0 +1,194 @@
+#include "table/renderer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xsact::table {
+
+namespace {
+
+std::vector<std::vector<std::string>> Grid(const ComparisonTable& table) {
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> head = {"feature"};
+  head.insert(head.end(), table.headers.begin(), table.headers.end());
+  head.push_back("diff?");
+  grid.push_back(std::move(head));
+  for (const TableRow& row : table.rows) {
+    std::vector<std::string> line = {row.label};
+    line.insert(line.end(), row.cells.begin(), row.cells.end());
+    line.push_back(row.differentiating ? "*" : "");
+    grid.push_back(std::move(line));
+  }
+  return grid;
+}
+
+std::string HtmlEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderAscii(const ComparisonTable& table) {
+  const auto grid = Grid(table);
+  std::vector<size_t> widths(grid[0].size(), 0);
+  for (const auto& line : grid) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+  }
+  auto rule = [&]() {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    return out + "\n";
+  };
+  std::string out = rule();
+  for (size_t r = 0; r < grid.size(); ++r) {
+    out += "|";
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      out += " " + grid[r][c] +
+             std::string(widths[c] - grid[r][c].size(), ' ') + " |";
+    }
+    out += "\n";
+    if (r == 0) out += rule();
+  }
+  out += rule();
+  out += "total DoD: " + std::to_string(table.total_dod) + "\n";
+  return out;
+}
+
+std::string RenderMarkdown(const ComparisonTable& table) {
+  const auto grid = Grid(table);
+  std::string out;
+  for (size_t r = 0; r < grid.size(); ++r) {
+    out += "|";
+    for (const std::string& cell : grid[r]) {
+      out += " " + ReplaceAll(cell, "|", "\\|") + " |";
+    }
+    out += "\n";
+    if (r == 0) {
+      out += "|";
+      for (size_t c = 0; c < grid[0].size(); ++c) out += " --- |";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderHtml(const ComparisonTable& table) {
+  std::string out = "<table class=\"xsact-comparison\">\n  <thead><tr>";
+  out += "<th>feature</th>";
+  for (const std::string& h : table.headers) {
+    out += "<th>" + HtmlEscape(h) + "</th>";
+  }
+  out += "</tr></thead>\n  <tbody>\n";
+  for (const TableRow& row : table.rows) {
+    out += row.differentiating ? "    <tr class=\"diff\">" : "    <tr>";
+    out += "<td>" + HtmlEscape(row.label) + "</td>";
+    for (const std::string& cell : row.cells) {
+      out += "<td>" + HtmlEscape(cell) + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "  </tbody>\n</table>\n";
+  return out;
+}
+
+std::string RenderCsv(const ComparisonTable& table) {
+  const auto grid = Grid(table);
+  std::string out;
+  for (const auto& line : grid) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      if (c > 0) out += ",";
+      out += CsvEscape(line[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const ComparisonTable& table) {
+  std::string out = "{\"headers\":[";
+  for (size_t i = 0; i < table.headers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(table.headers[i]) + "\"";
+  }
+  out += "],\"rows\":[";
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const TableRow& row = table.rows[r];
+    if (r > 0) out += ",";
+    out += "{\"feature\":\"" + JsonEscape(row.label) + "\",\"cells\":[";
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) out += ",";
+      out += "\"" + JsonEscape(row.cells[c]) + "\"";
+    }
+    out += "],\"differentiating\":";
+    out += row.differentiating ? "true" : "false";
+    out += "}";
+  }
+  out += "],\"total_dod\":" + std::to_string(table.total_dod) + "}";
+  return out;
+}
+
+}  // namespace xsact::table

@@ -1,0 +1,30 @@
+// Renderers: turn a ComparisonTable into ASCII, Markdown, HTML, CSV or
+// JSON (the demo's web UI output, Figure 5, sans browser).
+
+#ifndef XSACT_TABLE_RENDERER_H_
+#define XSACT_TABLE_RENDERER_H_
+
+#include <string>
+
+#include "table/comparison_table.h"
+
+namespace xsact::table {
+
+/// Fixed-width ASCII box table for terminals.
+std::string RenderAscii(const ComparisonTable& table);
+
+/// GitHub-flavored Markdown table.
+std::string RenderMarkdown(const ComparisonTable& table);
+
+/// Standalone HTML fragment (<table>...</table>), escaped.
+std::string RenderHtml(const ComparisonTable& table);
+
+/// RFC-4180 CSV (quoted cells).
+std::string RenderCsv(const ComparisonTable& table);
+
+/// JSON object {"headers": [...], "rows": [...], "total_dod": N}.
+std::string RenderJson(const ComparisonTable& table);
+
+}  // namespace xsact::table
+
+#endif  // XSACT_TABLE_RENDERER_H_

@@ -1,0 +1,15 @@
+#include "xml/dewey.h"
+
+namespace xsact::xml {
+
+std::string DeweyId::ToString() const {
+  if (components_.empty()) return "ε";
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace xsact::xml

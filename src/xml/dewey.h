@@ -1,0 +1,89 @@
+// Dewey identifiers: hierarchical node labels for document-order reasoning.
+//
+// A Dewey id is the path of child indices from the root ("0.2.5"). Dewey
+// labels give O(depth) ancestor tests and lowest-common-ancestor
+// computation, which are the primitives of the SLCA keyword-search
+// algorithm the XSACT search engine is built on.
+
+#ifndef XSACT_XML_DEWEY_H_
+#define XSACT_XML_DEWEY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsact::xml {
+
+/// Hierarchical node label; lexicographic order == document pre-order.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<int32_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<int32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  /// Appends one component (descend to child `index`).
+  void Push(int32_t index) { components_.push_back(index); }
+
+  /// Removes the last component (ascend to parent).
+  void Pop() { components_.pop_back(); }
+
+  /// The parent label (empty for the root).
+  DeweyId Parent() const {
+    DeweyId p = *this;
+    if (!p.components_.empty()) p.Pop();
+    return p;
+  }
+
+  /// True iff `this` is an ancestor of (or equal to) `other`.
+  bool IsAncestorOrSelf(const DeweyId& other) const {
+    if (components_.size() > other.components_.size()) return false;
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (components_[i] != other.components_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `this` is a strict ancestor of `other`.
+  bool IsAncestorOf(const DeweyId& other) const {
+    return components_.size() < other.components_.size() &&
+           IsAncestorOrSelf(other);
+  }
+
+  /// Lowest common ancestor of two labels.
+  static DeweyId Lca(const DeweyId& a, const DeweyId& b) {
+    DeweyId out;
+    const size_t n = std::min(a.components_.size(), b.components_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a.components_[i] != b.components_[i]) break;
+      out.Push(a.components_[i]);
+    }
+    return out;
+  }
+
+  /// Dotted rendering, e.g. "0.2.5"; the root is "ε".
+  std::string ToString() const;
+
+  friend bool operator==(const DeweyId& a, const DeweyId& b) {
+    return a.components_ == b.components_;
+  }
+
+  /// Document (pre-order) comparison: prefix sorts before extension.
+  friend bool operator<(const DeweyId& a, const DeweyId& b) {
+    return a.components_ < b.components_;
+  }
+  friend bool operator<=(const DeweyId& a, const DeweyId& b) {
+    return a == b || a < b;
+  }
+
+ private:
+  std::vector<int32_t> components_;
+};
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_DEWEY_H_

@@ -1,0 +1,20 @@
+#include "xml/document.h"
+
+namespace xsact::xml {
+
+namespace {
+
+void VisitImpl(const Node& node, int depth,
+               const std::function<void(const Node&, int)>& fn) {
+  fn(node, depth);
+  for (const auto& c : node.children()) VisitImpl(*c, depth + 1, fn);
+}
+
+}  // namespace
+
+void Document::Visit(
+    const std::function<void(const Node&, int depth)>& fn) const {
+  if (root_) VisitImpl(*root_, 0, fn);
+}
+
+}  // namespace xsact::xml

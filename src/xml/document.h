@@ -1,0 +1,52 @@
+// Document: owner of a parsed / constructed XML tree.
+
+#ifndef XSACT_XML_DOCUMENT_H_
+#define XSACT_XML_DOCUMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "xml/node.h"
+
+namespace xsact::xml {
+
+/// An XML document: a single owned root element.
+class Document {
+ public:
+  Document() = default;
+
+  /// Takes ownership of a root element.
+  explicit Document(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  /// Creates a document with a fresh `<tag>` root and returns it.
+  static Document WithRoot(std::string tag) {
+    return Document(Node::MakeElement(std::move(tag)));
+  }
+
+  /// The root element (nullptr for an empty document).
+  Node* root() const { return root_.get(); }
+
+  /// True iff no root has been set.
+  bool empty() const { return root_ == nullptr; }
+
+  /// Total number of nodes (0 when empty).
+  size_t NodeCount() const { return root_ ? root_->SubtreeSize() : 0; }
+
+  /// Pre-order depth-first traversal; the visitor receives every node
+  /// (elements and text) together with its depth (root = 0).
+  void Visit(const std::function<void(const Node&, int depth)>& fn) const;
+
+  /// Deep copy.
+  Document Clone() const {
+    return root_ ? Document(root_->Clone()) : Document();
+  }
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_DOCUMENT_H_

@@ -1,0 +1,54 @@
+#include "xml/io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/macros.h"
+#include "xml/parser.h"
+
+namespace xsact::xml {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    content.append(buffer, n);
+  }
+  if (std::ferror(file.get())) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(content.data(), 1, content.size(), file.get()) !=
+      content.size()) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Document> ParseFile(const std::string& path) {
+  XSACT_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  StatusOr<Document> doc = Parse(content);
+  if (!doc.ok()) return doc.status().WithContext(path);
+  return doc;
+}
+
+Status WriteDocumentToFile(const Document& doc, const std::string& path,
+                           WriteOptions options) {
+  return WriteStringToFile(path, WriteDocument(doc, options));
+}
+
+}  // namespace xsact::xml

@@ -1,0 +1,32 @@
+// File I/O for XML documents: the demo's datasets live as XML files on
+// disk; these helpers load and persist them with Status-based errors.
+
+#ifndef XSACT_XML_IO_H_
+#define XSACT_XML_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "xml/document.h"
+#include "xml/writer.h"
+
+namespace xsact::xml {
+
+/// Reads a whole file into a string (kIoError on failure).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+/// Parses an XML file into a Document.
+StatusOr<Document> ParseFile(const std::string& path);
+
+/// Serializes a document to a file (pretty-printed by default).
+Status WriteDocumentToFile(const Document& doc, const std::string& path,
+                           WriteOptions options = {.indent_width = 2,
+                                                   .declaration = true});
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_IO_H_

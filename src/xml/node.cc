@@ -1,0 +1,40 @@
+#include "xml/node.h"
+
+#include "common/string_util.h"
+
+namespace xsact::xml {
+
+namespace {
+
+void CollectText(const Node& node, std::string* out) {
+  if (node.is_text()) {
+    if (!out->empty() && !node.text().empty()) out->push_back(' ');
+    out->append(std::string(Trim(node.text())));
+    return;
+  }
+  for (const auto& child : node.children()) CollectText(*child, out);
+}
+
+}  // namespace
+
+std::string Node::InnerText() const {
+  std::string out;
+  CollectText(*this, &out);
+  return std::string(Trim(out));
+}
+
+size_t Node::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  std::unique_ptr<Node> copy =
+      is_element() ? MakeElement(tag_) : MakeText(text_);
+  copy->attributes_ = attributes_;
+  for (const auto& c : children_) copy->AddChild(c->Clone());
+  return copy;
+}
+
+}  // namespace xsact::xml

@@ -1,0 +1,154 @@
+// DOM node for XSACT's XML substrate.
+//
+// XSACT consumes "structured search results"; in the paper both demo
+// datasets (Product Reviews, Outdoor Retailer) and the evaluation dataset
+// (IMDB movies) are XML. This is a deliberately small, fully owned DOM:
+// elements with attributes and ordered children, plus text nodes.
+
+#ifndef XSACT_XML_NODE_H_
+#define XSACT_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xsact::xml {
+
+/// A node in the document tree: either an element or a text node.
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  /// Creates an element node with the given tag.
+  static std::unique_ptr<Node> MakeElement(std::string tag) {
+    auto n = std::unique_ptr<Node>(new Node(Kind::kElement));
+    n->tag_ = std::move(tag);
+    return n;
+  }
+
+  /// Creates a text node with the given content.
+  static std::unique_ptr<Node> MakeText(std::string text) {
+    auto n = std::unique_ptr<Node>(new Node(Kind::kText));
+    n->text_ = std::move(text);
+    return n;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Element tag name (empty for text nodes).
+  const std::string& tag() const { return tag_; }
+
+  /// Text content (empty for element nodes).
+  const std::string& text() const { return text_; }
+
+  /// Parent element, or nullptr for the root.
+  Node* parent() const { return parent_; }
+
+  /// Ordered children (elements and text nodes interleaved).
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// Number of children.
+  size_t child_count() const { return children_.size(); }
+
+  /// Attributes in document order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Appends a child, taking ownership; returns a stable raw pointer.
+  Node* AddChild(std::unique_ptr<Node> child) {
+    child->parent_ = this;
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+
+  /// Convenience: appends `<tag>` element and returns it.
+  Node* AddElement(std::string tag) {
+    return AddChild(MakeElement(std::move(tag)));
+  }
+
+  /// Convenience: appends `<tag>text</tag>` and returns the element.
+  Node* AddElementWithText(std::string tag, std::string text) {
+    Node* e = AddElement(std::move(tag));
+    e->AddChild(MakeText(std::move(text)));
+    return e;
+  }
+
+  /// Appends an attribute (duplicates are kept; first one wins on lookup).
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.emplace_back(std::move(name), std::move(value));
+  }
+
+  /// Returns the value of attribute `name`, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const {
+    for (const auto& [k, v] : attributes_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  /// First child element with the given tag, or nullptr.
+  Node* FirstChildElement(std::string_view tag) const {
+    for (const auto& c : children_) {
+      if (c->is_element() && c->tag_ == tag) return c.get();
+    }
+    return nullptr;
+  }
+
+  /// All child elements with the given tag, in order.
+  std::vector<Node*> ChildElements(std::string_view tag) const {
+    std::vector<Node*> out;
+    for (const auto& c : children_) {
+      if (c->is_element() && c->tag_ == tag) out.push_back(c.get());
+    }
+    return out;
+  }
+
+  /// All child elements (any tag), in order.
+  std::vector<Node*> ChildElements() const {
+    std::vector<Node*> out;
+    for (const auto& c : children_) {
+      if (c->is_element()) out.push_back(c.get());
+    }
+    return out;
+  }
+
+  /// True iff this element has no element children (only text / nothing).
+  bool IsLeafElement() const {
+    if (!is_element()) return false;
+    for (const auto& c : children_) {
+      if (c->is_element()) return false;
+    }
+    return true;
+  }
+
+  /// Concatenated text of all descendant text nodes, whitespace-trimmed
+  /// at both ends.
+  std::string InnerText() const;
+
+  /// Number of nodes in this subtree (including this node).
+  size_t SubtreeSize() const;
+
+  /// Deep copy of this subtree (parent of the copy is nullptr).
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string tag_;
+  std::string text_;
+  Node* parent_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_NODE_H_

@@ -1,0 +1,362 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xsact::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool Match(std::string_view literal) {
+    if (input_.substr(pos_).substr(0, literal.size()) != literal) return false;
+    for (size_t i = 0; i < literal.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError("line " + std::to_string(line_) + ", column " +
+                              std::to_string(column_) + ": " +
+                              std::move(message));
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, ParseOptions options)
+      : cur_(input), options_(options) {}
+
+  StatusOr<Document> Run() {
+    XSACT_RETURN_IF_ERROR(SkipProlog());
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return cur_.Error("expected root element");
+    }
+    std::unique_ptr<Node> root;
+    XSACT_RETURN_IF_ERROR(ParseElement(&root));
+    // Trailing misc: whitespace, comments, PIs.
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) break;
+      if (cur_.Match("<!--")) {
+        XSACT_RETURN_IF_ERROR(SkipUntil("-->"));
+        continue;
+      }
+      if (cur_.Match("<?")) {
+        XSACT_RETURN_IF_ERROR(SkipUntil("?>"));
+        continue;
+      }
+      if (options_.strict_trailing) {
+        return cur_.Error("unexpected content after root element");
+      }
+      break;
+    }
+    return Document(std::move(root));
+  }
+
+ private:
+  Status SkipProlog() {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.Match("<?")) {
+        XSACT_RETURN_IF_ERROR(SkipUntil("?>"));
+      } else if (cur_.Match("<!--")) {
+        XSACT_RETURN_IF_ERROR(SkipUntil("-->"));
+      } else if (cur_.Match("<!DOCTYPE") || cur_.Match("<!doctype")) {
+        XSACT_RETURN_IF_ERROR(SkipDoctype());
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    while (!cur_.AtEnd()) {
+      if (cur_.Match(terminator)) return Status::Ok();
+      cur_.Advance();
+    }
+    return cur_.Error("unterminated construct, expected '" +
+                      std::string(terminator) + "'");
+  }
+
+  Status SkipDoctype() {
+    // DOCTYPE may contain an internal subset in brackets.
+    int bracket_depth = 0;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Advance();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) return Status::Ok();
+    }
+    return cur_.Error("unterminated DOCTYPE");
+  }
+
+  Status ParseName(std::string* out) {
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return cur_.Error("expected a name");
+    }
+    const size_t start = cur_.pos();
+    cur_.Advance();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
+    *out = std::string(cur_.Slice(start, cur_.pos()));
+    return Status::Ok();
+  }
+
+  Status ParseAttributes(Node* element, bool* self_closing) {
+    *self_closing = false;
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated start tag");
+      if (cur_.Match("/>")) {
+        *self_closing = true;
+        return Status::Ok();
+      }
+      if (cur_.Match(">")) return Status::Ok();
+      std::string name;
+      XSACT_RETURN_IF_ERROR(ParseName(&name));
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || cur_.Peek() != '=') {
+        return cur_.Error("expected '=' after attribute name '" + name + "'");
+      }
+      cur_.Advance();  // '='
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd() || (cur_.Peek() != '"' && cur_.Peek() != '\'')) {
+        return cur_.Error("expected quoted attribute value");
+      }
+      const char quote = cur_.Advance();
+      const size_t start = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != quote) cur_.Advance();
+      if (cur_.AtEnd()) return cur_.Error("unterminated attribute value");
+      std::string value = DecodeEntities(cur_.Slice(start, cur_.pos()));
+      cur_.Advance();  // closing quote
+      element->AddAttribute(std::move(name), std::move(value));
+    }
+  }
+
+  Status ParseElement(std::unique_ptr<Node>* out) {
+    if (!cur_.Match("<")) return cur_.Error("expected '<'");
+    std::string tag;
+    XSACT_RETURN_IF_ERROR(ParseName(&tag));
+    std::unique_ptr<Node> element = Node::MakeElement(tag);
+    bool self_closing = false;
+    XSACT_RETURN_IF_ERROR(ParseAttributes(element.get(), &self_closing));
+    if (!self_closing) {
+      XSACT_RETURN_IF_ERROR(ParseContent(element.get(), tag));
+    }
+    *out = std::move(element);
+    return Status::Ok();
+  }
+
+  Status ParseContent(Node* element, const std::string& tag) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (!(options_.skip_whitespace_text && IsAllWhitespace(pending_text))) {
+        element->AddChild(Node::MakeText(DecodeEntities(pending_text)));
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (cur_.AtEnd()) {
+        return cur_.Error("unterminated element <" + tag + ">");
+      }
+      if (cur_.Peek() == '<') {
+        if (cur_.Match("</")) {
+          flush_text();
+          std::string close_tag;
+          XSACT_RETURN_IF_ERROR(ParseName(&close_tag));
+          cur_.SkipWhitespace();
+          if (!cur_.Match(">")) {
+            return cur_.Error("malformed end tag </" + close_tag + ">");
+          }
+          if (close_tag != tag) {
+            return cur_.Error("mismatched end tag: expected </" + tag +
+                              ">, found </" + close_tag + ">");
+          }
+          return Status::Ok();
+        }
+        if (cur_.Match("<!--")) {
+          XSACT_RETURN_IF_ERROR(SkipUntil("-->"));
+          continue;
+        }
+        if (cur_.Match("<![CDATA[")) {
+          flush_text();
+          const size_t start = cur_.pos();
+          size_t end = start;
+          // Scan for the CDATA terminator without entity decoding.
+          for (;;) {
+            if (cur_.AtEnd()) return cur_.Error("unterminated CDATA section");
+            if (cur_.Match("]]>")) {
+              end = cur_.pos() - 3;
+              break;
+            }
+            cur_.Advance();
+          }
+          element->AddChild(
+              Node::MakeText(std::string(cur_.Slice(start, end))));
+          continue;
+        }
+        if (cur_.Match("<?")) {
+          XSACT_RETURN_IF_ERROR(SkipUntil("?>"));
+          continue;
+        }
+        flush_text();
+        std::unique_ptr<Node> child;
+        XSACT_RETURN_IF_ERROR(ParseElement(&child));
+        element->AddChild(std::move(child));
+        continue;
+      }
+      pending_text.push_back(cur_.Advance());
+    }
+  }
+
+  Cursor cur_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(text[i++]);  // lone '&': pass through leniently
+      continue;
+    }
+    const std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t code = 0;
+      bool valid = entity.size() > 1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size() && valid; ++k) {
+          char c = entity[k];
+          code *= 16;
+          if (c >= '0' && c <= '9') {
+            code += static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            code += static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            code += static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            valid = false;
+          }
+        }
+        valid = valid && entity.size() > 2;
+      } else {
+        for (size_t k = 1; k < entity.size() && valid; ++k) {
+          char c = entity[k];
+          if (c < '0' || c > '9') {
+            valid = false;
+          } else {
+            code = code * 10 + static_cast<uint32_t>(c - '0');
+          }
+        }
+      }
+      if (!valid || code == 0 || code > 0x10FFFF) {
+        out.append(text.substr(i, semi - i + 1));
+      } else if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      // Unknown named entity: keep verbatim.
+      out.append(text.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+StatusOr<Document> Parse(std::string_view input, ParseOptions options) {
+  ParserImpl impl(input, options);
+  return impl.Run();
+}
+
+}  // namespace xsact::xml

@@ -1,0 +1,39 @@
+// From-scratch, dependency-free XML parser.
+//
+// Supports the XML subset needed by realistic data files: elements,
+// attributes (single/double quoted), character data, entity references
+// (&amp; &lt; &gt; &quot; &apos; plus numeric &#NN; / &#xHH;), comments,
+// CDATA sections, processing instructions, XML declarations and DOCTYPE
+// (skipped). Namespaces are treated as part of the tag name. Errors are
+// reported with 1-based line/column positions.
+
+#ifndef XSACT_XML_PARSER_H_
+#define XSACT_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "xml/document.h"
+
+namespace xsact::xml {
+
+/// Parser options.
+struct ParseOptions {
+  /// Drop text nodes that contain only whitespace (pretty-printing noise).
+  bool skip_whitespace_text = true;
+  /// Reject trailing non-whitespace content after the root element.
+  bool strict_trailing = true;
+};
+
+/// Parses `input` into a Document, or returns a kParseError status with
+/// the 1-based line:column of the first problem.
+StatusOr<Document> Parse(std::string_view input, ParseOptions options = {});
+
+/// Decodes XML entities in a character-data run.
+/// Unknown entities are passed through verbatim (lenient mode).
+std::string DecodeEntities(std::string_view text);
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_PARSER_H_

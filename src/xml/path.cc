@@ -1,0 +1,122 @@
+#include "xml/path.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace xsact::xml {
+
+namespace {
+
+void BuildImpl(const Node* node, DeweyId* dewey, NodeId parent,
+               std::vector<const Node*>* nodes, std::vector<DeweyId>* deweys,
+               std::vector<NodeId>* parents) {
+  const NodeId my_id = static_cast<NodeId>(nodes->size());
+  nodes->push_back(node);
+  deweys->push_back(*dewey);
+  parents->push_back(parent);
+  int32_t child_index = 0;
+  for (const auto& child : node->children()) {
+    dewey->Push(child_index++);
+    BuildImpl(child.get(), dewey, my_id, nodes, deweys, parents);
+    dewey->Pop();
+  }
+}
+
+}  // namespace
+
+NodeTable NodeTable::Build(const Document& doc) {
+  NodeTable table;
+  if (!doc.empty()) {
+    DeweyId dewey;
+    BuildImpl(doc.root(), &dewey, kInvalidNodeId, &table.nodes_,
+              &table.deweys_, &table.parents_);
+    table.ids_.reserve(table.nodes_.size());
+    for (size_t i = 0; i < table.nodes_.size(); ++i) {
+      table.ids_.emplace(table.nodes_[i], static_cast<NodeId>(i));
+    }
+  }
+  return table;
+}
+
+NodeId NodeTable::IdOf(const Node* node) const {
+  auto it = ids_.find(node);
+  return it == ids_.end() ? kInvalidNodeId : it->second;
+}
+
+NodeId NodeTable::FindByDewey(const DeweyId& dewey) const {
+  // Dewey labels are in pre-order, and so is the table: binary search.
+  size_t lo = 0;
+  size_t hi = deweys_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (deweys_[mid] < dewey) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < deweys_.size() && deweys_[lo] == dewey) {
+    return static_cast<NodeId>(lo);
+  }
+  return kInvalidNodeId;
+}
+
+std::string NodeTable::TagPath(NodeId id) const {
+  std::vector<std::string> parts;
+  for (NodeId cur = id; cur != kInvalidNodeId; cur = parent(cur)) {
+    const Node* n = node(cur);
+    parts.push_back(n->is_element() ? n->tag() : "#text");
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out.push_back('/');
+    out += *it;
+  }
+  return out;
+}
+
+std::vector<const Node*> SelectPath(const Document& doc,
+                                    std::string_view path) {
+  std::vector<const Node*> current;
+  if (doc.empty()) return current;
+  std::string_view trimmed = path;
+  if (!trimmed.empty() && trimmed.front() == '/') trimmed.remove_prefix(1);
+  const std::vector<std::string> parts = Split(trimmed, '/');
+  if (parts.empty() || parts[0].empty()) return current;
+  if (doc.root()->tag() != parts[0]) return current;
+  current.push_back(doc.root());
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::vector<const Node*> next;
+    for (const Node* n : current) {
+      for (const auto& child : n->children()) {
+        if (child->is_element() && child->tag() == parts[i]) {
+          next.push_back(child.get());
+        }
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+namespace {
+
+void SelectByTagImpl(const Node& node, std::string_view tag,
+                     std::vector<const Node*>* out) {
+  if (node.is_element() && node.tag() == tag) out->push_back(&node);
+  for (const auto& child : node.children()) {
+    SelectByTagImpl(*child, tag, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> SelectByTag(const Node& root, std::string_view tag) {
+  std::vector<const Node*> out;
+  SelectByTagImpl(root, tag, &out);
+  return out;
+}
+
+}  // namespace xsact::xml

@@ -1,0 +1,68 @@
+// Minimal path queries over the DOM and a node table keyed by Dewey ids.
+//
+// The node table assigns every node a pre-order integer id and its Dewey
+// label; it is the bridge between the DOM and the search engine's posting
+// lists (which store node ids, not pointers).
+
+#ifndef XSACT_XML_PATH_H_
+#define XSACT_XML_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/dewey.h"
+#include "xml/document.h"
+
+namespace xsact::xml {
+
+/// Dense pre-order id of a node within one document.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+/// Immutable side table: node pointers, Dewey labels, parent links and tag
+/// paths for every node of a document, indexed by pre-order NodeId.
+class NodeTable {
+ public:
+  /// Builds the table for `doc` (re-build after any mutation).
+  static NodeTable Build(const Document& doc);
+
+  /// Number of nodes.
+  size_t size() const { return nodes_.size(); }
+
+  const Node* node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const DeweyId& dewey(NodeId id) const {
+    return deweys_[static_cast<size_t>(id)];
+  }
+  NodeId parent(NodeId id) const { return parents_[static_cast<size_t>(id)]; }
+
+  /// The id of `node`, or kInvalidNodeId if the node is not in this table.
+  NodeId IdOf(const Node* node) const;
+
+  /// Id of the node with exactly this Dewey label, or kInvalidNodeId.
+  NodeId FindByDewey(const DeweyId& dewey) const;
+
+  /// Slash-separated tag path from the root, e.g. "catalog/product/name".
+  std::string TagPath(NodeId id) const;
+
+ private:
+  std::vector<const Node*> nodes_;
+  std::vector<DeweyId> deweys_;
+  std::vector<NodeId> parents_;
+  std::unordered_map<const Node*, NodeId> ids_;
+};
+
+/// Evaluates an absolute slash path ("/catalog/product/name") against the
+/// document; returns all matching elements in document order. A leading
+/// slash is optional; the first component must match the root tag.
+std::vector<const Node*> SelectPath(const Document& doc,
+                                    std::string_view path);
+
+/// All descendant elements (including `root` itself) with the given tag.
+std::vector<const Node*> SelectByTag(const Node& root, std::string_view tag);
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_PATH_H_

@@ -1,0 +1,123 @@
+#include "xml/writer.h"
+
+namespace xsact::xml {
+
+namespace {
+
+void AppendIndent(std::string* out, int depth, int width) {
+  if (width <= 0) return;
+  out->append(static_cast<size_t>(depth * width), ' ');
+}
+
+void WriteImpl(const Node& node, int depth, const WriteOptions& options,
+               std::string* out) {
+  const bool pretty = options.indent_width > 0;
+  if (node.is_text()) {
+    AppendIndent(out, depth, options.indent_width);
+    out->append(EscapeText(node.text()));
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  AppendIndent(out, depth, options.indent_width);
+  out->push_back('<');
+  out->append(node.tag());
+  for (const auto& [name, value] : node.attributes()) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(EscapeAttribute(value));
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  // Single text child renders inline: <name>value</name>.
+  if (node.child_count() == 1 && node.children()[0]->is_text()) {
+    out->push_back('>');
+    out->append(EscapeText(node.children()[0]->text()));
+    out->append("</");
+    out->append(node.tag());
+    out->push_back('>');
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    WriteImpl(*child, depth + 1, options, out);
+  }
+  AppendIndent(out, depth, options.indent_width);
+  out->append("</");
+  out->append(node.tag());
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string WriteNode(const Node& node, WriteOptions options) {
+  std::string out;
+  if (options.declaration) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent_width > 0) out.push_back('\n');
+  }
+  WriteImpl(node, 0, options, &out);
+  return out;
+}
+
+std::string WriteDocument(const Document& doc, WriteOptions options) {
+  if (doc.empty()) return "";
+  return WriteNode(*doc.root(), options);
+}
+
+}  // namespace xsact::xml

@@ -1,0 +1,35 @@
+// XML serialization: compact and pretty-printed, with entity escaping.
+
+#ifndef XSACT_XML_WRITER_H_
+#define XSACT_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/document.h"
+
+namespace xsact::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Indent children by `indent_width` spaces per depth level; 0 = compact.
+  int indent_width = 2;
+  /// Emit an `<?xml version="1.0"?>` declaration.
+  bool declaration = false;
+};
+
+/// Escapes character data for use inside element content.
+std::string EscapeText(std::string_view text);
+
+/// Escapes character data for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view text);
+
+/// Serializes a subtree rooted at `node`.
+std::string WriteNode(const Node& node, WriteOptions options = {});
+
+/// Serializes a whole document (empty string for an empty document).
+std::string WriteDocument(const Document& doc, WriteOptions options = {});
+
+}  // namespace xsact::xml
+
+#endif  // XSACT_XML_WRITER_H_

@@ -1,0 +1,178 @@
+// Tests for the CLI option parser and application flow.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cli/app.h"
+#include "cli/options.h"
+
+namespace xsact::cli {
+namespace {
+
+StatusOr<CliOptions> Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "xsact");
+  return ParseCliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParseTest, DefaultsWithQuery) {
+  auto options = Parse({"--query=tomtom gps"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_EQ(options->query, "tomtom gps");
+  EXPECT_EQ(options->dataset, "products");
+  EXPECT_EQ(options->algorithm, core::SelectorKind::kMultiSwap);
+  EXPECT_EQ(options->format, OutputFormat::kAscii);
+  EXPECT_EQ(options->bound, 6);
+  EXPECT_EQ(options->max_results, 4u);
+  EXPECT_DOUBLE_EQ(options->threshold, 0.10);
+  EXPECT_FALSE(options->list_only);
+  EXPECT_FALSE(options->ranked);
+}
+
+TEST(CliParseTest, QueryIsMandatoryUnlessHelp) {
+  EXPECT_EQ(Parse({}).status().code(), StatusCode::kInvalidArgument);
+  auto help = Parse({"--help"});
+  ASSERT_TRUE(help.ok());
+  EXPECT_TRUE(help->help);
+}
+
+TEST(CliParseTest, AllFlagsParse) {
+  auto options = Parse({"--query=men jackets", "--dataset=outdoor",
+                        "--algorithm=single-swap", "--format=json",
+                        "--lift=brand", "--bound=9", "--max-results=0",
+                        "--threshold=0.25", "--seed=7", "--ranked", "--list",
+                        "--show-dfs", "--weights=significance"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_EQ(options->dataset, "outdoor");
+  EXPECT_EQ(options->algorithm, core::SelectorKind::kSingleSwap);
+  EXPECT_EQ(options->format, OutputFormat::kJson);
+  EXPECT_EQ(options->lift, "brand");
+  EXPECT_EQ(options->bound, 9);
+  EXPECT_EQ(options->max_results, 0u);
+  EXPECT_DOUBLE_EQ(options->threshold, 0.25);
+  EXPECT_EQ(options->seed, 7u);
+  EXPECT_TRUE(options->ranked);
+  EXPECT_TRUE(options->list_only);
+  EXPECT_TRUE(options->show_dfs);
+  EXPECT_EQ(options->weight_scheme, core::WeightScheme::kSignificance);
+}
+
+TEST(CliParseTest, AlgorithmAliases) {
+  EXPECT_EQ(Parse({"--query=q", "--algorithm=multi"})->algorithm,
+            core::SelectorKind::kMultiSwap);
+  EXPECT_EQ(Parse({"--query=q", "--algorithm=single"})->algorithm,
+            core::SelectorKind::kSingleSwap);
+  EXPECT_EQ(Parse({"--query=q", "--algorithm=weighted"})->algorithm,
+            core::SelectorKind::kWeightedMultiSwap);
+  EXPECT_EQ(Parse({"--query=q", "--format=md"})->format,
+            OutputFormat::kMarkdown);
+}
+
+TEST(CliParseTest, RejectsMalformedValues) {
+  EXPECT_FALSE(Parse({"--query=q", "--bound=zero"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--bound=0"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--bound=-3"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--threshold=abc"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--threshold=-1"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--max-results=-1"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--algorithm=quantum"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--format=pdf"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--weights=magic"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--bound"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--frobnicate=1"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "positional"}).ok());
+}
+
+TEST(CliParseTest, UsageMentionsEveryFlag) {
+  const std::string usage = CliUsage();
+  for (const char* flag :
+       {"--dataset", "--query", "--algorithm", "--weights", "--bound",
+        "--max-results", "--threshold", "--lift", "--format", "--seed",
+        "--ranked", "--list", "--show-dfs", "--help"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(CliAppTest, HelpPrintsUsage) {
+  CliOptions options;
+  options.help = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliAppTest, UnknownDatasetFails) {
+  CliOptions options;
+  options.dataset = "nope";
+  options.query = "gps";
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 1);
+  EXPECT_NE(err.str().find("unknown dataset"), std::string::npos);
+}
+
+TEST(CliAppTest, ListModeShowsSnippets) {
+  CliOptions options;
+  options.query = "gps";
+  options.list_only = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0);
+  EXPECT_NE(out.str().find("results"), std::string::npos);
+  EXPECT_NE(out.str().find("1. "), std::string::npos);
+  EXPECT_NE(out.str().find("name:"), std::string::npos);
+}
+
+TEST(CliAppTest, CompareProducesTable) {
+  CliOptions options;
+  options.query = "gps";
+  options.show_dfs = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("total DoD:"), std::string::npos);
+  EXPECT_NE(out.str().find("selected DFSs"), std::string::npos);
+}
+
+TEST(CliAppTest, JsonFormatEmitsJson) {
+  CliOptions options;
+  options.query = "gps";
+  options.format = OutputFormat::kJson;
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
+  EXPECT_EQ(out.str().find("total DoD:"), std::string::npos);
+  EXPECT_NE(out.str().find("\"total_dod\":"), std::string::npos);
+}
+
+TEST(CliAppTest, WeightedAlgorithmWithSchemes) {
+  for (core::WeightScheme scheme :
+       {core::WeightScheme::kUniform, core::WeightScheme::kInterestingness,
+        core::WeightScheme::kSignificance}) {
+    CliOptions options;
+    options.query = "gps";
+    options.algorithm = core::SelectorKind::kWeightedMultiSwap;
+    options.weight_scheme = scheme;
+    std::ostringstream out, err;
+    EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("total DoD:"), std::string::npos);
+  }
+}
+
+TEST(CliAppTest, OutdoorLiftScenario) {
+  CliOptions options;
+  options.dataset = "outdoor";
+  options.query = "men jackets";
+  options.lift = "brand";
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("product.category"), std::string::npos);
+}
+
+TEST(CliAppTest, NoResultsQueryFailsGracefully) {
+  CliOptions options;
+  options.query = "zzzznothing";
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 1);
+  EXPECT_NE(err.str().find("at least two results"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsact::cli

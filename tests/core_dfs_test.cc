@@ -1,0 +1,167 @@
+// Unit tests for the Dfs container and the validity predicate
+// (Definition 1(2) of the paper).
+
+#include <gtest/gtest.h>
+
+#include "core/dfs.h"
+#include "core/dod.h"
+#include "test_util.h"
+
+namespace xsact::core {
+namespace {
+
+using testing::BuildInstance;
+using testing::InstanceFixture;
+
+class DfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One result, review group occurrences: 9, 6, 6, 3 (a tie at 6),
+    // plus a singleton product group.
+    fx_ = BuildInstance({{
+        {"review", "pro: top", "yes", 9, 10},
+        {"review", "pro: mid1", "yes", 6, 10},
+        {"review", "pro: mid2", "yes", 6, 10},
+        {"review", "pro: low", "yes", 3, 10},
+        {"product", "name", "n", 1, 1},
+    }});
+    // Group layout: product [0,1), review [1,5).
+  }
+
+  InstanceFixture fx_;
+};
+
+TEST_F(DfsTest, AddRemoveTrackSize) {
+  Dfs d(fx_.instance, 0);
+  EXPECT_EQ(d.size(), 0);
+  d.Add(1);
+  d.Add(2);
+  EXPECT_EQ(d.size(), 2);
+  d.Add(2);  // idempotent
+  EXPECT_EQ(d.size(), 2);
+  d.Remove(2);
+  EXPECT_EQ(d.size(), 1);
+  d.Remove(2);  // idempotent
+  EXPECT_EQ(d.size(), 1);
+  EXPECT_TRUE(d.Contains(1));
+  EXPECT_FALSE(d.Contains(2));
+  EXPECT_EQ(d.SelectedEntries(), (std::vector<int>{1}));
+}
+
+TEST_F(DfsTest, EmptyIsValid) {
+  Dfs d(fx_.instance, 0);
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+}
+
+TEST_F(DfsTest, PrefixIsValid) {
+  Dfs d(fx_.instance, 0);
+  d.Add(1);  // top (9)
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+  d.Add(2);  // mid1 (6)
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+  d.Add(0);  // product name: separate group, fine on its own
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+}
+
+TEST_F(DfsTest, SkippingSignificantTypeIsInvalid) {
+  Dfs d(fx_.instance, 0);
+  d.Add(2);  // mid1 without top(9): unselected 9 > selected 6 -> invalid
+  EXPECT_FALSE(d.IsValid(fx_.instance));
+  d.Add(1);
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+  d.Add(4);  // low(3) while mid2(6) unselected -> invalid
+  EXPECT_FALSE(d.IsValid(fx_.instance));
+}
+
+TEST_F(DfsTest, TieGroupsAllowFreeChoice) {
+  Dfs d(fx_.instance, 0);
+  d.Add(1);  // top
+  d.Add(3);  // mid2 only (mid1 unselected, same occurrence 6) -> valid
+  EXPECT_TRUE(d.IsValid(fx_.instance));
+}
+
+TEST_F(DfsTest, SelectedTypesMatchEntries) {
+  Dfs d(fx_.instance, 0);
+  d.Add(0);
+  d.Add(1);
+  const auto types = d.SelectedTypes(fx_.instance);
+  ASSERT_EQ(types.size(), 2u);
+  const auto& entries = fx_.instance.entries(0);
+  EXPECT_EQ(types[0], entries[0].type_id);
+  EXPECT_EQ(types[1], entries[1].type_id);
+  EXPECT_TRUE(d.ContainsType(fx_.instance, entries[0].type_id));
+  EXPECT_FALSE(d.ContainsType(fx_.instance, 9999));
+}
+
+TEST_F(DfsTest, ToStringListsSelectedFeatures) {
+  Dfs d(fx_.instance, 0);
+  d.Add(1);
+  const std::string s = d.ToString(fx_.instance);
+  EXPECT_NE(s.find("review.pro: top"), std::string::npos);
+  EXPECT_NE(s.find("90%"), std::string::npos);
+}
+
+TEST_F(DfsTest, AllValidChecksSizesAndValidity) {
+  std::vector<Dfs> dfss;
+  dfss.emplace_back(fx_.instance, 0);
+  dfss[0].Add(1);
+  EXPECT_TRUE(AllValid(fx_.instance, dfss, 1));
+  EXPECT_FALSE(AllValid(fx_.instance, dfss, 0));  // size bound exceeded
+  dfss[0].Add(3);
+  dfss[0].Remove(1);  // now invalid
+  EXPECT_FALSE(AllValid(fx_.instance, dfss, 5));
+  EXPECT_FALSE(AllValid(fx_.instance, {}, 5));  // wrong arity
+}
+
+TEST(DodTest, PairAndTotal) {
+  InstanceFixture fx = BuildInstance({
+      {{"product", "name", "a", 1, 1},
+       {"review", "pro: x", "yes", 9, 10},
+       {"review", "pro: y", "yes", 5, 10}},
+      {{"product", "name", "b", 1, 1},
+       {"review", "pro: x", "yes", 2, 10},
+       {"review", "pro: y", "yes", 5, 10}},
+  });
+  // Select everything on both sides.
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < 2; ++i) {
+    Dfs d(fx.instance, i);
+    for (size_t k = 0; k < fx.instance.entries(i).size(); ++k) {
+      d.Add(static_cast<int>(k));
+    }
+    dfss.push_back(std::move(d));
+  }
+  // name differs, pro:x differs (90% vs 20%), pro:y equal -> DoD 2.
+  EXPECT_EQ(PairDod(fx.instance, dfss[0], dfss[1]), 2);
+  EXPECT_EQ(TotalDod(fx.instance, dfss), 2);
+
+  // Deselect pro:x in result 1: the type is no longer shared -> DoD 1.
+  const feature::TypeId x = fx.catalog->FindType("review", "pro: x");
+  dfss[1].Remove(fx.instance.EntryIndexOfType(1, x));
+  EXPECT_EQ(PairDod(fx.instance, dfss[0], dfss[1]), 1);
+}
+
+TEST(DodTest, TypeGainCountsDifferentiablePartners) {
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: x", "yes", 9, 10}},
+      {{"review", "pro: x", "yes", 2, 10}},
+      {{"review", "pro: x", "yes", 9, 10}},
+  });
+  const feature::TypeId x = fx.catalog->FindType("review", "pro: x");
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < 3; ++i) dfss.emplace_back(fx.instance, i);
+  // Nobody selects x yet: gain of adding it to result 0 is 0.
+  EXPECT_EQ(TypeGain(fx.instance, dfss, 0, x), 0);
+  // Results 1 and 2 select x; result 0 differs from 1 (90 vs 20) but not
+  // from 2 (90 vs 90).
+  dfss[1].Add(fx.instance.EntryIndexOfType(1, x));
+  dfss[2].Add(fx.instance.EntryIndexOfType(2, x));
+  EXPECT_EQ(TypeGain(fx.instance, dfss, 0, x), 1);
+  // And for result 1, both partners differ.
+  EXPECT_EQ(TypeGain(fx.instance, dfss, 1, x), 1);  // only 0... 0 hasn't selected
+  dfss[0].Add(fx.instance.EntryIndexOfType(0, x));
+  EXPECT_EQ(TypeGain(fx.instance, dfss, 1, x), 2);
+}
+
+}  // namespace
+}  // namespace xsact::core

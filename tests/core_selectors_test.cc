@@ -1,0 +1,443 @@
+// Tests for the DFS selection algorithms: the paper's worked example
+// (Figure 1 / Figure 2 arithmetic), algorithm-specific unit tests, and
+// property tests (validity, local optimality, oracle comparisons) over
+// randomized instances.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dod.h"
+#include "core/exhaustive.h"
+#include "core/multi_swap.h"
+#include "core/selector.h"
+#include "core/single_swap.h"
+#include "core/snippet_selector.h"
+#include "data/paper_example.h"
+#include "test_util.h"
+
+namespace xsact::core {
+namespace {
+
+using testing::BuildInstance;
+using testing::InstanceFixture;
+using testing::RandomInstance;
+
+std::set<std::string> TypeNames(const ComparisonInstance& instance,
+                                const Dfs& dfs) {
+  std::set<std::string> names;
+  for (feature::TypeId t : dfs.SelectedTypes(instance)) {
+    names.insert(instance.catalog().TypeName(t));
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// The paper's worked example.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExampleTest, SnippetsReproduceFigure1AndDoD2) {
+  data::PaperGpsInstance gps = data::BuildPaperGpsInstance(/*augmented=*/false);
+  SelectorOptions options;
+  options.size_bound = 5;
+  const auto dfss = SnippetSelector().Select(gps.instance, options);
+
+  // S1 = the exact snippet of Figure 1 for GPS 1.
+  EXPECT_EQ(TypeNames(gps.instance, dfss[0]),
+            (std::set<std::string>{
+                "product.name", "review.pro: easy to read",
+                "review.pro: compact", "review.best use: auto",
+                "review.category: casual user"}));
+  // S3 = the exact snippet for GPS 3.
+  EXPECT_EQ(TypeNames(gps.instance, dfss[1]),
+            (std::set<std::string>{
+                "product.name", "review.pro: acquires satellites quickly",
+                "review.pro: easy to setup", "review.pro: compact",
+                "review.best use: faster routes"}));
+  // "the two DFSs in Figure 1 have a DoD of 2" (name and pro:compact).
+  EXPECT_EQ(TotalDod(gps.instance, dfss), 2);
+}
+
+TEST(PaperExampleTest, XsactReachesDoD5OnFigure2Instance) {
+  data::PaperGpsInstance gps = data::BuildPaperGpsInstance(/*augmented=*/true);
+  SelectorOptions options;
+  options.size_bound = 7;  // Figure 2's table shows 7 rows
+  const auto multi = MultiSwapOptimizer().Select(gps.instance, options);
+  EXPECT_GE(TotalDod(gps.instance, multi), 5);  // the paper's Figure-2 claim
+  EXPECT_EQ(TotalDod(gps.instance, multi), 6);  // the exact optimum here
+  EXPECT_TRUE(AllValid(gps.instance, multi, options.size_bound));
+
+  // At the snippets' own budget (L=5, five items per snippet in Figure 1)
+  // the baseline achieves DoD 2; on this instance the swap optimizers
+  // plateau at the same value (every exchange is an equal-gain move), and
+  // only the joint exhaustive optimum reaches 3 -- the coordination gap
+  // that makes the problem NP-hard.
+  SelectorOptions small;
+  small.size_bound = 5;
+  EXPECT_EQ(TotalDod(gps.instance,
+                     SnippetSelector().Select(gps.instance, small)),
+            2);
+  EXPECT_EQ(TotalDod(gps.instance,
+                     MultiSwapOptimizer().Select(gps.instance, small)),
+            2);
+  EXPECT_EQ(TotalDod(gps.instance,
+                     SingleSwapOptimizer().Select(gps.instance, small)),
+            2);
+  EXPECT_EQ(TotalDod(gps.instance,
+                     ExhaustiveSelector().Select(gps.instance, small)),
+            3);
+}
+
+TEST(PaperExampleTest, ExhaustiveConfirmsOptimaOnPaperInstance) {
+  data::PaperGpsInstance gps = data::BuildPaperGpsInstance(/*augmented=*/true);
+  // At the smallest budget the local optimizers reach the global optimum.
+  SelectorOptions tiny;
+  tiny.size_bound = 3;
+  EXPECT_EQ(TotalDod(gps.instance,
+                     ExhaustiveSelector().Select(gps.instance, tiny)),
+            TotalDod(gps.instance,
+                     MultiSwapOptimizer().Select(gps.instance, tiny)));
+  // At L=5 and L=7 the instance exhibits the NP-hard coordination gap:
+  // the joint optimum drops "name" from BOTH DFSs to align the review
+  // prefixes, which no sequence of single-DFS re-optimizations can reach
+  // from the snippet start (each sits on an equal-gain plateau).
+  for (const auto& [bound, exact_dod, local_dod] :
+       std::vector<std::tuple<int, int64_t, int64_t>>{{5, 3, 2}, {7, 7, 6}}) {
+    SelectorOptions options;
+    options.size_bound = bound;
+    const auto exact = ExhaustiveSelector().Select(gps.instance, options);
+    const auto multi = MultiSwapOptimizer().Select(gps.instance, options);
+    EXPECT_EQ(TotalDod(gps.instance, exact), exact_dod) << "L=" << bound;
+    EXPECT_EQ(TotalDod(gps.instance, multi), local_dod) << "L=" << bound;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snippet selector.
+// ---------------------------------------------------------------------------
+
+TEST(SnippetSelectorTest, TakesMostSignificantPrefix) {
+  InstanceFixture fx = BuildInstance({{
+      {"review", "pro: a", "yes", 9, 10},
+      {"review", "pro: b", "yes", 7, 10},
+      {"review", "pro: c", "yes", 5, 10},
+  }});
+  SelectorOptions options;
+  options.size_bound = 2;
+  const auto dfss = SnippetSelector().Select(fx.instance, options);
+  EXPECT_EQ(TypeNames(fx.instance, dfss[0]),
+            (std::set<std::string>{"review.pro: a", "review.pro: b"}));
+}
+
+TEST(SnippetSelectorTest, BoundLargerThanEntriesSelectsAll) {
+  InstanceFixture fx = BuildInstance({{
+      {"review", "pro: a", "yes", 9, 10},
+  }});
+  SelectorOptions options;
+  options.size_bound = 10;
+  const auto dfss = SnippetSelector().Select(fx.instance, options);
+  EXPECT_EQ(dfss[0].size(), 1);
+}
+
+TEST(SnippetSelectorTest, PrefersHigherRelativeOccurrenceAcrossGroups) {
+  // name (100%) must beat a review aspect at 60%.
+  InstanceFixture fx = BuildInstance({{
+      {"review", "pro: a", "yes", 6, 10},
+      {"product", "name", "x", 1, 1},
+  }});
+  SelectorOptions options;
+  options.size_bound = 1;
+  const auto dfss = SnippetSelector().Select(fx.instance, options);
+  EXPECT_EQ(TypeNames(fx.instance, dfss[0]),
+            (std::set<std::string>{"product.name"}));
+}
+
+// ---------------------------------------------------------------------------
+// Single-swap.
+// ---------------------------------------------------------------------------
+
+TEST(SingleSwapTest, EscapesSnippetLocalChoice) {
+  // Result 1's snippet already shows "shared" (its top type); result 0's
+  // snippet shows "only-a" instead. One swap on result 0 brings the
+  // shared, differentiable type in (gain 1 > loss 0).
+  InstanceFixture fx = BuildInstance({
+      {{"alpha", "pro: only-a", "yes", 9, 10},
+       {"beta", "pro: shared", "yes", 8, 10}},
+      {{"beta", "pro: shared", "yes", 2, 10},
+       {"gamma", "pro: only-b", "yes", 1, 10}},
+  });
+  SelectorOptions options;
+  options.size_bound = 1;
+  const auto snippet = SnippetSelector().Select(fx.instance, options);
+  EXPECT_EQ(TotalDod(fx.instance, snippet), 0);
+  const auto swapped = SingleSwapOptimizer().Select(fx.instance, options);
+  EXPECT_EQ(TotalDod(fx.instance, swapped), 1);
+  EXPECT_EQ(TypeNames(fx.instance, swapped[0]),
+            (std::set<std::string>{"beta.pro: shared"}));
+  EXPECT_TRUE(AllValid(fx.instance, swapped, options.size_bound));
+}
+
+TEST(SingleSwapTest, CoordinatedChangesAreBeyondBothLocalOptimizers) {
+  // Neither result's snippet selects "shared"; selecting it in ONE DFS
+  // gains nothing (the partner does not show it), so both swap
+  // algorithms sit in a zero-gain local optimum. Only the joint
+  // (exhaustive) optimizer coordinates the two DFSs -- a concrete
+  // instance of the NP-hard coordination structure (Theorem 2.1).
+  InstanceFixture fx = BuildInstance({
+      {{"alpha", "pro: only-a", "yes", 9, 10},
+       {"beta", "pro: shared", "yes", 8, 10}},
+      {{"gamma", "pro: only-b", "yes", 9, 10},
+       {"beta", "pro: shared", "yes", 2, 10}},
+  });
+  SelectorOptions options;
+  options.size_bound = 1;
+  EXPECT_EQ(TotalDod(fx.instance,
+                     SingleSwapOptimizer().Select(fx.instance, options)),
+            0);
+  EXPECT_EQ(TotalDod(fx.instance,
+                     MultiSwapOptimizer().Select(fx.instance, options)),
+            0);
+  const auto exact = ExhaustiveSelector().Select(fx.instance, options);
+  EXPECT_EQ(TotalDod(fx.instance, exact), 1);
+  EXPECT_EQ(TypeNames(fx.instance, exact[0]),
+            (std::set<std::string>{"beta.pro: shared"}));
+  EXPECT_EQ(TypeNames(fx.instance, exact[1]),
+            (std::set<std::string>{"beta.pro: shared"}));
+}
+
+TEST(SingleSwapTest, RespectsValidityWhileSwapping) {
+  // The gaining type is least significant; selecting it requires keeping
+  // everything above it, which exceeds the budget -> not reachable by any
+  // single swap chain, DoD stays 0, and the DFS must stay valid.
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: big1", "yes", 9, 10},
+       {"review", "pro: big2", "yes", 8, 10},
+       {"review", "pro: tiny", "yes", 2, 10}},
+      {{"review", "pro: tiny", "yes", 9, 10}},
+  });
+  SelectorOptions options;
+  options.size_bound = 2;
+  const auto dfss = SingleSwapOptimizer().Select(fx.instance, options);
+  EXPECT_TRUE(AllValid(fx.instance, dfss, options.size_bound));
+  EXPECT_EQ(TotalDod(fx.instance, dfss), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-swap.
+// ---------------------------------------------------------------------------
+
+TEST(MultiSwapTest, RebuildsWholeDfsWhenSingleSwapsCannot) {
+  // Result 0 owns two entity groups: "alpha" with x1, x2 (each gaining 1
+  // against result 1) and "beta" with y1 (gain 0) and y2 (gain 3, shared
+  // with results 2-4). The snippet start selects {x1, x2}. Reaching the
+  // optimum {y1, y2} needs TWO coordinated changes: selecting y2 alone is
+  // invalid (y1 is more significant), and swapping anything for y1 loses
+  // DoD. Single-swap is provably stuck; multi-swap's DP rebuilds the DFS.
+  InstanceFixture fx = BuildInstance({
+      {{"alpha", "x1", "yes", 9, 10},
+       {"alpha", "x2", "yes", 8, 10},
+       {"beta", "y1", "yes", 7, 10},
+       {"beta", "y2", "yes", 6, 10}},
+      {{"alpha", "x1", "yes", 2, 10}, {"alpha", "x2", "yes", 2, 10}},
+      {{"beta", "y2", "yes", 1, 10}},
+      {{"beta", "y2", "yes", 2, 10}},
+      {{"beta", "y2", "yes", 3, 10}},
+  });
+  SelectorOptions options;
+  options.size_bound = 2;
+  options.fill_to_bound = false;  // keep the counter-example crisp
+
+  const auto snippet = SnippetSelector().Select(fx.instance, options);
+  EXPECT_EQ(TypeNames(fx.instance, snippet[0]),
+            (std::set<std::string>{"alpha.x1", "alpha.x2"}));
+
+  const auto single = SingleSwapOptimizer().Select(fx.instance, options);
+  const auto multi = MultiSwapOptimizer().Select(fx.instance, options);
+  EXPECT_TRUE(AllValid(fx.instance, single, options.size_bound));
+  EXPECT_TRUE(AllValid(fx.instance, multi, options.size_bound));
+
+  // Pairs among results 2-4 always contribute 3 (their mutual y2 shares
+  // differ); result 0 adds 2 when stuck on {x1, x2} and 3 after the DP
+  // rebuilds its DFS to {y1, y2}.
+  EXPECT_EQ(TotalDod(fx.instance, single), 5);  // 3 + stuck {x1, x2}
+  EXPECT_EQ(TotalDod(fx.instance, multi), 6);   // 3 + rebuilt {y1, y2}
+  EXPECT_EQ(TypeNames(fx.instance, multi[0]),
+            (std::set<std::string>{"beta.y1", "beta.y2"}));
+}
+
+TEST(MultiSwapTest, OptimizeOneMatchesEnumerationOverSingleResult) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    InstanceFixture fx = RandomInstance(seed, 3, 6);
+    SelectorOptions options;
+    options.size_bound = 3;
+    // Fix results 1, 2 with snippets; exactly re-optimize result 0 and
+    // compare against brute force over all valid DFSs of result 0.
+    auto dfss = SnippetSelector().Select(fx.instance, options);
+    const Dfs best = MultiSwapOptimizer::OptimizeOne(fx.instance, dfss, 0,
+                                                     options.size_bound);
+    int64_t best_gain = 0;
+    for (feature::TypeId t : best.SelectedTypes(fx.instance)) {
+      best_gain += TypeGain(fx.instance, dfss, 0, t);
+    }
+    EXPECT_TRUE(best.IsValid(fx.instance)) << "seed " << seed;
+    EXPECT_LE(best.size(), options.size_bound);
+
+    int64_t brute_gain = 0;
+    for (const Dfs& cand : ExhaustiveSelector::EnumerateValid(
+             fx.instance, 0, options.size_bound)) {
+      int64_t g = 0;
+      for (feature::TypeId t : cand.SelectedTypes(fx.instance)) {
+        g += TypeGain(fx.instance, dfss, 0, t);
+      }
+      brute_gain = std::max(brute_gain, g);
+    }
+    EXPECT_EQ(best_gain, brute_gain) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive.
+// ---------------------------------------------------------------------------
+
+TEST(ExhaustiveTest, EnumerateValidProducesExactlyTheValidSets) {
+  InstanceFixture fx = BuildInstance({{
+      {"review", "pro: a", "yes", 9, 10},
+      {"review", "pro: b", "yes", 6, 10},
+      {"review", "pro: c", "yes", 6, 10},
+  }});
+  const auto all = ExhaustiveSelector::EnumerateValid(fx.instance, 0, 3);
+  // Valid sets: {}, {a}, {a,b}, {a,c}, {a,b,c} -> 5.
+  EXPECT_EQ(all.size(), 5u);
+  std::set<std::vector<int>> seen;
+  for (const Dfs& d : all) {
+    EXPECT_TRUE(d.IsValid(fx.instance));
+    EXPECT_LE(d.size(), 3);
+    EXPECT_TRUE(seen.insert(d.SelectedEntries()).second) << "duplicate";
+  }
+}
+
+TEST(ExhaustiveTest, EnumerationRespectsSizeBound) {
+  InstanceFixture fx = BuildInstance({{
+      {"review", "pro: a", "yes", 9, 10},
+      {"review", "pro: b", "yes", 6, 10},
+      {"review", "pro: c", "yes", 6, 10},
+  }});
+  const auto all = ExhaustiveSelector::EnumerateValid(fx.instance, 0, 1);
+  // {}, {a} only.
+  EXPECT_EQ(all.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------------
+
+TEST(SelectorFactoryTest, MakesEveryKind) {
+  for (SelectorKind kind :
+       {SelectorKind::kSnippet, SelectorKind::kGreedy,
+        SelectorKind::kSingleSwap, SelectorKind::kMultiSwap,
+        SelectorKind::kExhaustive}) {
+    auto selector = MakeSelector(kind);
+    ASSERT_NE(selector, nullptr);
+    EXPECT_EQ(selector->name(), SelectorKindName(kind));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random instances.
+// ---------------------------------------------------------------------------
+
+struct PropertyParam {
+  uint64_t seed;
+  int num_results;
+  int max_types;
+  int size_bound;
+};
+
+class SelectorProperty : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(SelectorProperty, AllAlgorithmsProduceValidBoundedAssignments) {
+  const PropertyParam p = GetParam();
+  InstanceFixture fx = RandomInstance(p.seed, p.num_results, p.max_types);
+  SelectorOptions options;
+  options.size_bound = p.size_bound;
+  for (SelectorKind kind : {SelectorKind::kSnippet, SelectorKind::kGreedy,
+                            SelectorKind::kSingleSwap,
+                            SelectorKind::kMultiSwap}) {
+    const auto dfss = MakeSelector(kind)->Select(fx.instance, options);
+    ASSERT_EQ(static_cast<int>(dfss.size()), fx.instance.num_results());
+    EXPECT_TRUE(AllValid(fx.instance, dfss, options.size_bound))
+        << SelectorKindName(kind) << " seed " << p.seed;
+  }
+}
+
+TEST_P(SelectorProperty, OptimizersNeverLoseToSnippets) {
+  const PropertyParam p = GetParam();
+  InstanceFixture fx = RandomInstance(p.seed, p.num_results, p.max_types);
+  SelectorOptions options;
+  options.size_bound = p.size_bound;
+  const int64_t snippet =
+      TotalDod(fx.instance, SnippetSelector().Select(fx.instance, options));
+  const int64_t single = TotalDod(
+      fx.instance, SingleSwapOptimizer().Select(fx.instance, options));
+  const int64_t multi = TotalDod(
+      fx.instance, MultiSwapOptimizer().Select(fx.instance, options));
+  EXPECT_GE(single, snippet) << "seed " << p.seed;
+  EXPECT_GE(multi, snippet) << "seed " << p.seed;
+}
+
+TEST_P(SelectorProperty, SingleSwapResultIsSingleSwapOptimal) {
+  const PropertyParam p = GetParam();
+  InstanceFixture fx = RandomInstance(p.seed, p.num_results, p.max_types);
+  SelectorOptions options;
+  options.size_bound = p.size_bound;
+  const auto dfss = SingleSwapOptimizer().Select(fx.instance, options);
+  EXPECT_FALSE(SingleSwapOptimizer::HasImprovingMove(fx.instance, dfss,
+                                                     options.size_bound))
+      << "seed " << p.seed;
+}
+
+TEST_P(SelectorProperty, MultiSwapResultIsMultiSwapOptimal) {
+  const PropertyParam p = GetParam();
+  InstanceFixture fx = RandomInstance(p.seed, p.num_results, p.max_types);
+  SelectorOptions options;
+  options.size_bound = p.size_bound;
+  auto dfss = MultiSwapOptimizer().Select(fx.instance, options);
+  const int64_t dod = TotalDod(fx.instance, dfss);
+  // No whole-DFS rewrite of any single result may improve total DoD.
+  for (int i = 0; i < fx.instance.num_results(); ++i) {
+    for (const Dfs& cand : ExhaustiveSelector::EnumerateValid(
+             fx.instance, i, options.size_bound)) {
+      std::vector<Dfs> alt = dfss;
+      alt[static_cast<size_t>(i)] = cand;
+      EXPECT_LE(TotalDod(fx.instance, alt), dod)
+          << "seed " << p.seed << " result " << i;
+    }
+  }
+}
+
+TEST_P(SelectorProperty, MultiSwapDominatesSingleSwapFromSameStart) {
+  // Not guaranteed in general for local search, but it holds on these
+  // instances and matches the paper's Figure 4(a) trend; treat as a
+  // regression canary with the exhaustive bound as the hard ceiling.
+  const PropertyParam p = GetParam();
+  InstanceFixture fx = RandomInstance(p.seed, p.num_results, p.max_types);
+  SelectorOptions options;
+  options.size_bound = p.size_bound;
+  const int64_t multi = TotalDod(
+      fx.instance, MultiSwapOptimizer().Select(fx.instance, options));
+  const int64_t exact = TotalDod(
+      fx.instance, ExhaustiveSelector().Select(fx.instance, options));
+  EXPECT_LE(multi, exact) << "seed " << p.seed;
+  EXPECT_GE(exact, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectorProperty,
+    ::testing::Values(PropertyParam{1, 2, 5, 2}, PropertyParam{2, 2, 6, 3},
+                      PropertyParam{3, 3, 5, 2}, PropertyParam{4, 3, 6, 3},
+                      PropertyParam{5, 3, 4, 4}, PropertyParam{6, 2, 4, 1},
+                      PropertyParam{7, 3, 6, 2}, PropertyParam{8, 2, 6, 4},
+                      PropertyParam{9, 3, 5, 3}, PropertyParam{10, 3, 4, 2}));
+
+}  // namespace
+}  // namespace xsact::core

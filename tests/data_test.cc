@@ -1,0 +1,192 @@
+// Tests for the synthetic dataset generators: determinism, structural
+// shape, and searchability of the workload keywords.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/paper_example.h"
+#include "data/product_reviews.h"
+#include "data/vocab.h"
+#include "entity/entity_identifier.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+#include "xml/writer.h"
+
+namespace xsact::data {
+namespace {
+
+TEST(ProductReviewsTest, DeterministicForSeed) {
+  ProductReviewsConfig config;
+  config.num_products = 5;
+  config.min_reviews = 2;
+  config.max_reviews = 6;
+  config.seed = 42;
+  const std::string a = xml::WriteDocument(GenerateProductReviews(config));
+  const std::string b = xml::WriteDocument(GenerateProductReviews(config));
+  EXPECT_EQ(a, b);
+  config.seed = 43;
+  EXPECT_NE(a, xml::WriteDocument(GenerateProductReviews(config)));
+}
+
+TEST(ProductReviewsTest, ShapeMatchesFigure1) {
+  ProductReviewsConfig config;
+  config.num_products = 6;
+  config.min_reviews = 3;
+  config.max_reviews = 9;
+  const xml::Document doc = GenerateProductReviews(config);
+  ASSERT_EQ(doc.root()->tag(), "products");
+  const auto products = doc.root()->ChildElements("product");
+  ASSERT_EQ(products.size(), 6u);
+  for (const xml::Node* p : products) {
+    EXPECT_NE(p->FirstChildElement("name"), nullptr);
+    EXPECT_NE(p->FirstChildElement("rating"), nullptr);
+    const xml::Node* reviews = p->FirstChildElement("reviews");
+    ASSERT_NE(reviews, nullptr);
+    const auto rs = reviews->ChildElements("review");
+    EXPECT_GE(rs.size(), 3u);
+    EXPECT_LE(rs.size(), 9u);
+    for (const xml::Node* r : rs) {
+      EXPECT_NE(r->FirstChildElement("stars"), nullptr);
+      EXPECT_NE(r->FirstChildElement("pros"), nullptr);
+    }
+  }
+}
+
+TEST(ProductReviewsTest, GeneratedXmlParsesBack) {
+  const xml::Document doc = GenerateProductReviews(
+      {.num_products = 3, .min_reviews = 2, .max_reviews = 4, .seed = 7});
+  auto parsed = xml::Parse(xml::WriteDocument(doc));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NodeCount(), doc.NodeCount());
+}
+
+TEST(ProductReviewsTest, SchemaInfersExpectedCategories) {
+  const xml::Document doc = GenerateProductReviews(
+      {.num_products = 5, .min_reviews = 3, .max_reviews = 8, .seed = 9});
+  const entity::EntitySchema schema = entity::InferSchema(doc);
+  EXPECT_EQ(schema.CategoryOf("products", "product"),
+            entity::NodeCategory::kEntity);
+  EXPECT_EQ(schema.CategoryOf("reviews", "review"),
+            entity::NodeCategory::kEntity);
+  EXPECT_EQ(schema.CategoryOf("pros", "pro"),
+            entity::NodeCategory::kMultiAttribute);
+}
+
+TEST(OutdoorRetailerTest, BrandsHaveFocusedPortfolios) {
+  OutdoorRetailerConfig config;
+  config.num_brands = 4;
+  config.min_products = 30;
+  config.max_products = 40;
+  const xml::Document doc = GenerateOutdoorRetailer(config);
+  ASSERT_EQ(doc.root()->tag(), "catalog");
+  const auto brands = doc.root()->ChildElements("brand");
+  ASSERT_EQ(brands.size(), 4u);
+  for (const xml::Node* brand : brands) {
+    const auto products =
+        brand->FirstChildElement("products")->ChildElements("product");
+    ASSERT_GE(products.size(), 30u);
+    // The dominant category must cover a majority-ish share.
+    std::map<std::string, int> by_category;
+    for (const xml::Node* p : products) {
+      ++by_category[p->FirstChildElement("category")->InnerText()];
+    }
+    int max_count = 0;
+    for (const auto& [cat, count] : by_category) max_count = std::max(max_count, count);
+    EXPECT_GT(max_count * 2, static_cast<int>(products.size()))
+        << "brand lacks a dominant category";
+  }
+}
+
+TEST(OutdoorRetailerTest, Deterministic) {
+  OutdoorRetailerConfig config;
+  config.num_brands = 3;
+  config.min_products = 5;
+  config.max_products = 8;
+  EXPECT_EQ(xml::WriteDocument(GenerateOutdoorRetailer(config)),
+            xml::WriteDocument(GenerateOutdoorRetailer(config)));
+}
+
+TEST(MoviesTest, FranchiseSizesControlResultCounts) {
+  MoviesConfig config;
+  config.franchise_sizes = {2, 3, 5};
+  config.min_reviews = 2;
+  config.max_reviews = 4;
+  const xml::Document doc = GenerateMovies(config);
+  const auto movies = doc.root()->ChildElements("movie");
+  ASSERT_EQ(movies.size(), 10u);
+  // Count movies whose title carries each franchise stem.
+  const auto& franchises = MovieFranchises();
+  std::vector<int> counts(3, 0);
+  for (const xml::Node* m : movies) {
+    const std::string title = m->FirstChildElement("title")->InnerText();
+    for (size_t f = 0; f < 3; ++f) {
+      if (title.find(franchises[f]) != std::string::npos) ++counts[f];
+    }
+  }
+  EXPECT_EQ(counts, (std::vector<int>{2, 3, 5}));
+}
+
+TEST(MoviesTest, MovieShape) {
+  MoviesConfig config;
+  config.franchise_sizes = {3};
+  const xml::Document doc = GenerateMovies(config);
+  for (const xml::Node* m : doc.root()->ChildElements("movie")) {
+    for (const char* tag :
+         {"title", "year", "director", "runtime", "country", "rating",
+          "votes", "genres", "reviews"}) {
+      EXPECT_NE(m->FirstChildElement(tag), nullptr) << tag;
+    }
+  }
+}
+
+TEST(MoviesTest, WorkloadHasEightDistinctQueries) {
+  const auto workload = MovieQueryWorkload(5);
+  ASSERT_EQ(workload.size(), 8u);
+  std::set<std::string> ids, queries;
+  for (const QuerySpec& q : workload) {
+    ids.insert(q.id);
+    queries.insert(q.query);
+    EXPECT_EQ(q.size_bound, 5);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(queries.size(), 8u);
+  EXPECT_EQ(workload[0].id, "QM1");
+  EXPECT_EQ(workload[7].id, "QM8");
+}
+
+TEST(PaperExampleTest, StatisticsMatchFigure1) {
+  PaperGpsInstance gps = BuildPaperGpsInstance(/*augmented=*/false);
+  ASSERT_EQ(gps.instance.num_results(), 2);
+  const feature::TypeId compact =
+      gps.catalog->FindType("review", "pro: compact");
+  ASSERT_GE(compact, 0);
+  const feature::TypeStats* s1 = gps.instance.result(0).Find(compact);
+  const feature::TypeStats* s3 = gps.instance.result(1).Find(compact);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s3, nullptr);
+  EXPECT_DOUBLE_EQ(s1->occurrence, 8);
+  EXPECT_DOUBLE_EQ(s1->entity_cardinality, 11);
+  EXPECT_DOUBLE_EQ(s3->occurrence, 38);
+  EXPECT_DOUBLE_EQ(s3->entity_cardinality, 68);
+  // The augmented instance adds the "..." counts without touching these.
+  PaperGpsInstance aug = BuildPaperGpsInstance(/*augmented=*/true);
+  EXPECT_GT(aug.instance.result(0).NumTypes(),
+            gps.instance.result(0).NumTypes());
+}
+
+TEST(VocabTest, PoolsAreNonEmptyAndStable) {
+  EXPECT_FALSE(ProAspects().empty());
+  EXPECT_FALSE(ConAspects().empty());
+  EXPECT_FALSE(BestUses().empty());
+  EXPECT_FALSE(OutdoorBrands().empty());
+  EXPECT_EQ(OutdoorCategories().size(), OutdoorSubcategories().size());
+  EXPECT_GE(MovieFranchises().size(), 8u);
+  EXPECT_EQ(&ProAspects(), &ProAspects());  // same static instance
+}
+
+}  // namespace
+}  // namespace xsact::data

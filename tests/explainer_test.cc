@@ -1,0 +1,117 @@
+// Tests for the difference explainer.
+
+#include <gtest/gtest.h>
+
+#include "core/multi_swap.h"
+#include "data/paper_example.h"
+#include "table/explainer.h"
+#include "test_util.h"
+
+namespace xsact::table {
+namespace {
+
+using testing::BuildInstance;
+using testing::InstanceFixture;
+
+std::vector<core::Dfs> SelectAll(const core::ComparisonInstance& instance) {
+  std::vector<core::Dfs> dfss;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    core::Dfs d(instance, i);
+    for (size_t k = 0; k < instance.entries(i).size(); ++k) {
+      d.Add(static_cast<int>(k));
+    }
+    dfss.push_back(std::move(d));
+  }
+  return dfss;
+}
+
+TEST(ExplainerTest, DifferingValuesSentence) {
+  InstanceFixture fx = BuildInstance({
+      {{"product", "category", "rain jackets", 1, 1}},
+      {{"product", "category", "ski jackets", 1, 1}},
+  });
+  const auto explanations =
+      ExplainDifferences(fx.instance, SelectAll(fx.instance));
+  ASSERT_EQ(explanations.size(), 1u);
+  EXPECT_EQ(explanations[0].pairs_differentiated, 1);
+  EXPECT_EQ(explanations[0].text,
+            "category is \"rain jackets\" for R1 but \"ski jackets\" for R2");
+}
+
+TEST(ExplainerTest, DifferingSharesSentence) {
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: compact", "yes", 8, 11}},
+      {{"review", "pro: compact", "yes", 38, 68}},
+  });
+  const auto explanations =
+      ExplainDifferences(fx.instance, SelectAll(fx.instance));
+  ASSERT_EQ(explanations.size(), 1u);
+  EXPECT_EQ(explanations[0].text,
+            "pro: compact holds for 73% of R1's reviews vs 56% of R2's");
+}
+
+TEST(ExplainerTest, NonDifferentiatingTypesAreSilent) {
+  InstanceFixture fx = BuildInstance({
+      {{"product", "kind", "gps", 1, 1}},
+      {{"product", "kind", "gps", 1, 1}},
+  });
+  EXPECT_TRUE(ExplainDifferences(fx.instance, SelectAll(fx.instance)).empty());
+}
+
+TEST(ExplainerTest, SortsByPairsAndHonorsLimit) {
+  // "wide" differentiates all three pairs; "narrow" only one.
+  InstanceFixture fx = BuildInstance({
+      {{"product", "wide", "a", 1, 1}, {"review", "narrow", "yes", 9, 10}},
+      {{"product", "wide", "b", 1, 1}, {"review", "narrow", "yes", 8, 10}},
+      {{"product", "wide", "c", 1, 1}, {"review", "narrow", "yes", 1, 10}},
+  });
+  const auto dfss = SelectAll(fx.instance);
+  const auto all = ExplainDifferences(fx.instance, dfss, 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].type_id, fx.catalog->FindType("product", "wide"));
+  EXPECT_EQ(all[0].pairs_differentiated, 3);
+  EXPECT_GE(all[0].pairs_differentiated, all[1].pairs_differentiated);
+  const auto limited = ExplainDifferences(fx.instance, dfss, 1);
+  ASSERT_EQ(limited.size(), 1u);
+  EXPECT_EQ(limited[0].type_id, all[0].type_id);
+}
+
+TEST(ExplainerTest, PicksMostContrastingPairForTheSentence) {
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: x", "yes", 9, 10}},
+      {{"review", "pro: x", "yes", 7, 10}},
+      {{"review", "pro: x", "yes", 1, 10}},
+  });
+  const auto explanations =
+      ExplainDifferences(fx.instance, SelectAll(fx.instance));
+  ASSERT_EQ(explanations.size(), 1u);
+  // 90% vs 10% is the widest contrast.
+  EXPECT_NE(explanations[0].text.find("90%"), std::string::npos);
+  EXPECT_NE(explanations[0].text.find("10%"), std::string::npos);
+}
+
+TEST(ExplainerTest, PaperInstanceReadsLikeTheWalkthrough) {
+  data::PaperGpsInstance gps = data::BuildPaperGpsInstance(true);
+  core::SelectorOptions options;
+  options.size_bound = 7;
+  const auto dfss = core::MultiSwapOptimizer().Select(gps.instance, options);
+  const auto explanations = ExplainDifferences(gps.instance, dfss, 10);
+  ASSERT_GE(explanations.size(), 5u);
+  const std::string rendered = RenderExplanations(explanations);
+  EXPECT_NE(rendered.find("name is"), std::string::npos);
+  EXPECT_NE(rendered.find("pro: compact holds for 73%"), std::string::npos);
+  EXPECT_NE(rendered.find("  * "), std::string::npos);
+}
+
+TEST(ExplainerTest, EmptyDfssYieldNothing) {
+  InstanceFixture fx = BuildInstance({
+      {{"product", "a", "x", 1, 1}},
+      {{"product", "a", "y", 1, 1}},
+  });
+  std::vector<core::Dfs> empty;
+  for (int i = 0; i < 2; ++i) empty.emplace_back(fx.instance, i);
+  EXPECT_TRUE(ExplainDifferences(fx.instance, empty).empty());
+}
+
+}  // namespace
+}  // namespace xsact::table

@@ -1,0 +1,154 @@
+// Integration tests: the full pipeline (generator -> parser -> index ->
+// SLCA -> entities -> features -> DFS -> table) on all three datasets,
+// including the QM1..QM8 movie workload of Figure 4.
+
+#include <gtest/gtest.h>
+
+#include "core/dod.h"
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/product_reviews.h"
+#include "engine/xsact.h"
+#include "table/renderer.h"
+#include "xml/writer.h"
+
+namespace xsact {
+namespace {
+
+using engine::CompareOptions;
+using engine::Xsact;
+
+TEST(MovieWorkloadIntegrationTest, EveryQmQueryComparesItsFranchise) {
+  data::MoviesConfig config;
+  config.min_reviews = 4;
+  config.max_reviews = 12;
+  Xsact xsact(data::GenerateMovies(config));
+  const auto workload = data::MovieQueryWorkload(5);
+  ASSERT_EQ(workload.size(), config.franchise_sizes.size());
+
+  for (size_t k = 0; k < workload.size(); ++k) {
+    auto results = xsact.Search(workload[k].query);
+    ASSERT_TRUE(results.ok()) << workload[k].id;
+    EXPECT_EQ(results->size(),
+              static_cast<size_t>(config.franchise_sizes[k]))
+        << workload[k].id;
+
+    CompareOptions options;
+    options.selector.size_bound = workload[k].size_bound;
+    auto outcome = xsact.SearchAndCompare(workload[k].query, 0, options);
+    ASSERT_TRUE(outcome.ok()) << workload[k].id;
+    EXPECT_TRUE(core::AllValid(outcome->instance, outcome->dfss,
+                               options.selector.size_bound))
+        << workload[k].id;
+    EXPECT_GT(outcome->total_dod, 0) << workload[k].id;
+  }
+}
+
+TEST(MovieWorkloadIntegrationTest, AlgorithmOrderingHoldsAcrossQueries) {
+  // The Figure-4(a) trend: multi-swap >= single-swap >= snippet on every
+  // query (the optimizers also never fall below the snippet baseline by
+  // construction).
+  data::MoviesConfig config;
+  config.min_reviews = 4;
+  config.max_reviews = 10;
+  Xsact xsact(data::GenerateMovies(config));
+  for (const auto& spec : data::MovieQueryWorkload(5)) {
+    int64_t dod_by_kind[3] = {0, 0, 0};
+    int i = 0;
+    for (core::SelectorKind kind :
+         {core::SelectorKind::kSnippet, core::SelectorKind::kSingleSwap,
+          core::SelectorKind::kMultiSwap}) {
+      CompareOptions options;
+      options.algorithm = kind;
+      options.selector.size_bound = spec.size_bound;
+      auto outcome = xsact.SearchAndCompare(spec.query, 0, options);
+      ASSERT_TRUE(outcome.ok()) << spec.id;
+      dod_by_kind[i++] = outcome->total_dod;
+    }
+    EXPECT_GE(dod_by_kind[1], dod_by_kind[0]) << spec.id;  // single >= snip
+    EXPECT_GE(dod_by_kind[2], dod_by_kind[0]) << spec.id;  // multi >= snip
+  }
+}
+
+TEST(ProductReviewsIntegrationTest, ComparisonTableRendersEverywhere) {
+  data::ProductReviewsConfig config;
+  config.num_products = 12;
+  config.min_reviews = 8;
+  config.max_reviews = 24;
+  Xsact xsact(data::GenerateProductReviews(config));
+  CompareOptions options;
+  options.selector.size_bound = 8;
+  auto outcome = xsact.SearchAndCompare("gps", 3, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  const std::string ascii = table::RenderAscii(outcome->table);
+  const std::string md = table::RenderMarkdown(outcome->table);
+  const std::string html = table::RenderHtml(outcome->table);
+  const std::string csv = table::RenderCsv(outcome->table);
+  const std::string json = table::RenderJson(outcome->table);
+  for (const std::string* out : {&ascii, &md, &html, &csv, &json}) {
+    EXPECT_FALSE(out->empty());
+  }
+  // Every result label appears in every rendering.
+  for (const std::string& header : outcome->table.headers) {
+    EXPECT_NE(ascii.find(header), std::string::npos);
+    EXPECT_NE(csv.find(header), std::string::npos);
+  }
+}
+
+TEST(OutdoorIntegrationTest, BrandComparisonShowsCategoryFocus) {
+  data::OutdoorRetailerConfig config;
+  config.num_brands = 6;
+  config.min_products = 25;
+  config.max_products = 50;
+  Xsact xsact(data::GenerateOutdoorRetailer(config));
+  CompareOptions options;
+  options.lift_results_to = "brand";
+  options.selector.size_bound = 6;
+  auto outcome = xsact.SearchAndCompare("jackets", 0, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_GE(outcome->instance.num_results(), 3);
+
+  // The category type must be selected and differentiating: distinct
+  // brands focus on distinct categories by construction.
+  bool found_differentiating_category = false;
+  for (const auto& row : outcome->table.rows) {
+    if (row.label == "product.category" && row.differentiating) {
+      found_differentiating_category = true;
+    }
+  }
+  EXPECT_TRUE(found_differentiating_category)
+      << table::RenderAscii(outcome->table);
+}
+
+TEST(StabilityIntegrationTest, RepeatedRunsAreIdentical) {
+  data::MoviesConfig config;
+  config.franchise_sizes = {5, 5};
+  Xsact xsact(data::GenerateMovies(config));
+  CompareOptions options;
+  options.selector.size_bound = 5;
+  auto a = xsact.SearchAndCompare("star", 0, options);
+  auto b = xsact.SearchAndCompare("star", 0, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_dod, b->total_dod);
+  EXPECT_EQ(table::RenderJson(a->table), table::RenderJson(b->table));
+}
+
+TEST(SerializationIntegrationTest, CorpusSurvivesWriteParseCycle) {
+  const xml::Document original = data::GenerateProductReviews(
+      {.num_products = 6, .min_reviews = 4, .max_reviews = 10, .seed = 3});
+  auto reparsed = Xsact::FromXml(xml::WriteDocument(original));
+  ASSERT_TRUE(reparsed.ok());
+  Xsact direct(original.Clone());
+  CompareOptions options;
+  auto a = reparsed->SearchAndCompare("gps", 3, options);
+  auto b = direct.SearchAndCompare("gps", 3, options);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->total_dod, b->total_dod);
+  EXPECT_EQ(a->table.headers, b->table.headers);
+}
+
+}  // namespace
+}  // namespace xsact

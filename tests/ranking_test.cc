@@ -1,0 +1,169 @@
+// Tests for search-result ranking, file I/O and result snippets.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/product_reviews.h"
+#include "engine/xsact.h"
+#include "search/ranking.h"
+#include "search/search_engine.h"
+#include "xml/io.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsact {
+namespace {
+
+xml::Document Doc(std::string_view text) {
+  auto d = xml::Parse(text);
+  EXPECT_TRUE(d.ok()) << d.status();
+  return std::move(d).value();
+}
+
+class RankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Result 1: tight match (both terms in one small product).
+    // Result 2: sprawling match (terms scattered in a big subtree).
+    // Result 3: repeats "gps" many times.
+    engine_ = std::make_unique<search::SearchEngine>(Doc(
+        "<catalog>"
+        "<product><name>tomtom gps</name></product>"
+        "<product><name>tomtom device</name>"
+        "  <a>f1</a><b>f2</b><c>f3</c><d>f4</d><e>f5</e><f>f6</f>"
+        "  <g>f7</g><h>f8</h><i>f9</i><j>f10</j><k>f11</k>"
+        "  <desc>works like a gps</desc></product>"
+        "<product><name>tomtom gps gps gps</name>"
+        "  <desc>gps gps</desc></product>"
+        "</catalog>"));
+  }
+
+  std::unique_ptr<search::SearchEngine> engine_;
+};
+
+TEST_F(RankingTest, TermFrequencyInSubtreeCounts) {
+  const auto& table = engine_->table();
+  const auto& index = engine_->index();
+  // Product roots are the entity nodes (repeated under catalog).
+  auto results = engine_->Search("tomtom");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ(search::TermFrequencyInSubtree(table, index, "gps",
+                                           results->at(0).root_id),
+            1u);
+  EXPECT_EQ(search::TermFrequencyInSubtree(table, index, "gps",
+                                           results->at(1).root_id),
+            1u);
+  // Postings are per-element, so the third product counts 2 elements
+  // (name and desc), not 5 raw occurrences.
+  EXPECT_EQ(search::TermFrequencyInSubtree(table, index, "gps",
+                                           results->at(2).root_id),
+            2u);
+  EXPECT_EQ(search::TermFrequencyInSubtree(table, index, "zzz",
+                                           results->at(0).root_id),
+            0u);
+}
+
+TEST_F(RankingTest, TighterAndDenserMatchesRankHigher) {
+  auto ranked = engine_->SearchRanked("tomtom gps");
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  // The sprawling product (result 2 in document order) must sink to the
+  // bottom; the dense repeat match ranks above the single tight match.
+  EXPECT_EQ(ranked->at(2).title, "tomtom device");
+  EXPECT_EQ(ranked->at(0).title, "tomtom gps gps gps");
+}
+
+TEST_F(RankingTest, RankingIsStableAndDeterministic) {
+  auto a = engine_->SearchRanked("tomtom gps");
+  auto b = engine_->SearchRanked("tomtom gps");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->at(i).root_id, b->at(i).root_id);
+  }
+}
+
+TEST_F(RankingTest, ScoresAreNonNegativeAndOrdered) {
+  auto results = engine_->Search("gps");
+  ASSERT_TRUE(results.ok());
+  const auto terms = std::vector<std::string>{"gps"};
+  double prev = 1e18;
+  auto ranked = search::RankResults(engine_->table(), engine_->index(), terms,
+                                    *results);
+  for (const auto& r : ranked) {
+    const double s =
+        search::ScoreResult(engine_->table(), engine_->index(), terms, r);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(BriefSnippetTest, ShowsLeadingLeafFields) {
+  xml::Document doc = Doc(
+      "<product><name>gizmo</name><price>9.99</price>"
+      "<reviews><review><stars>5</stars></review>"
+      "<review><stars>1</stars></review></reviews>"
+      "<color>red</color></product>");
+  EXPECT_EQ(search::BriefSnippet(*doc.root()),
+            "name: gizmo | price: 9.99 | color: red");
+  EXPECT_EQ(search::BriefSnippet(*doc.root(), 1), "name: gizmo");
+  xml::Document empty = Doc("<p><deep><x>1</x></deep></p>");
+  EXPECT_EQ(search::BriefSnippet(*empty.root()), "");
+}
+
+TEST(BriefSnippetTest, TruncatesLongValues) {
+  xml::Document doc =
+      Doc("<p><blurb>" + std::string(100, 'a') + "</blurb></p>");
+  const std::string snippet = search::BriefSnippet(*doc.root());
+  EXPECT_NE(snippet.find("..."), std::string::npos);
+  EXPECT_LT(snippet.size(), 60u);
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = ::testing::TempDir() + "/xsact_io_test.xml";
+};
+
+TEST_F(IoTest, WriteAndReadRoundtrip) {
+  const xml::Document doc = data::GenerateProductReviews(
+      {.num_products = 3, .min_reviews = 2, .max_reviews = 4, .seed = 9});
+  ASSERT_TRUE(xml::WriteDocumentToFile(doc, path_).ok());
+  auto loaded = xml::ParseFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(xml::WriteDocument(*loaded), xml::WriteDocument(doc));
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  auto missing = xml::ReadFileToString("/nonexistent/xsact.xml");
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  auto parse_missing = xml::ParseFile("/nonexistent/xsact.xml");
+  EXPECT_EQ(parse_missing.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, ParseFileReportsPathOnSyntaxError) {
+  ASSERT_TRUE(xml::WriteStringToFile(path_, "<broken").ok());
+  auto parsed = xml::ParseFile(path_);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find(path_), std::string::npos);
+}
+
+TEST_F(IoTest, EngineFromFile) {
+  const xml::Document doc = data::GenerateProductReviews(
+      {.num_products = 4, .min_reviews = 3, .max_reviews = 6, .seed = 2});
+  ASSERT_TRUE(xml::WriteDocumentToFile(doc, path_).ok());
+  auto xsact = engine::Xsact::FromFile(path_);
+  ASSERT_TRUE(xsact.ok()) << xsact.status();
+  auto results = xsact->Search("gps");
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+}  // namespace
+}  // namespace xsact

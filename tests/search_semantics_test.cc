@@ -1,0 +1,186 @@
+// Tests for ELCA answer semantics, fielded query parsing, and their
+// integration in the search engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "search/search_engine.h"
+#include "search/slca.h"
+#include "xml/parser.h"
+
+namespace xsact::search {
+namespace {
+
+xml::Document Doc(std::string_view text) {
+  auto d = xml::Parse(text);
+  EXPECT_TRUE(d.ok()) << d.status();
+  return std::move(d).value();
+}
+
+class ElcaTest : public ::testing::Test {
+ protected:
+  void Init(std::string_view text) {
+    doc_ = Doc(text);
+    table_ = xml::NodeTable::Build(doc_);
+    index_ = InvertedIndex::Build(doc_, table_);
+  }
+
+  MatchLists Lists(const std::vector<std::string>& terms) {
+    MatchLists lists;
+    for (const auto& t : terms) lists.push_back(index_.Postings(t));
+    return lists;
+  }
+
+  std::vector<std::string> TagsOf(const std::vector<xml::NodeId>& ids) {
+    std::vector<std::string> tags;
+    for (auto id : ids) tags.push_back(table_.node(id)->tag());
+    return tags;
+  }
+
+  xml::Document doc_;
+  xml::NodeTable table_;
+  InvertedIndex index_;
+};
+
+TEST_F(ElcaTest, ElcaEqualsSlcaWhenNoExclusiveAncestors) {
+  Init("<c><p><n>alpha beta</n></p><p><n>gamma</n></p></c>");
+  const auto lists = Lists({"alpha", "beta"});
+  EXPECT_EQ(ComputeElcaByScan(table_, lists),
+            ComputeSlcaByScan(table_, lists));
+}
+
+TEST_F(ElcaTest, AncestorWithOwnWitnessesIsElcaButNotSlca) {
+  // The first <p> contains alpha+beta inside <n> (an SLCA), AND has its
+  // own alpha (in <m>) plus beta (in <o>) outside that full descendant:
+  // <p> is an ELCA with exclusive witnesses, but not an SLCA.
+  Init(
+      "<c><p><n>alpha beta</n><m>alpha</m><o>beta</o></p>"
+      "<p><n>alpha</n></p></c>");
+  const auto lists = Lists({"alpha", "beta"});
+  const auto slca = ComputeSlcaByScan(table_, lists);
+  const auto elca = ComputeElcaByScan(table_, lists);
+  ASSERT_EQ(slca.size(), 1u);
+  EXPECT_EQ(table_.node(slca[0])->tag(), "n");
+  ASSERT_EQ(elca.size(), 2u);
+  EXPECT_EQ(TagsOf(elca), (std::vector<std::string>{"p", "n"}));
+}
+
+TEST_F(ElcaTest, ShieldedAncestorIsNotElca) {
+  // Root contains both keywords only through the full <n>; no exclusive
+  // witnesses of its own -> not an ELCA.
+  Init("<c><p><n>alpha beta</n></p><q>alpha</q></c>");
+  const auto elca = ComputeElcaByScan(table_, Lists({"alpha", "beta"}));
+  ASSERT_EQ(elca.size(), 1u);
+  EXPECT_EQ(table_.node(elca[0])->tag(), "n");
+}
+
+TEST_F(ElcaTest, EmptyListsGiveNoAnswers) {
+  Init("<c><n>alpha</n></c>");
+  EXPECT_TRUE(ComputeElcaByScan(table_, Lists({"alpha", "zzz"})).empty());
+  EXPECT_TRUE(ComputeElcaByScan(table_, {}).empty());
+}
+
+// Property: SLCA is always a subset of ELCA, on random documents.
+class ElcaSupersetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ElcaSupersetProperty, SlcaSubsetOfElca) {
+  Rng rng(GetParam());
+  const std::vector<std::string> pool = {"ant", "bee", "cat", "dog"};
+  xml::Document doc = xml::Document::WithRoot("root");
+  std::vector<xml::Node*> elements = {doc.root()};
+  const int nodes = static_cast<int>(rng.Range(5, 50));
+  for (int i = 0; i < nodes; ++i) {
+    xml::Node* parent = elements[rng.Below(elements.size())];
+    xml::Node* e = parent->AddElement("e" + std::to_string(rng.Below(3)));
+    elements.push_back(e);
+    if (rng.Chance(0.6)) {
+      e->AddChild(xml::Node::MakeText(pool[rng.Below(pool.size())]));
+    }
+  }
+  const xml::NodeTable table = xml::NodeTable::Build(doc);
+  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  for (const auto& terms : std::vector<std::vector<std::string>>{
+           {"ant"}, {"ant", "bee"}, {"cat", "dog"}, {"ant", "bee", "cat"}}) {
+    MatchLists lists;
+    for (const auto& t : terms) lists.push_back(index.Postings(t));
+    const auto slca = ComputeSlcaByScan(table, lists);
+    const auto elca = ComputeElcaByScan(table, lists);
+    for (xml::NodeId id : slca) {
+      EXPECT_TRUE(std::find(elca.begin(), elca.end(), id) != elca.end())
+          << "seed " << GetParam();
+    }
+    EXPECT_GE(elca.size(), slca.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElcaSupersetProperty,
+                         ::testing::Range<uint64_t>(0, 30));
+
+TEST(ParseQueryTest, PlainTermsHaveNoField) {
+  EXPECT_EQ(ParseQuery("TomTom GPS"),
+            (std::vector<QueryTerm>{{"tomtom", ""}, {"gps", ""}}));
+}
+
+TEST(ParseQueryTest, FieldedTermsCarryRestriction) {
+  EXPECT_EQ(ParseQuery("director:Moreau star"),
+            (std::vector<QueryTerm>{{"moreau", "director"}, {"star", ""}}));
+}
+
+TEST(ParseQueryTest, FieldAppliesToEveryTokenOfItsChunk) {
+  EXPECT_EQ(ParseQuery("name:go-630"),
+            (std::vector<QueryTerm>{{"go", "name"}, {"630", "name"}}));
+}
+
+TEST(ParseQueryTest, DegenerateColons) {
+  // Leading colon or empty field: treated as plain tokens.
+  EXPECT_EQ(ParseQuery(":x"), (std::vector<QueryTerm>{{"x", ""}}));
+  EXPECT_TRUE(ParseQuery("  :  ").empty());
+  EXPECT_TRUE(ParseQuery("").empty());
+}
+
+TEST(FieldedSearchTest, RestrictsMatchesToTaggedElements) {
+  SearchEngine engine(Doc(
+      "<movies>"
+      "<movie><title>star quest</title><director>moreau</director>"
+      "<year>1</year></movie>"
+      "<movie><title>moreau story</title><director>laurent</director>"
+      "<year>2</year></movie>"
+      "</movies>"));
+  // Unfielded: "moreau" matches both movies (title of one, director of
+  // the other).
+  auto plain = engine.Search("moreau");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), 2u);
+  // Fielded: only the movie DIRECTED by moreau.
+  auto fielded = engine.Search("director:moreau");
+  ASSERT_TRUE(fielded.ok());
+  ASSERT_EQ(fielded->size(), 1u);
+  EXPECT_EQ(fielded->at(0).title, "star quest");
+  // Field with no matches in that tag.
+  auto none = engine.Search("year:moreau");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(ElcaEngineTest, ElcaEngineReturnsSupersetResults) {
+  const char* corpus =
+      "<catalog>"
+      "<product><name>alpha kit</name>"
+      "  <parts><part><name>alpha bolt</name><size>beta</size></part>"
+      "          <part><name>gamma nut</name><size>beta</size></part>"
+      "  </parts><grade>beta</grade></product>"
+      "<product><name>plain</name><grade>delta</grade></product>"
+      "</catalog>";
+  SearchEngine slca_engine(Doc(corpus), SlcaAlgorithm::kScan);
+  SearchEngine elca_engine(Doc(corpus), SlcaAlgorithm::kElca);
+  auto a = slca_engine.Search("alpha beta");
+  auto b = elca_engine.Search("alpha beta");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->size(), a->size());
+}
+
+}  // namespace
+}  // namespace xsact::search

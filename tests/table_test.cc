@@ -1,0 +1,173 @@
+// Unit tests for the comparison table model and its renderers.
+
+#include <gtest/gtest.h>
+
+#include "core/multi_swap.h"
+#include "core/snippet_selector.h"
+#include "data/paper_example.h"
+#include "table/comparison_table.h"
+#include "table/renderer.h"
+#include "test_util.h"
+
+namespace xsact::table {
+namespace {
+
+using core::SelectorOptions;
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gps_ = data::BuildPaperGpsInstance(/*augmented=*/true);
+    SelectorOptions options;
+    options.size_bound = 7;
+    dfss_ = core::MultiSwapOptimizer().Select(gps_.instance, options);
+    table_ = BuildComparisonTable(gps_.instance, dfss_);
+  }
+
+  data::PaperGpsInstance gps_{nullptr, core::ComparisonInstance()};
+  std::vector<core::Dfs> dfss_;
+  ComparisonTable table_;
+};
+
+TEST_F(TableTest, HeadersAreResultLabels) {
+  ASSERT_EQ(table_.headers.size(), 2u);
+  EXPECT_EQ(table_.headers[0], "TomTom Go 630 Portable GPS");
+  EXPECT_EQ(table_.headers[1], "TomTom Go 730 (Tri-linguial) BOX");
+}
+
+TEST_F(TableTest, RowsCoverUnionOfSelectedTypes) {
+  // Both DFSs have 7 features; >= 6 types are shared, so the union has
+  // at most 8 rows and at least 7.
+  EXPECT_GE(table_.rows.size(), 7u);
+  EXPECT_LE(table_.rows.size(), 8u);
+  for (const TableRow& row : table_.rows) {
+    EXPECT_EQ(row.cells.size(), 2u);
+    EXPECT_GE(row.selected_in, 1);
+  }
+}
+
+TEST_F(TableTest, DifferentiatingRowsSortFirstAndDodRecorded) {
+  EXPECT_EQ(table_.total_dod, 6);
+  ASSERT_FALSE(table_.rows.empty());
+  EXPECT_TRUE(table_.rows.front().differentiating);
+  // Once a non-differentiating row appears, no differentiating row may
+  // follow (sort stability).
+  bool seen_plain = false;
+  int differentiating = 0;
+  for (const TableRow& row : table_.rows) {
+    if (!row.differentiating) {
+      seen_plain = true;
+    } else {
+      EXPECT_FALSE(seen_plain);
+      ++differentiating;
+    }
+  }
+  EXPECT_EQ(differentiating, 6);  // matches the DoD for two results
+}
+
+TEST_F(TableTest, CellsShowValueAndPercentage) {
+  // Find the pro:compact row: 73% vs 56%.
+  bool found = false;
+  for (const TableRow& row : table_.rows) {
+    if (row.label == "review.pro: compact") {
+      found = true;
+      EXPECT_EQ(row.cells[0], "yes (73%)");
+      EXPECT_EQ(row.cells[1], "yes (56%)");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TableTest, AbsentTypesRenderAsDash) {
+  // Build a table where one side lacks a type: use snippets at L=5.
+  SelectorOptions options;
+  options.size_bound = 5;
+  auto snippets = core::SnippetSelector().Select(gps_.instance, options);
+  ComparisonTable t = BuildComparisonTable(gps_.instance, snippets);
+  bool dash_seen = false;
+  for (const TableRow& row : t.rows) {
+    for (const std::string& cell : row.cells) {
+      if (cell == "-") dash_seen = true;
+    }
+  }
+  EXPECT_TRUE(dash_seen);
+  EXPECT_EQ(t.total_dod, 2);
+}
+
+TEST_F(TableTest, AsciiRendering) {
+  const std::string out = RenderAscii(table_);
+  EXPECT_NE(out.find("TomTom Go 630 Portable GPS"), std::string::npos);
+  EXPECT_NE(out.find("review.pro: compact"), std::string::npos);
+  EXPECT_NE(out.find("total DoD: 6"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);  // box ruling
+}
+
+TEST_F(TableTest, MarkdownRendering) {
+  const std::string out = RenderMarkdown(table_);
+  EXPECT_NE(out.find("| feature |"), std::string::npos);
+  EXPECT_NE(out.find("| --- |"), std::string::npos);
+}
+
+TEST_F(TableTest, HtmlRenderingEscapes) {
+  const std::string out = RenderHtml(table_);
+  EXPECT_NE(out.find("<table class=\"xsact-comparison\">"),
+            std::string::npos);
+  EXPECT_NE(out.find("TomTom Go 730 (Tri-linguial) BOX"), std::string::npos);
+  EXPECT_EQ(out.find("<script"), std::string::npos);
+}
+
+TEST(RendererEscapingTest, HtmlEscapesDangerousContent) {
+  ComparisonTable t;
+  t.headers = {"<script>alert(1)</script>"};
+  TableRow row;
+  row.label = "a&b";
+  row.cells = {"\"quoted\""};
+  t.rows.push_back(row);
+  const std::string out = RenderHtml(t);
+  EXPECT_EQ(out.find("<script>alert"), std::string::npos);
+  EXPECT_NE(out.find("&lt;script&gt;"), std::string::npos);
+  EXPECT_NE(out.find("a&amp;b"), std::string::npos);
+  EXPECT_NE(out.find("&quot;quoted&quot;"), std::string::npos);
+}
+
+TEST(RendererEscapingTest, CsvQuotesAndDoublesQuotes) {
+  ComparisonTable t;
+  t.headers = {"col,with,commas"};
+  TableRow row;
+  row.label = "say \"hi\"";
+  row.cells = {"v1"};
+  t.rows.push_back(row);
+  const std::string out = RenderCsv(t);
+  EXPECT_NE(out.find("\"col,with,commas\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(RendererEscapingTest, JsonEscapesControlCharacters) {
+  ComparisonTable t;
+  t.headers = {"h"};
+  TableRow row;
+  row.label = "line\nbreak\t\"q\"\\";
+  row.cells = {"v"};
+  row.differentiating = true;
+  t.rows.push_back(row);
+  t.total_dod = 3;
+  const std::string out = RenderJson(t);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\\\"), std::string::npos);
+  EXPECT_NE(out.find("\"total_dod\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"differentiating\":true"), std::string::npos);
+}
+
+TEST(RendererEmptyTest, EmptyTableRendersHeadersOnly) {
+  ComparisonTable t;
+  t.headers = {"a", "b"};
+  EXPECT_NE(RenderAscii(t).find("feature"), std::string::npos);
+  EXPECT_NE(RenderMarkdown(t).find("| feature |"), std::string::npos);
+  EXPECT_NE(RenderCsv(t).find("\"feature\""), std::string::npos);
+  EXPECT_NE(RenderJson(t).find("\"rows\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsact::table

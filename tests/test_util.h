@@ -1,0 +1,88 @@
+// Shared helpers for the XSACT test suite: programmatic instance
+// construction and a seeded random-instance generator used by the
+// property tests.
+
+#ifndef XSACT_TESTS_TEST_UTIL_H_
+#define XSACT_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/instance.h"
+#include "feature/catalog.h"
+#include "feature/result_features.h"
+
+namespace xsact::testing {
+
+/// A ComparisonInstance together with the catalog it points into.
+struct InstanceFixture {
+  std::unique_ptr<feature::FeatureCatalog> catalog;
+  core::ComparisonInstance instance;
+};
+
+/// Declarative observation for BuildInstance.
+struct Obs {
+  std::string entity;
+  std::string attribute;
+  std::string value;
+  double count = 1;
+  double cardinality = 1;
+};
+
+/// Builds an instance from per-result observation lists.
+inline InstanceFixture BuildInstance(
+    const std::vector<std::vector<Obs>>& results_obs,
+    double diff_threshold = 0.10) {
+  InstanceFixture fx;
+  fx.catalog = std::make_unique<feature::FeatureCatalog>();
+  std::vector<feature::ResultFeatures> results;
+  int label = 1;
+  for (const auto& obs_list : results_obs) {
+    feature::ResultFeatures rf;
+    rf.set_label("R" + std::to_string(label++));
+    for (const Obs& o : obs_list) {
+      rf.AddObservation(fx.catalog->InternType(o.entity, o.attribute),
+                        fx.catalog->InternValue(o.value), o.count,
+                        o.cardinality);
+    }
+    rf.Seal();
+    results.push_back(std::move(rf));
+  }
+  fx.instance = core::ComparisonInstance::Build(std::move(results),
+                                                fx.catalog.get(),
+                                                diff_threshold);
+  return fx;
+}
+
+/// Random instance: `n` results, up to `max_types` opinion types drawn
+/// from a shared pool (so types overlap across results), with random
+/// counts. Deterministic in `seed`.
+inline InstanceFixture RandomInstance(uint64_t seed, int n, int max_types,
+                                      double diff_threshold = 0.10) {
+  Rng rng(seed);
+  std::vector<std::vector<Obs>> all;
+  const int pool = std::max(2, max_types);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Obs> obs;
+    const double cardinality = static_cast<double>(rng.Range(5, 60));
+    // Product-level attribute with a distinct value per result.
+    obs.push_back(Obs{"product", "name", "model-" + std::to_string(i), 1, 1});
+    const int types = static_cast<int>(rng.Range(1, pool));
+    for (int t = 0; t < types; ++t) {
+      const int type_idx = static_cast<int>(rng.Below(
+          static_cast<uint64_t>(pool)));
+      const double count =
+          static_cast<double>(rng.Range(1, static_cast<int64_t>(cardinality)));
+      obs.push_back(Obs{"review", "aspect-" + std::to_string(type_idx), "yes",
+                        count, cardinality});
+    }
+    all.push_back(std::move(obs));
+  }
+  return BuildInstance(all, diff_threshold);
+}
+
+}  // namespace xsact::testing
+
+#endif  // XSACT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,226 @@
+// Tests for the weighted-DoD extension: weight schemes, weighted
+// objective arithmetic, and the weighted multi-swap optimizer.
+
+#include <gtest/gtest.h>
+
+#include "core/dod.h"
+#include "core/exhaustive.h"
+#include "core/multi_swap.h"
+#include "core/snippet_selector.h"
+#include "core/weights.h"
+#include "test_util.h"
+
+namespace xsact::core {
+namespace {
+
+using testing::BuildInstance;
+using testing::InstanceFixture;
+using testing::RandomInstance;
+
+TEST(TypeWeightsTest, UniformIsAllOnes) {
+  InstanceFixture fx = RandomInstance(1, 3, 5);
+  const TypeWeights weights =
+      TypeWeights::Compute(fx.instance, WeightScheme::kUniform);
+  for (int i = 0; i < fx.instance.num_results(); ++i) {
+    for (const Entry& e : fx.instance.entries(i)) {
+      EXPECT_DOUBLE_EQ(weights.Of(e.type_id), 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(TypeWeights::Uniform().Of(123), 1.0);  // unknown -> 1
+}
+
+TEST(TypeWeightsTest, SchemeNames) {
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kUniform), "uniform");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kInterestingness),
+            "interestingness");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kSignificance), "significance");
+}
+
+TEST(TypeWeightsTest, InterestingnessSeparatesConstantFromVarying) {
+  InstanceFixture fx = BuildInstance({
+      {{"product", "kind", "gps", 1, 1},          // constant across results
+       {"product", "name", "model-a", 1, 1},      // distinct values
+       {"review", "pro: battery", "yes", 9, 10}}, // 90% vs 10% spread
+      {{"product", "kind", "gps", 1, 1},
+       {"product", "name", "model-b", 1, 1},
+       {"review", "pro: battery", "yes", 1, 10}},
+  });
+  const TypeWeights weights =
+      TypeWeights::Compute(fx.instance, WeightScheme::kInterestingness);
+  const auto& cat = *fx.catalog;
+  const double kind_w = weights.Of(cat.FindType("product", "kind"));
+  const double name_w = weights.Of(cat.FindType("product", "name"));
+  const double batt_w = weights.Of(cat.FindType("review", "pro: battery"));
+  EXPECT_DOUBLE_EQ(kind_w, TypeWeights::kFloor);  // identical everywhere
+  EXPECT_GT(name_w, kind_w);                      // values differ
+  EXPECT_GT(batt_w, kind_w);                      // shares spread widely
+  EXPECT_LE(name_w, 1.0);
+  EXPECT_LE(batt_w, 1.0);
+}
+
+TEST(TypeWeightsTest, SignificanceFavorsHighShares) {
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: major", "yes", 9, 10},
+       {"review", "pro: minor", "yes", 1, 10}},
+      {{"review", "pro: major", "yes", 8, 10},
+       {"review", "pro: minor", "yes", 2, 10}},
+  });
+  const TypeWeights weights =
+      TypeWeights::Compute(fx.instance, WeightScheme::kSignificance);
+  const auto& cat = *fx.catalog;
+  EXPECT_GT(weights.Of(cat.FindType("review", "pro: major")),
+            weights.Of(cat.FindType("review", "pro: minor")));
+}
+
+TEST(TypeWeightsTest, SetClampsToValidRange) {
+  TypeWeights weights;
+  weights.Set(1, 5.0);
+  EXPECT_DOUBLE_EQ(weights.Of(1), 1.0);
+  weights.Set(1, -3.0);
+  EXPECT_DOUBLE_EQ(weights.Of(1), TypeWeights::kFloor);
+  weights.Set(1, 0.5);
+  EXPECT_DOUBLE_EQ(weights.Of(1), 0.5);
+}
+
+TEST(WeightedDodTest, UniformWeightsMatchUnweighted) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    InstanceFixture fx = RandomInstance(seed, 3, 6);
+    SelectorOptions options;
+    options.size_bound = 3;
+    const auto dfss = MultiSwapOptimizer().Select(fx.instance, options);
+    const TypeWeights uniform = TypeWeights::Uniform();
+    EXPECT_DOUBLE_EQ(WeightedTotalDod(fx.instance, dfss, uniform),
+                     static_cast<double>(TotalDod(fx.instance, dfss)));
+    for (int i = 0; i < fx.instance.num_results(); ++i) {
+      for (const Entry& e : fx.instance.entries(i)) {
+        EXPECT_DOUBLE_EQ(
+            WeightedTypeGain(fx.instance, dfss, i, e.type_id, uniform),
+            static_cast<double>(TypeGain(fx.instance, dfss, i, e.type_id)));
+      }
+    }
+  }
+}
+
+TEST(WeightedDodTest, WeightsScaleContributions) {
+  InstanceFixture fx = BuildInstance({
+      {{"review", "pro: x", "yes", 9, 10}},
+      {{"review", "pro: x", "yes", 1, 10}},
+  });
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < 2; ++i) {
+    Dfs d(fx.instance, i);
+    d.Add(0);
+    dfss.push_back(std::move(d));
+  }
+  TypeWeights weights;
+  const feature::TypeId x = fx.catalog->FindType("review", "pro: x");
+  weights.Set(x, 0.5);
+  EXPECT_DOUBLE_EQ(WeightedPairDod(fx.instance, dfss[0], dfss[1], weights),
+                   0.5);
+  EXPECT_DOUBLE_EQ(WeightedTotalDod(fx.instance, dfss, weights), 0.5);
+}
+
+TEST(WeightedMultiSwapTest, UniformSchemeMatchesPlainMultiSwap) {
+  for (uint64_t seed = 20; seed < 30; ++seed) {
+    InstanceFixture fx = RandomInstance(seed, 3, 6);
+    SelectorOptions options;
+    options.size_bound = 3;
+    const auto plain = MultiSwapOptimizer().Select(fx.instance, options);
+    const auto weighted = WeightedMultiSwapOptimizer(WeightScheme::kUniform)
+                              .Select(fx.instance, options);
+    EXPECT_EQ(TotalDod(fx.instance, plain), TotalDod(fx.instance, weighted))
+        << "seed " << seed;
+  }
+}
+
+TEST(WeightedMultiSwapTest, ProducesValidBoundedAssignments) {
+  for (WeightScheme scheme :
+       {WeightScheme::kInterestingness, WeightScheme::kSignificance}) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      InstanceFixture fx = RandomInstance(seed, 3, 6);
+      SelectorOptions options;
+      options.size_bound = 3;
+      const auto dfss =
+          WeightedMultiSwapOptimizer(scheme).Select(fx.instance, options);
+      EXPECT_TRUE(AllValid(fx.instance, dfss, options.size_bound))
+          << WeightSchemeName(scheme) << " seed " << seed;
+    }
+  }
+}
+
+TEST(WeightedMultiSwapTest, WeightedDpMatchesEnumeration) {
+  // The weighted per-result DP must be exact: against fixed partners it
+  // finds the maximum weighted gain over ALL valid DFSs of one result.
+  for (uint64_t seed = 40; seed < 55; ++seed) {
+    InstanceFixture fx = RandomInstance(seed, 3, 6);
+    SelectorOptions options;
+    options.size_bound = 3;
+    const auto dfss = SnippetSelector().Select(fx.instance, options);
+    for (WeightScheme scheme :
+         {WeightScheme::kInterestingness, WeightScheme::kSignificance}) {
+      const TypeWeights weights = TypeWeights::Compute(fx.instance, scheme);
+      const Dfs best = MultiSwapOptimizer::OptimizeOneWeighted(
+          fx.instance, dfss, 0, options.size_bound, weights);
+      double best_gain = 0;
+      for (feature::TypeId t : best.SelectedTypes(fx.instance)) {
+        best_gain += WeightedTypeGain(fx.instance, dfss, 0, t, weights);
+      }
+      EXPECT_TRUE(best.IsValid(fx.instance));
+
+      double brute_gain = 0;
+      for (const Dfs& cand : ExhaustiveSelector::EnumerateValid(
+               fx.instance, 0, options.size_bound)) {
+        double g = 0;
+        for (feature::TypeId t : cand.SelectedTypes(fx.instance)) {
+          g += WeightedTypeGain(fx.instance, dfss, 0, t, weights);
+        }
+        brute_gain = std::max(brute_gain, g);
+      }
+      EXPECT_NEAR(best_gain, brute_gain, 1e-9)
+          << WeightSchemeName(scheme) << " seed " << seed;
+    }
+  }
+}
+
+TEST(WeightedMultiSwapTest, InterestingnessShiftsSelectionTowardVariety) {
+  // "boring" barely differentiates results 0 and 1 (same value, small
+  // spread); "vivid" differs in value across all three results. Results
+  // 0 and 1 hold both types in one tie level (snippets pick boring, the
+  // lower type id); result 2 only carries vivid. Under uniform weights
+  // the re-optimization of results 0/1 sees equal gains (1 vs 1) and
+  // stays on the snippet plateau; interestingness weights (0.325 vs 1.0)
+  // tip both over to vivid — which here even raises the PLAIN DoD from 1
+  // to 3, i.e. the weighted objective escapes a tie plateau the uniform
+  // optimizer is stuck on.
+  InstanceFixture fx = BuildInstance({
+      {{"review", "boring", "yes", 60, 100},
+       {"review", "vivid", "red", 60, 100}},
+      {{"review", "boring", "yes", 50, 100},
+       {"review", "vivid", "blue", 50, 100}},
+      {{"review", "vivid", "green", 50, 100}},
+  });
+  SelectorOptions options;
+  options.size_bound = 1;
+  options.fill_to_bound = false;
+  const feature::TypeId vivid = fx.catalog->FindType("review", "vivid");
+  const feature::TypeId boring = fx.catalog->FindType("review", "boring");
+  ASSERT_TRUE(fx.instance.Differentiable(boring, 0, 1));
+  ASSERT_TRUE(fx.instance.Differentiable(vivid, 0, 1));
+  ASSERT_TRUE(fx.instance.Differentiable(vivid, 0, 2));
+  ASSERT_TRUE(fx.instance.Differentiable(vivid, 1, 2));
+
+  const auto plain = MultiSwapOptimizer().Select(fx.instance, options);
+  const auto weighted =
+      WeightedMultiSwapOptimizer(WeightScheme::kInterestingness)
+          .Select(fx.instance, options);
+  EXPECT_TRUE(plain[0].ContainsType(fx.instance, boring));
+  EXPECT_TRUE(plain[1].ContainsType(fx.instance, boring));
+  EXPECT_TRUE(weighted[0].ContainsType(fx.instance, vivid));
+  EXPECT_TRUE(weighted[1].ContainsType(fx.instance, vivid));
+  EXPECT_TRUE(weighted[2].ContainsType(fx.instance, vivid));
+  EXPECT_EQ(TotalDod(fx.instance, plain), 1);
+  EXPECT_EQ(TotalDod(fx.instance, weighted), 3);
+}
+
+}  // namespace
+}  // namespace xsact::core

@@ -1,0 +1,129 @@
+// Unit tests for the DOM node and document types.
+
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+#include "xml/node.h"
+#include "xml/writer.h"
+
+namespace xsact::xml {
+namespace {
+
+TEST(NodeTest, ElementConstruction) {
+  auto n = Node::MakeElement("product");
+  EXPECT_TRUE(n->is_element());
+  EXPECT_FALSE(n->is_text());
+  EXPECT_EQ(n->tag(), "product");
+  EXPECT_EQ(n->parent(), nullptr);
+  EXPECT_EQ(n->child_count(), 0u);
+  EXPECT_TRUE(n->IsLeafElement());
+}
+
+TEST(NodeTest, TextConstruction) {
+  auto n = Node::MakeText("hello");
+  EXPECT_TRUE(n->is_text());
+  EXPECT_EQ(n->text(), "hello");
+  EXPECT_FALSE(n->IsLeafElement());  // leaf-ness is an element property
+}
+
+TEST(NodeTest, AddChildSetsParent) {
+  auto root = Node::MakeElement("root");
+  Node* child = root->AddElement("child");
+  EXPECT_EQ(child->parent(), root.get());
+  EXPECT_EQ(root->child_count(), 1u);
+  EXPECT_FALSE(root->IsLeafElement());
+}
+
+TEST(NodeTest, AddElementWithTextInlinesValue) {
+  auto root = Node::MakeElement("product");
+  Node* name = root->AddElementWithText("name", "TomTom Go 630");
+  EXPECT_EQ(name->tag(), "name");
+  EXPECT_TRUE(name->IsLeafElement());
+  EXPECT_EQ(name->InnerText(), "TomTom Go 630");
+}
+
+TEST(NodeTest, Attributes) {
+  auto n = Node::MakeElement("a");
+  n->AddAttribute("href", "http://wsdb.asu.edu/xsact");
+  n->AddAttribute("rel", "demo");
+  ASSERT_NE(n->FindAttribute("href"), nullptr);
+  EXPECT_EQ(*n->FindAttribute("href"), "http://wsdb.asu.edu/xsact");
+  EXPECT_EQ(n->FindAttribute("missing"), nullptr);
+  EXPECT_EQ(n->attributes().size(), 2u);
+}
+
+TEST(NodeTest, ChildLookups) {
+  auto root = Node::MakeElement("reviews");
+  root->AddElement("review");
+  root->AddElement("review");
+  root->AddElement("summary");
+  EXPECT_EQ(root->ChildElements("review").size(), 2u);
+  EXPECT_EQ(root->ChildElements().size(), 3u);
+  EXPECT_NE(root->FirstChildElement("summary"), nullptr);
+  EXPECT_EQ(root->FirstChildElement("absent"), nullptr);
+}
+
+TEST(NodeTest, InnerTextConcatenatesAndTrims) {
+  auto root = Node::MakeElement("r");
+  root->AddChild(Node::MakeText("  alpha "));
+  Node* mid = root->AddElement("m");
+  mid->AddChild(Node::MakeText("beta"));
+  root->AddChild(Node::MakeText("gamma  "));
+  EXPECT_EQ(root->InnerText(), "alpha beta gamma");
+}
+
+TEST(NodeTest, SubtreeSizeCountsAllNodes) {
+  auto root = Node::MakeElement("r");        // 1
+  Node* a = root->AddElement("a");           // 2
+  a->AddChild(Node::MakeText("t"));          // 3
+  root->AddElement("b");                     // 4
+  EXPECT_EQ(root->SubtreeSize(), 4u);
+}
+
+TEST(NodeTest, CloneIsDeepAndDetached) {
+  auto root = Node::MakeElement("r");
+  root->AddAttribute("k", "v");
+  root->AddElementWithText("c", "text");
+  auto copy = root->Clone();
+  EXPECT_EQ(copy->parent(), nullptr);
+  EXPECT_EQ(copy->tag(), "r");
+  ASSERT_EQ(copy->child_count(), 1u);
+  EXPECT_EQ(copy->InnerText(), "text");
+  ASSERT_NE(copy->FindAttribute("k"), nullptr);
+  // Mutating the copy must not touch the original.
+  copy->AddElement("extra");
+  EXPECT_EQ(root->child_count(), 1u);
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  Document doc;
+  EXPECT_TRUE(doc.empty());
+  EXPECT_EQ(doc.NodeCount(), 0u);
+  EXPECT_EQ(WriteDocument(doc), "");
+}
+
+TEST(DocumentTest, WithRootAndVisit) {
+  Document doc = Document::WithRoot("catalog");
+  doc.root()->AddElementWithText("name", "x");
+  int elements = 0;
+  int max_depth = -1;
+  doc.Visit([&](const Node& n, int depth) {
+    if (n.is_element()) ++elements;
+    max_depth = std::max(max_depth, depth);
+  });
+  EXPECT_EQ(elements, 2);
+  EXPECT_EQ(max_depth, 2);  // catalog -> name -> text
+  EXPECT_EQ(doc.NodeCount(), 3u);
+}
+
+TEST(DocumentTest, CloneIsIndependent) {
+  Document doc = Document::WithRoot("r");
+  doc.root()->AddElement("a");
+  Document copy = doc.Clone();
+  copy.root()->AddElement("b");
+  EXPECT_EQ(doc.NodeCount(), 2u);
+  EXPECT_EQ(copy.NodeCount(), 3u);
+}
+
+}  // namespace
+}  // namespace xsact::xml

@@ -1,0 +1,237 @@
+// Unit and property tests for the XML parser and writer.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsact::xml {
+namespace {
+
+Document MustParse(std::string_view text) {
+  StatusOr<Document> doc = Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+TEST(ParserTest, MinimalDocument) {
+  Document doc = MustParse("<root/>");
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.root()->tag(), "root");
+  EXPECT_EQ(doc.root()->child_count(), 0u);
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  Document doc = MustParse(
+      "<product><name>TomTom Go 630</name><rating>4.2</rating></product>");
+  const Node* root = doc.root();
+  ASSERT_EQ(root->ChildElements().size(), 2u);
+  EXPECT_EQ(root->FirstChildElement("name")->InnerText(), "TomTom Go 630");
+  EXPECT_EQ(root->FirstChildElement("rating")->InnerText(), "4.2");
+}
+
+TEST(ParserTest, AttributesBothQuoteStyles) {
+  Document doc = MustParse(R"(<a x="1" y='two' z="a&amp;b"/>)");
+  EXPECT_EQ(*doc.root()->FindAttribute("x"), "1");
+  EXPECT_EQ(*doc.root()->FindAttribute("y"), "two");
+  EXPECT_EQ(*doc.root()->FindAttribute("z"), "a&b");
+}
+
+TEST(ParserTest, NamedEntities) {
+  Document doc = MustParse("<t>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;</t>");
+  EXPECT_EQ(doc.root()->InnerText(), "<a> & \"b\" 'c'");
+}
+
+TEST(ParserTest, NumericEntities) {
+  Document doc = MustParse("<t>&#65;&#x42;&#x43;</t>");
+  EXPECT_EQ(doc.root()->InnerText(), "ABC");
+}
+
+TEST(ParserTest, NumericEntityUtf8Encoding) {
+  Document doc = MustParse("<t>&#233;</t>");  // é
+  EXPECT_EQ(doc.root()->InnerText(), "\xC3\xA9");
+}
+
+TEST(ParserTest, UnknownEntityPassesThrough) {
+  Document doc = MustParse("<t>&nbsp;</t>");
+  EXPECT_EQ(doc.root()->InnerText(), "&nbsp;");
+}
+
+TEST(ParserTest, LoneAmpersandIsLenient) {
+  Document doc = MustParse("<t>fish & chips</t>");
+  EXPECT_EQ(doc.root()->InnerText(), "fish & chips");
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  Document doc = MustParse("<r><!-- note --><a/><!-- end --></r>");
+  EXPECT_EQ(doc.root()->ChildElements().size(), 1u);
+}
+
+TEST(ParserTest, CdataIsVerbatim) {
+  Document doc = MustParse("<t><![CDATA[a < b && c > d]]></t>");
+  EXPECT_EQ(doc.root()->InnerText(), "a < b && c > d");
+}
+
+TEST(ParserTest, DeclarationAndDoctypeSkipped) {
+  Document doc = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE products [<!ELEMENT product ANY>]>\n"
+      "<products><product/></products>");
+  EXPECT_EQ(doc.root()->tag(), "products");
+}
+
+TEST(ParserTest, ProcessingInstructionInContent) {
+  Document doc = MustParse("<r><?php echo 1; ?><a/></r>");
+  EXPECT_EQ(doc.root()->ChildElements().size(), 1u);
+}
+
+TEST(ParserTest, WhitespaceOnlyTextSkippedByDefault) {
+  Document doc = MustParse("<r>\n  <a/>\n  <b/>\n</r>");
+  EXPECT_EQ(doc.root()->child_count(), 2u);
+}
+
+TEST(ParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  StatusOr<Document> doc = Parse("<r>\n  <a/>\n</r>", opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->child_count(), 3u);  // ws, <a/>, ws
+}
+
+TEST(ParserTest, MixedContentPreserved) {
+  Document doc = MustParse("<p>alpha<b>beta</b>gamma</p>");
+  EXPECT_EQ(doc.root()->child_count(), 3u);
+  EXPECT_EQ(doc.root()->InnerText(), "alpha beta gamma");
+}
+
+TEST(ParserErrorTest, MismatchedTags) {
+  StatusOr<Document> doc = Parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnterminatedElement) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(ParserErrorTest, UnterminatedAttribute) {
+  EXPECT_FALSE(Parse("<a x=\"1></a>").ok());
+}
+
+TEST(ParserErrorTest, MissingAttributeValue) {
+  EXPECT_FALSE(Parse("<a x></a>").ok());
+}
+
+TEST(ParserErrorTest, GarbageAfterRoot) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+  EXPECT_FALSE(Parse("<a/>junk").ok());
+  // Trailing comments/whitespace are fine.
+  EXPECT_TRUE(Parse("<a/>  <!-- bye -->\n").ok());
+}
+
+TEST(ParserErrorTest, EmptyAndNonsenseInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   ").ok());
+  EXPECT_FALSE(Parse("plain text").ok());
+  EXPECT_FALSE(Parse("<").ok());
+  EXPECT_FALSE(Parse("<1tag/>").ok());
+}
+
+TEST(ParserErrorTest, ErrorsReportPosition) {
+  StatusOr<Document> doc = Parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(WriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeAttribute("\"x'&"), "&quot;x&apos;&amp;");
+}
+
+TEST(WriterTest, CompactAndPretty) {
+  auto root = Node::MakeElement("r");
+  root->AddElementWithText("a", "1");
+  WriteOptions compact;
+  compact.indent_width = 0;
+  EXPECT_EQ(WriteNode(*root, compact), "<r><a>1</a></r>");
+  const std::string pretty = WriteNode(*root);
+  EXPECT_NE(pretty.find("  <a>1</a>\n"), std::string::npos);
+}
+
+TEST(WriterTest, SelfClosingForEmptyElements) {
+  auto root = Node::MakeElement("empty");
+  WriteOptions compact;
+  compact.indent_width = 0;
+  EXPECT_EQ(WriteNode(*root, compact), "<empty/>");
+}
+
+TEST(WriterTest, DeclarationEmitted) {
+  auto root = Node::MakeElement("r");
+  WriteOptions opts;
+  opts.declaration = true;
+  opts.indent_width = 0;
+  EXPECT_EQ(WriteNode(*root, opts), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+// ---------------------------------------------------------------------------
+// Property: write -> parse roundtrips preserve structure, for random trees.
+// ---------------------------------------------------------------------------
+
+void BuildRandomTree(Rng& rng, Node* node, int depth, int* budget) {
+  const int children = static_cast<int>(rng.Range(0, depth > 0 ? 4 : 0));
+  for (int c = 0; c < children && *budget > 0; ++c) {
+    --*budget;
+    // Avoid adjacent text nodes: serialization would merge them and the
+    // roundtrip comparison would (correctly) flag a structural change.
+    const bool last_is_text =
+        node->child_count() > 0 && node->children().back()->is_text();
+    if (!last_is_text && rng.Chance(0.3)) {
+      node->AddChild(Node::MakeText("text & <" + std::to_string(rng.Below(100)) +
+                                    "> \"quoted\""));
+    } else {
+      Node* child = node->AddElement("el" + std::to_string(rng.Below(6)));
+      if (rng.Chance(0.4)) {
+        child->AddAttribute("attr", "v&'" + std::to_string(rng.Below(50)));
+      }
+      BuildRandomTree(rng, child, depth - 1, budget);
+    }
+  }
+}
+
+bool SameStructure(const Node& a, const Node& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_text()) return a.text() == b.text();
+  if (a.tag() != b.tag()) return false;
+  if (a.attributes() != b.attributes()) return false;
+  if (a.child_count() != b.child_count()) return false;
+  for (size_t i = 0; i < a.child_count(); ++i) {
+    if (!SameStructure(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+class RoundtripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundtripProperty, WriteParseWrite) {
+  Rng rng(GetParam());
+  auto root = Node::MakeElement("root");
+  int budget = 60;
+  BuildRandomTree(rng, root.get(), 5, &budget);
+
+  WriteOptions compact;
+  compact.indent_width = 0;
+  const std::string text = WriteNode(*root, compact);
+  StatusOr<Document> parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_TRUE(SameStructure(*root, *parsed->root())) << text;
+  // Idempotence: serializing the parse yields the identical string.
+  EXPECT_EQ(WriteNode(*parsed->root(), compact), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundtripProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace xsact::xml

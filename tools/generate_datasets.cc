@@ -1,0 +1,37 @@
+// generate_datasets: writes the three synthetic demo corpora to XML
+// files, so xsact_cli (or any XSACT embedder) can load them from disk.
+//
+//   $ ./tools/generate_datasets [output_dir]   (default ".")
+
+#include <cstdio>
+#include <string>
+
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/product_reviews.h"
+#include "xml/io.h"
+
+int main(int argc, char** argv) {
+  using namespace xsact;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  struct Job {
+    std::string path;
+    xml::Document doc;
+  };
+  Job jobs[] = {
+      {dir + "/product_reviews.xml", data::GenerateProductReviews({})},
+      {dir + "/outdoor_retailer.xml", data::GenerateOutdoorRetailer({})},
+      {dir + "/movies.xml", data::GenerateMovies({})},
+  };
+  for (const Job& job : jobs) {
+    const Status status = xml::WriteDocumentToFile(job.doc, job.path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %-32s (%zu nodes)\n", job.path.c_str(),
+                job.doc.NodeCount());
+  }
+  return 0;
+}

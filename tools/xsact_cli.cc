@@ -1,0 +1,16 @@
+// xsact_cli: terminal front-end for XSACT (the demo UI of Figure 5,
+// minus the browser). See `xsact_cli --help` or src/cli/options.h.
+
+#include <iostream>
+
+#include "cli/app.h"
+#include "cli/options.h"
+
+int main(int argc, char** argv) {
+  auto options = xsact::cli::ParseCliArgs(argc, argv);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n\n" << xsact::cli::CliUsage();
+    return 2;
+  }
+  return xsact::cli::RunApp(*options, std::cout, std::cerr);
+}
