@@ -1,0 +1,538 @@
+// bench_swap_hot — the swap optimizers' hot path, bitset substrate vs
+// the seed's scalar implementation.
+//
+// Times single-swap and multi-swap DFS selection end-to-end across
+// n ∈ {4, 8, 16, 32, 64} compared results, against a faithful in-file
+// reproduction of the pre-bitset scalar substrate (per-call hash probes
+// for type -> entry and diff(t, i, j), full gain-vector recomputation in
+// every BestMove / OptimizeOne). Both run in the same build, on the same
+// instances, from the same snippet seeds.
+//
+// Sanity gate (exit non-zero on failure): for every n, both substrates
+// must produce IDENTICAL selected DFSs and identical total DoD — the
+// optimization must not change a single answer.
+//
+// Emits machine-readable BENCH_swap_hot.json alongside the report so the
+// perf trajectory is recorded from this PR onward.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dod.h"
+#include "core/multi_swap.h"
+#include "core/single_swap.h"
+#include "core/snippet_selector.h"
+#include "data/product_reviews.h"
+#include "xml/writer.h"
+
+namespace {
+
+using namespace xsact;
+using core::ComparisonInstance;
+using core::Dfs;
+using core::EntityGroup;
+using core::Entry;
+
+// ---------------------------------------------------------------------------
+// Scalar reference: the seed's substrate, reproduced verbatim — hash maps
+// for type -> entry and the diff matrix, O(n) partner scans per TypeGain,
+// full gain recomputation per BestMove/OptimizeOne call.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+/// The seed's lookup structures, rebuilt from the instance (construction
+/// is NOT part of the timed region — the seed built them at instance
+/// construction time too).
+struct Context {
+  const ComparisonInstance* instance = nullptr;
+  // per result: type_id -> entry index
+  std::vector<std::unordered_map<feature::TypeId, int>> type_to_entry;
+  // type_id -> dense index into diff
+  std::unordered_map<feature::TypeId, int> type_index;
+  // diff matrix: [dense type][i * n + j]
+  std::vector<std::vector<uint8_t>> diff;
+
+  explicit Context(const ComparisonInstance& inst) : instance(&inst) {
+    const int n = inst.num_results();
+    type_to_entry.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto& entries = inst.entries(i);
+      for (size_t k = 0; k < entries.size(); ++k) {
+        type_to_entry[static_cast<size_t>(i)].emplace(entries[k].type_id,
+                                                      static_cast<int>(k));
+        type_index.emplace(entries[k].type_id,
+                           static_cast<int>(type_index.size()));
+      }
+    }
+    diff.assign(type_index.size(),
+                std::vector<uint8_t>(
+                    static_cast<size_t>(n) * static_cast<size_t>(n), 0));
+    for (const auto& [type_id, dense] : type_index) {
+      auto& matrix = diff[static_cast<size_t>(dense)];
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (inst.Differentiable(type_id, i, j)) {
+            matrix[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                   static_cast<size_t>(j)] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  int EntryIndexOfType(int i, feature::TypeId t) const {
+    const auto& map = type_to_entry[static_cast<size_t>(i)];
+    auto it = map.find(t);
+    return it == map.end() ? -1 : it->second;
+  }
+
+  bool ContainsType(const Dfs& dfs, feature::TypeId t) const {
+    const int idx = EntryIndexOfType(dfs.result_index(), t);
+    return idx >= 0 && dfs.Contains(idx);
+  }
+
+  bool Differentiable(feature::TypeId t, int i, int j) const {
+    auto it = type_index.find(t);
+    if (it == type_index.end()) return false;
+    const int n = instance->num_results();
+    return diff[static_cast<size_t>(it->second)]
+               [static_cast<size_t>(i) * static_cast<size_t>(n) +
+                static_cast<size_t>(j)] != 0;
+  }
+
+  /// The seed's TypeGain: O(n) partner scan, two hash probes per partner.
+  int TypeGain(const std::vector<Dfs>& dfss, int i, feature::TypeId t) const {
+    int gain = 0;
+    for (int j = 0; j < instance->num_results(); ++j) {
+      if (j == i) continue;
+      if (ContainsType(dfss[static_cast<size_t>(j)], t) &&
+          Differentiable(t, i, j)) {
+        ++gain;
+      }
+    }
+    return gain;
+  }
+};
+
+bool GroupValid(const ComparisonInstance& instance, const Dfs& dfs,
+                const EntityGroup& group) {
+  const auto& entries = instance.entries(dfs.result_index());
+  double min_selected = -1;
+  bool any = false;
+  for (int k = group.begin; k < group.end; ++k) {
+    if (dfs.Contains(k)) {
+      any = true;
+      min_selected = entries[static_cast<size_t>(k)].occurrence;
+    }
+  }
+  if (!any) return true;
+  for (int k = group.begin; k < group.end; ++k) {
+    const Entry& e = entries[static_cast<size_t>(k)];
+    if (e.occurrence <= min_selected) break;
+    if (!dfs.Contains(k)) return false;
+  }
+  return true;
+}
+
+struct Move {
+  int remove = -1;
+  int add = -1;
+  int delta = 0;
+};
+
+/// The seed's BestMove: recomputes the FULL gain vector on every call.
+Move BestMove(const Context& ctx, std::vector<Dfs>& dfss, int i,
+              int size_bound) {
+  const ComparisonInstance& instance = *ctx.instance;
+  Dfs& dfs = dfss[static_cast<size_t>(i)];
+  const auto& entries = instance.entries(i);
+  const auto& groups = instance.groups(i);
+
+  std::vector<int> gain(entries.size(), 0);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    gain[k] = ctx.TypeGain(dfss, i, entries[k].type_id);
+  }
+
+  Move best;
+  auto try_move = [&](int remove, int add) {
+    const int delta = gain[static_cast<size_t>(add)] -
+                      (remove >= 0 ? gain[static_cast<size_t>(remove)] : 0);
+    if (delta <= best.delta) return;
+    if (remove >= 0) dfs.Remove(remove);
+    dfs.Add(add);
+    const EntityGroup& ga = groups[static_cast<size_t>(
+        entries[static_cast<size_t>(add)].group)];
+    bool valid = GroupValid(instance, dfs, ga);
+    if (valid && remove >= 0) {
+      const EntityGroup& gr = groups[static_cast<size_t>(
+          entries[static_cast<size_t>(remove)].group)];
+      if (gr.begin != ga.begin) valid = GroupValid(instance, dfs, gr);
+    }
+    dfs.Remove(add);
+    if (remove >= 0) dfs.Add(remove);
+    if (valid) best = Move{remove, add, delta};
+  };
+
+  const std::vector<int> selected = dfs.SelectedEntries();
+  for (size_t a = 0; a < entries.size(); ++a) {
+    if (dfs.Contains(static_cast<int>(a))) continue;
+    if (gain[a] == 0) continue;
+    if (dfs.size() < size_bound) try_move(-1, static_cast<int>(a));
+    for (int o : selected) try_move(o, static_cast<int>(a));
+  }
+  return best;
+}
+
+/// The seed's SingleSwapOptimizer::Select.
+std::vector<Dfs> SingleSwapSelect(const Context& ctx,
+                                  const core::SelectorOptions& options) {
+  const ComparisonInstance& instance = *ctx.instance;
+  std::vector<Dfs> dfss = core::SnippetSelector().Select(instance, options);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    for (int pass = 0; pass < options.max_rounds; ++pass) {
+      bool pass_improved = false;
+      for (int i = 0; i < instance.num_results(); ++i) {
+        for (;;) {
+          const Move move = BestMove(ctx, dfss, i, options.size_bound);
+          if (move.delta <= 0) break;
+          Dfs& dfs = dfss[static_cast<size_t>(i)];
+          if (move.remove >= 0) dfs.Remove(move.remove);
+          dfs.Add(move.add);
+          pass_improved = true;
+          changed = true;
+        }
+      }
+      if (!pass_improved) break;
+    }
+    if (options.fill_to_bound) {
+      const std::vector<Dfs> before = dfss;
+      core::FillToBound(instance, options.size_bound, &dfss);
+      if (!(dfss == before)) changed = true;
+    }
+    if (!changed) break;
+  }
+  return dfss;
+}
+
+constexpr double kGainEps = 1e-9;
+
+struct Value {
+  double gain = -1;
+  int size = 0;
+  bool Reachable() const { return gain >= 0; }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.gain < b.gain - kGainEps) return true;
+    if (b.gain < a.gain - kGainEps) return false;
+    return a.size < b.size;
+  }
+};
+
+struct GroupPlan {
+  std::vector<double> best;
+  std::vector<std::vector<int>> chosen;
+};
+
+/// The seed's PlanGroup / OptimizeWithGains DP, reproduced so the scalar
+/// multi-swap differs from the bitset one ONLY in gain evaluation.
+GroupPlan PlanGroup(const ComparisonInstance& instance, int i,
+                    const EntityGroup& group, const std::vector<double>& gain,
+                    int max_k) {
+  const auto& entries = instance.entries(i);
+  GroupPlan plan;
+  const int limit = std::min(max_k, group.size());
+  plan.best.assign(static_cast<size_t>(limit) + 1, 0);
+  plan.chosen.assign(static_cast<size_t>(limit) + 1, {});
+
+  struct Level {
+    int begin;
+    int end;
+  };
+  std::vector<Level> levels;
+  int pos = group.begin;
+  while (pos < group.end) {
+    int end = pos + 1;
+    while (end < group.end &&
+           entries[static_cast<size_t>(end)].occurrence ==
+               entries[static_cast<size_t>(pos)].occurrence) {
+      ++end;
+    }
+    levels.push_back(Level{pos, end});
+    pos = end;
+  }
+
+  for (int k = 1; k <= limit; ++k) {
+    double total = 0;
+    std::vector<int> picked;
+    int remaining = k;
+    for (const Level& level : levels) {
+      const int level_size = level.end - level.begin;
+      if (remaining >= level_size) {
+        for (int e = level.begin; e < level.end; ++e) {
+          total += gain[static_cast<size_t>(e)];
+          picked.push_back(e);
+        }
+        remaining -= level_size;
+        if (remaining == 0) break;
+      } else {
+        std::vector<int> idx;
+        idx.reserve(static_cast<size_t>(level_size));
+        for (int e = level.begin; e < level.end; ++e) idx.push_back(e);
+        std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+          return gain[static_cast<size_t>(a)] >
+                 gain[static_cast<size_t>(b)] + kGainEps;
+        });
+        for (int r = 0; r < remaining; ++r) {
+          total += gain[static_cast<size_t>(idx[static_cast<size_t>(r)])];
+          picked.push_back(idx[static_cast<size_t>(r)]);
+        }
+        remaining = 0;
+        break;
+      }
+    }
+    plan.best[static_cast<size_t>(k)] = total;
+    plan.chosen[static_cast<size_t>(k)] = std::move(picked);
+  }
+  return plan;
+}
+
+Dfs OptimizeWithGains(const ComparisonInstance& instance, int i,
+                      int size_bound, const std::vector<double>& gain) {
+  const auto& groups = instance.groups(i);
+  std::vector<GroupPlan> plans;
+  plans.reserve(groups.size());
+  for (const EntityGroup& g : groups) {
+    plans.push_back(PlanGroup(instance, i, g, gain, size_bound));
+  }
+
+  const size_t budget = static_cast<size_t>(size_bound);
+  std::vector<Value> dp(budget + 1);
+  dp[0] = Value{0, 0};
+  std::vector<std::vector<int>> choice(plans.size(),
+                                       std::vector<int>(budget + 1, -1));
+  for (size_t g = 0; g < plans.size(); ++g) {
+    std::vector<Value> next(budget + 1, Value{});
+    for (size_t b = 0; b <= budget; ++b) {
+      if (!dp[b].Reachable()) continue;
+      const size_t max_k = std::min(budget - b, plans[g].best.size() - 1);
+      for (size_t k = 0; k <= max_k; ++k) {
+        Value candidate{dp[b].gain + plans[g].best[k],
+                        dp[b].size + static_cast<int>(k)};
+        if (next[b + k] < candidate) {
+          next[b + k] = candidate;
+          choice[g][b + k] = static_cast<int>(k);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  size_t best_b = 0;
+  for (size_t b = 1; b <= budget; ++b) {
+    if (dp[b].Reachable() && dp[best_b] < dp[b]) best_b = b;
+  }
+
+  Dfs result(instance, i);
+  size_t b = best_b;
+  for (size_t g = plans.size(); g-- > 0;) {
+    const int k = choice[g][b];
+    if (k > 0) {
+      for (int e : plans[g].chosen[static_cast<size_t>(k)]) result.Add(e);
+      b -= static_cast<size_t>(k);
+    }
+  }
+  return result;
+}
+
+/// The seed's multi-swap SelectLoop under uniform weights: the gain
+/// vector of every visit is recomputed with O(n) hash-probe scans.
+std::vector<Dfs> MultiSwapSelect(const Context& ctx,
+                                 const core::SelectorOptions& options) {
+  const ComparisonInstance& instance = *ctx.instance;
+  std::vector<Dfs> dfss = core::SnippetSelector().Select(instance, options);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (int i = 0; i < instance.num_results(); ++i) {
+      const auto& entries = instance.entries(i);
+      std::vector<double> gain(entries.size(), 0);
+      for (size_t k = 0; k < entries.size(); ++k) {
+        gain[k] = ctx.TypeGain(dfss, i, entries[k].type_id);
+      }
+      Dfs candidate =
+          OptimizeWithGains(instance, i, options.size_bound, gain);
+      double current_gain = 0;
+      const Dfs& current = dfss[static_cast<size_t>(i)];
+      for (int e : current.SelectedEntries()) {
+        current_gain += gain[static_cast<size_t>(e)];
+      }
+      double candidate_gain = 0;
+      for (int e : candidate.SelectedEntries()) {
+        candidate_gain += gain[static_cast<size_t>(e)];
+      }
+      const Value cur{current_gain, current.size()};
+      const Value cand{candidate_gain, candidate.size()};
+      if (cur < cand) {
+        dfss[static_cast<size_t>(i)] = std::move(candidate);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return dfss;
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+struct Row {
+  int n = 0;
+  size_t num_types = 0;
+  int64_t dod = 0;
+  double scalar_single_ms = 0;
+  double bitset_single_ms = 0;
+  double scalar_multi_ms = 0;
+  double bitset_multi_ms = 0;
+
+  double SpeedupSingle() const {
+    return bitset_single_ms > 0 ? scalar_single_ms / bitset_single_ms : 0;
+  }
+  double SpeedupMulti() const {
+    return bitset_multi_ms > 0 ? scalar_multi_ms / bitset_multi_ms : 0;
+  }
+};
+
+bool SameAssignment(const std::vector<Dfs>& a, const std::vector<Dfs>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("swap_hot",
+                "single-/multi-swap selection: bitset substrate vs the "
+                "seed's scalar substrate");
+
+  // One corpus large enough for the biggest comparison; each row compares
+  // the first n product subtrees directly (no query variance).
+  data::ProductReviewsConfig config;
+  config.num_products = 72;
+  config.min_reviews = 12;
+  config.max_reviews = 48;
+  auto xsact = engine::Xsact::FromXml(
+      xml::WriteDocument(data::GenerateProductReviews(config)));
+  if (!xsact.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", xsact.status().ToString().c_str());
+    return 1;
+  }
+  const auto products =
+      xsact->engine().document().root()->ChildElements("product");
+
+  core::SelectorOptions options;
+  options.size_bound = 6;
+  const int repeats = 9;
+  bool gate_ok = true;
+  std::vector<Row> rows;
+
+  std::printf("%4s %6s %6s | %12s %12s %8s | %12s %12s %8s\n", "n", "types",
+              "DoD", "scalar-1s", "bitset-1s", "speedup", "scalar-ms",
+              "bitset-ms", "speedup");
+  for (const int n : {4, 8, 16, 32, 64}) {
+    if (static_cast<size_t>(n) > products.size()) break;
+    std::vector<const xml::Node*> roots(products.begin(),
+                                        products.begin() + n);
+    auto outcome = xsact->CompareResults(roots, {});
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "compare n=%d: %s\n", n,
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const ComparisonInstance& instance = outcome->instance;
+    const scalar::Context ctx(instance);
+
+    Row row;
+    row.n = n;
+    row.num_types = instance.NumTypesTotal();
+
+    std::vector<Dfs> scalar_single, bitset_single, scalar_multi, bitset_multi;
+    row.scalar_single_ms =
+        bench::TimeRepeated(repeats, [&] {
+          scalar_single = scalar::SingleSwapSelect(ctx, options);
+        }).Median() * 1e3;
+    row.bitset_single_ms =
+        bench::TimeRepeated(repeats, [&] {
+          bitset_single = core::SingleSwapOptimizer().Select(instance, options);
+        }).Median() * 1e3;
+    row.scalar_multi_ms =
+        bench::TimeRepeated(repeats, [&] {
+          scalar_multi = scalar::MultiSwapSelect(ctx, options);
+        }).Median() * 1e3;
+    row.bitset_multi_ms =
+        bench::TimeRepeated(repeats, [&] {
+          bitset_multi = core::MultiSwapOptimizer().Select(instance, options);
+        }).Median() * 1e3;
+
+    // Equivalence gate: identical DFSs, identical DoD.
+    if (!SameAssignment(scalar_single, bitset_single)) {
+      std::fprintf(stderr, "FAIL n=%d: single-swap DFSs diverged\n", n);
+      gate_ok = false;
+    }
+    if (!SameAssignment(scalar_multi, bitset_multi)) {
+      std::fprintf(stderr, "FAIL n=%d: multi-swap DFSs diverged\n", n);
+      gate_ok = false;
+    }
+    const int64_t dod_scalar = core::TotalDod(instance, scalar_multi);
+    row.dod = core::TotalDod(instance, bitset_multi);
+    if (dod_scalar != row.dod) {
+      std::fprintf(stderr, "FAIL n=%d: DoD diverged (%lld vs %lld)\n", n,
+                   static_cast<long long>(dod_scalar),
+                   static_cast<long long>(row.dod));
+      gate_ok = false;
+    }
+
+    std::printf("%4d %6zu %6lld | %12.3f %12.3f %7.1fx | %12.3f %12.3f %7.1fx\n",
+                row.n, row.num_types, static_cast<long long>(row.dod),
+                row.scalar_single_ms, row.bitset_single_ms,
+                row.SpeedupSingle(), row.scalar_multi_ms, row.bitset_multi_ms,
+                row.SpeedupMulti());
+    rows.push_back(row);
+  }
+  bench::Rule();
+
+  // Machine-readable trajectory record.
+  FILE* json = std::fopen("BENCH_swap_hot.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"swap_hot\",\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      std::fprintf(
+          json,
+          "    {\"n\": %d, \"types\": %zu, \"dod\": %lld, "
+          "\"scalar_single_ms\": %.4f, \"bitset_single_ms\": %.4f, "
+          "\"speedup_single\": %.2f, \"scalar_multi_ms\": %.4f, "
+          "\"bitset_multi_ms\": %.4f, \"speedup_multi\": %.2f}%s\n",
+          row.n, row.num_types, static_cast<long long>(row.dod),
+          row.scalar_single_ms, row.bitset_single_ms, row.SpeedupSingle(),
+          row.scalar_multi_ms, row.bitset_multi_ms, row.SpeedupMulti(),
+          r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"gate_ok\": %s\n}\n",
+                 gate_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_swap_hot.json\n");
+  }
+
+  if (!gate_ok) return 1;
+  std::printf("equivalence gate OK: identical DFSs and DoD on every n\n");
+  return 0;
+}

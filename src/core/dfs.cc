@@ -7,20 +7,20 @@ namespace xsact::core {
 
 Dfs::Dfs(const ComparisonInstance& instance, int result_index)
     : result_index_(result_index),
-      bitmap_(instance.entries(result_index).size(), false) {}
+      words_(static_cast<size_t>(bits::WordsFor(static_cast<int>(
+                 instance.entries(result_index).size()))),
+             0) {}
 
 void Dfs::Add(int entry_index) {
-  auto ref = bitmap_[static_cast<size_t>(entry_index)];
-  if (!ref) {
-    ref = true;
+  if (!bits::Test(words_.data(), entry_index)) {
+    bits::Set(words_.data(), entry_index);
     ++size_;
   }
 }
 
 void Dfs::Remove(int entry_index) {
-  auto ref = bitmap_[static_cast<size_t>(entry_index)];
-  if (ref) {
-    ref = false;
+  if (bits::Test(words_.data(), entry_index)) {
+    bits::Clear(words_.data(), entry_index);
     --size_;
   }
 }
@@ -28,9 +28,7 @@ void Dfs::Remove(int entry_index) {
 std::vector<int> Dfs::SelectedEntries() const {
   std::vector<int> out;
   out.reserve(static_cast<size_t>(size_));
-  for (size_t i = 0; i < bitmap_.size(); ++i) {
-    if (bitmap_[i]) out.push_back(static_cast<int>(i));
-  }
+  ForEachSelected([&](int i) { out.push_back(i); });
   return out;
 }
 
@@ -39,9 +37,8 @@ std::vector<feature::TypeId> Dfs::SelectedTypes(
   const auto& entries = instance.entries(result_index_);
   std::vector<feature::TypeId> out;
   out.reserve(static_cast<size_t>(size_));
-  for (size_t i = 0; i < bitmap_.size(); ++i) {
-    if (bitmap_[i]) out.push_back(entries[i].type_id);
-  }
+  ForEachSelected(
+      [&](int i) { out.push_back(entries[static_cast<size_t>(i)].type_id); });
   return out;
 }
 
@@ -73,9 +70,8 @@ std::string Dfs::ToString(const ComparisonInstance& instance) const {
   const auto& entries = instance.entries(result_index_);
   const auto& catalog = instance.catalog();
   std::vector<std::string> parts;
-  for (size_t i = 0; i < bitmap_.size(); ++i) {
-    if (!bitmap_[i]) continue;
-    const Entry& e = entries[i];
+  for (const int idx : SelectedEntries()) {
+    const Entry& e = entries[static_cast<size_t>(idx)];
     std::string part = catalog.TypeName(e.type_id);
     double rel = e.RelOccurrence();
     if (e.dominant_value != feature::kInvalidValueId) {

@@ -5,10 +5,16 @@
 // iff, within every entity group, no unselected entry has a strictly
 // larger occurrence than some selected entry — i.e. feature types are
 // taken in significance order, with free choice only inside tie groups.
+//
+// The selection bitmap is stored as packed uint64_t words so membership
+// tests are single bit probes and iteration is a ctz loop; with the
+// instance's dense type -> entry table, ContainsType is O(1) after the
+// one-time dense-index resolution.
 
 #ifndef XSACT_CORE_DFS_H_
 #define XSACT_CORE_DFS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,7 +37,7 @@ class Dfs {
 
   /// True iff entry `entry_index` is selected.
   bool Contains(int entry_index) const {
-    return bitmap_[static_cast<size_t>(entry_index)];
+    return bits::Test(words_.data(), entry_index);
   }
 
   /// True iff the feature type is selected (type present and its entry
@@ -42,6 +48,13 @@ class Dfs {
     return idx >= 0 && Contains(idx);
   }
 
+  /// O(1) dense-index variant used by the hot paths.
+  bool ContainsDenseType(const ComparisonInstance& instance,
+                         int dense_type) const {
+    const int idx = instance.EntryIndexOfDenseType(result_index_, dense_type);
+    return idx >= 0 && Contains(idx);
+  }
+
   /// Selects / deselects an entry (no validity enforcement here; callers
   /// use IsValid / the algorithms maintain it).
   void Add(int entry_index);
@@ -49,6 +62,13 @@ class Dfs {
 
   /// Selected entry indices in ascending order.
   std::vector<int> SelectedEntries() const;
+
+  /// Calls fn(entry_index) for each selected entry in ascending order
+  /// (allocation-free iteration for the hot paths).
+  template <typename Fn>
+  void ForEachSelected(Fn&& fn) const {
+    bits::ForEachBit(words_.data(), static_cast<int>(words_.size()), fn);
+  }
 
   /// Selected feature types (ascending entry order).
   std::vector<feature::TypeId> SelectedTypes(
@@ -62,13 +82,13 @@ class Dfs {
   std::string ToString(const ComparisonInstance& instance) const;
 
   friend bool operator==(const Dfs& a, const Dfs& b) {
-    return a.result_index_ == b.result_index_ && a.bitmap_ == b.bitmap_;
+    return a.result_index_ == b.result_index_ && a.words_ == b.words_;
   }
 
  private:
   int result_index_ = -1;
   int size_ = 0;
-  std::vector<bool> bitmap_;  // over instance.entries(result_index_)
+  std::vector<uint64_t> words_;  // over instance.entries(result_index_)
 };
 
 /// Checks |D| <= L and validity for a whole DFS assignment.

@@ -1,0 +1,47 @@
+#include "core/diff_matrix.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace xsact::core {
+
+DiffMatrix::DiffMatrix(std::vector<feature::TypeId> sorted_types,
+                       int num_results)
+    : n_(num_results),
+      words_(bits::WordsFor(num_results)),
+      types_(std::move(sorted_types)) {
+  XSACT_CHECK(std::is_sorted(types_.begin(), types_.end()));
+  XSACT_CHECK(std::adjacent_find(types_.begin(), types_.end()) ==
+              types_.end());
+  bits_.assign(types_.size() * static_cast<size_t>(n_) *
+                   static_cast<size_t>(words_),
+               0);
+}
+
+int DiffMatrix::DenseIndex(feature::TypeId t) const {
+  auto it = std::lower_bound(types_.begin(), types_.end(), t);
+  if (it == types_.end() || *it != t) return -1;
+  return static_cast<int>(it - types_.begin());
+}
+
+void DiffMatrix::Set(int dense_type, int i, int j) {
+  XSACT_CHECK(i != j);
+  uint64_t* base = bits_.data() + static_cast<size_t>(dense_type) *
+                                      static_cast<size_t>(n_) *
+                                      static_cast<size_t>(words_);
+  bits::Set(base + static_cast<size_t>(i) * static_cast<size_t>(words_), j);
+  bits::Set(base + static_cast<size_t>(j) * static_cast<size_t>(words_), i);
+}
+
+int64_t DiffMatrix::CountPairs() const {
+  // Every differentiable pair sets two bits (symmetry), so the total
+  // popcount halves into the pair count.
+  int64_t total = 0;
+  for (const uint64_t word : bits_) {
+    total += __builtin_popcountll(word);
+  }
+  return total / 2;
+}
+
+}  // namespace xsact::core

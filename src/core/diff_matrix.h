@@ -1,0 +1,130 @@
+// DiffMatrix: the dense, word-packed differentiability substrate.
+//
+// The scalar seed evaluated diff(t, i, j) through two hash probes
+// (type -> dense index, then a byte matrix). This structure instead
+// dense-indexes every feature type once (sorted TypeId order, binary
+// search at the API boundary only) and stores, for each (type, result i),
+// a uint64_t-packed mask over results j with diff(t, i, j). The swap
+// optimizers consume whole rows with branch-free popcounts instead of
+// per-partner probes, turning O(n) scans into O(n/64) word ops.
+//
+// Invariants: the matrix is symmetric and its diagonal is always clear
+// (a result is never differentiable from itself), so row popcounts never
+// need a self-bit correction.
+
+#ifndef XSACT_CORE_DIFF_MATRIX_H_
+#define XSACT_CORE_DIFF_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "feature/feature.h"
+
+namespace xsact::core {
+
+/// Word-level kernels shared by the bitset substrate (DiffMatrix,
+/// SelectionState, Dfs).
+namespace bits {
+
+inline constexpr int kWordBits = 64;
+
+/// Number of uint64_t words covering `nbits` bits.
+inline int WordsFor(int nbits) { return (nbits + kWordBits - 1) / kWordBits; }
+
+inline bool Test(const uint64_t* words, int bit) {
+  return (words[bit / kWordBits] >> (bit % kWordBits)) & 1u;
+}
+
+inline void Set(uint64_t* words, int bit) {
+  words[bit / kWordBits] |= uint64_t{1} << (bit % kWordBits);
+}
+
+inline void Clear(uint64_t* words, int bit) {
+  words[bit / kWordBits] &= ~(uint64_t{1} << (bit % kWordBits));
+}
+
+inline int Popcount(const uint64_t* words, int num_words) {
+  int count = 0;
+  for (int w = 0; w < num_words; ++w) {
+    count += __builtin_popcountll(words[w]);
+  }
+  return count;
+}
+
+/// popcount(a & b) without materializing the intersection.
+inline int PopcountAnd(const uint64_t* a, const uint64_t* b, int num_words) {
+  int count = 0;
+  for (int w = 0; w < num_words; ++w) {
+    count += __builtin_popcountll(a[w] & b[w]);
+  }
+  return count;
+}
+
+/// Calls fn(bit_index) for every set bit, in ascending order.
+template <typename Fn>
+inline void ForEachBit(const uint64_t* words, int num_words, Fn&& fn) {
+  for (int w = 0; w < num_words; ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      fn(w * kWordBits + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace bits
+
+/// Dense differentiability matrix over (type, result pair).
+class DiffMatrix {
+ public:
+  DiffMatrix() = default;
+
+  /// `sorted_types` must be ascending and duplicate-free; it becomes the
+  /// dense type order. Allocates T * n masks, all clear.
+  DiffMatrix(std::vector<feature::TypeId> sorted_types, int num_results);
+
+  int num_results() const { return n_; }
+  int num_types() const { return static_cast<int>(types_.size()); }
+  /// Words per per-result mask (= WordsFor(num_results())).
+  int words_per_mask() const { return words_; }
+
+  /// Dense-indexed type universe, ascending TypeId.
+  const std::vector<feature::TypeId>& types() const { return types_; }
+
+  /// Dense index of `t`, or -1 when the type occurs in no result.
+  int DenseIndex(feature::TypeId t) const;
+
+  feature::TypeId TypeAt(int dense_type) const {
+    return types_[static_cast<size_t>(dense_type)];
+  }
+
+  /// Word-packed mask over results j with diff(t, i, j). Diagonal clear.
+  const uint64_t* Row(int dense_type, int i) const {
+    return bits_.data() +
+           (static_cast<size_t>(dense_type) * static_cast<size_t>(n_) +
+            static_cast<size_t>(i)) *
+               static_cast<size_t>(words_);
+  }
+
+  bool Test(int dense_type, int i, int j) const {
+    return bits::Test(Row(dense_type, i), j);
+  }
+
+  /// Marks results i and j differentiable on the type (symmetric; i != j).
+  void Set(int dense_type, int i, int j);
+
+  /// Total number of differentiable (type, unordered pair) combinations —
+  /// the instance's DoD ceiling.
+  int64_t CountPairs() const;
+
+ private:
+  int n_ = 0;
+  int words_ = 0;
+  std::vector<feature::TypeId> types_;
+  std::vector<uint64_t> bits_;  // [dense_type][result][word]
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_DIFF_MATRIX_H_

@@ -2,23 +2,63 @@
 
 namespace xsact::core {
 
-int PairDod(const ComparisonInstance& instance, const Dfs& a, const Dfs& b) {
-  const int i = a.result_index();
-  const int j = b.result_index();
-  int dod = 0;
-  // Iterate over the smaller DFS's selected types.
+namespace {
+
+/// Shared pair-DoD kernel: iterates the smaller DFS's selected entries
+/// and resolves the partner side through the instance's O(1) dense
+/// type -> entry table. The weighted and unweighted entry points are the
+/// same walk with a different per-type contribution, so they cannot
+/// drift apart.
+template <typename WeightOf>
+double PairDodImpl(const ComparisonInstance& instance, const Dfs& a,
+                   const Dfs& b, WeightOf&& weight_of) {
   const Dfs& smaller = a.size() <= b.size() ? a : b;
   const Dfs& larger = a.size() <= b.size() ? b : a;
-  for (feature::TypeId t : smaller.SelectedTypes(instance)) {
-    if (larger.ContainsType(instance, t) && instance.Differentiable(t, i, j)) {
-      ++dod;
+  const int i = smaller.result_index();
+  const int j = larger.result_index();
+  const auto& entries = instance.entries(i);
+  const DiffMatrix& matrix = instance.diff_matrix();
+  double dod = 0;
+  smaller.ForEachSelected([&](int k) {
+    const Entry& e = entries[static_cast<size_t>(k)];
+    if (larger.ContainsDenseType(instance, e.dense_type) &&
+        matrix.Test(e.dense_type, i, j)) {
+      dod += weight_of(e.type_id);
     }
-  }
+  });
   return dod;
+}
+
+/// Shared gain kernel: partners whose DFS selects t and are
+/// differentiable from i on t, resolved with word probes.
+int TypeGainImpl(const ComparisonInstance& instance,
+                 const std::vector<Dfs>& dfss, int i, int dense_type) {
+  if (dense_type < 0) return 0;
+  const DiffMatrix& matrix = instance.diff_matrix();
+  const uint64_t* row = matrix.Row(dense_type, i);
+  int gain = 0;
+  // The diff row already restricts to partners carrying the type and
+  // excludes i itself (clear diagonal), so only selection is left to test.
+  bits::ForEachBit(row, matrix.words_per_mask(), [&](int j) {
+    if (dfss[static_cast<size_t>(j)].ContainsDenseType(instance, dense_type)) {
+      ++gain;
+    }
+  });
+  return gain;
+}
+
+}  // namespace
+
+int PairDod(const ComparisonInstance& instance, const Dfs& a, const Dfs& b) {
+  return static_cast<int>(
+      PairDodImpl(instance, a, b, [](feature::TypeId) { return 1.0; }));
 }
 
 int64_t TotalDod(const ComparisonInstance& instance,
                  const std::vector<Dfs>& dfss) {
+  // Allocation-free pairwise sweep (exhaustive search calls this once per
+  // enumerated assignment); SelectionState::TotalDod provides the mask
+  // popcount variant for substrate users holding a live state.
   int64_t total = 0;
   for (size_t i = 0; i < dfss.size(); ++i) {
     for (size_t j = i + 1; j < dfss.size(); ++j) {
@@ -30,30 +70,13 @@ int64_t TotalDod(const ComparisonInstance& instance,
 
 int TypeGain(const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
              int i, feature::TypeId t) {
-  int gain = 0;
-  for (int j = 0; j < instance.num_results(); ++j) {
-    if (j == i) continue;
-    if (dfss[static_cast<size_t>(j)].ContainsType(instance, t) &&
-        instance.Differentiable(t, i, j)) {
-      ++gain;
-    }
-  }
-  return gain;
+  return TypeGainImpl(instance, dfss, i, instance.DenseTypeIndex(t));
 }
 
 double WeightedPairDod(const ComparisonInstance& instance, const Dfs& a,
                        const Dfs& b, const TypeWeights& weights) {
-  const int i = a.result_index();
-  const int j = b.result_index();
-  double dod = 0;
-  const Dfs& smaller = a.size() <= b.size() ? a : b;
-  const Dfs& larger = a.size() <= b.size() ? b : a;
-  for (feature::TypeId t : smaller.SelectedTypes(instance)) {
-    if (larger.ContainsType(instance, t) && instance.Differentiable(t, i, j)) {
-      dod += weights.Of(t);
-    }
-  }
-  return dod;
+  return PairDodImpl(instance, a, b,
+                     [&](feature::TypeId t) { return weights.Of(t); });
 }
 
 double WeightedTotalDod(const ComparisonInstance& instance,

@@ -118,18 +118,56 @@ std::vector<Dfs> ExhaustiveSelector::Select(const ComparisonInstance& instance,
   current.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) current.push_back(candidates[static_cast<size_t>(i)][0]);
 
+  // Incrementally-maintained pair DoD matrix: an odometer step only
+  // replaces a suffix of positions, so just those rows are recomputed
+  // instead of re-deriving the full O(n^2) objective per assignment.
+  std::vector<int64_t> pair_dod(static_cast<size_t>(n) *
+                                    static_cast<size_t>(n),
+                                0);
+  int64_t dod = 0;
+  int size = 0;
+  for (int i = 0; i < n; ++i) {
+    size += current[static_cast<size_t>(i)].size();
+    for (int j = i + 1; j < n; ++j) {
+      const int64_t d = PairDod(instance, current[static_cast<size_t>(i)],
+                                current[static_cast<size_t>(j)]);
+      pair_dod[static_cast<size_t>(i) * static_cast<size_t>(n) +
+               static_cast<size_t>(j)] = d;
+      pair_dod[static_cast<size_t>(j) * static_cast<size_t>(n) +
+               static_cast<size_t>(i)] = d;
+      dod += d;
+    }
+  }
+
+  // Re-derives position `p`'s pair row against the current assignment,
+  // keeping `dod` and `size` in sync. `replacement` becomes current[p].
+  auto replace_position = [&](int p, const Dfs& replacement) {
+    Dfs& slot = current[static_cast<size_t>(p)];
+    size += replacement.size() - slot.size();
+    slot = replacement;
+    for (int j = 0; j < n; ++j) {
+      if (j == p) continue;
+      int64_t& forward = pair_dod[static_cast<size_t>(p) *
+                                      static_cast<size_t>(n) +
+                                  static_cast<size_t>(j)];
+      int64_t& backward = pair_dod[static_cast<size_t>(j) *
+                                       static_cast<size_t>(n) +
+                                   static_cast<size_t>(p)];
+      dod -= forward;
+      forward = backward =
+          PairDod(instance, slot, current[static_cast<size_t>(j)]);
+      dod += forward;
+    }
+  };
+
   std::vector<Dfs> best = current;
   // Tie-break by larger total size to match the optimizers' fill behavior.
-  int64_t best_dod = TotalDod(instance, best);
-  int best_size = 0;
-  for (const Dfs& d : best) best_size += d.size();
+  int64_t best_dod = dod;
+  int best_size = size;
 
   // Odometer-style enumeration of the cartesian product.
   std::vector<size_t> cursor(static_cast<size_t>(n), 0);
   for (;;) {
-    const int64_t dod = TotalDod(instance, current);
-    int size = 0;
-    for (const Dfs& d : current) size += d.size();
     if (dod > best_dod || (dod == best_dod && size > best_size)) {
       best = current;
       best_dod = dod;
@@ -140,12 +178,11 @@ std::vector<Dfs> ExhaustiveSelector::Select(const ComparisonInstance& instance,
     while (pos >= 0) {
       auto& c = cursor[static_cast<size_t>(pos)];
       if (++c < candidates[static_cast<size_t>(pos)].size()) {
-        current[static_cast<size_t>(pos)] =
-            candidates[static_cast<size_t>(pos)][c];
+        replace_position(pos, candidates[static_cast<size_t>(pos)][c]);
         break;
       }
       c = 0;
-      current[static_cast<size_t>(pos)] = candidates[static_cast<size_t>(pos)][0];
+      replace_position(pos, candidates[static_cast<size_t>(pos)][0]);
       --pos;
     }
     if (pos < 0) break;

@@ -7,14 +7,11 @@ namespace xsact::core {
 namespace {
 
 /// Optimistic gain: partners that CARRY the type differentiably,
-/// regardless of their current DFS contents.
-int PotentialGain(const ComparisonInstance& instance, int i,
-                  feature::TypeId t) {
-  int gain = 0;
-  for (int j = 0; j < instance.num_results(); ++j) {
-    if (j != i && instance.Differentiable(t, i, j)) ++gain;
-  }
-  return gain;
+/// regardless of their current DFS contents. The diff row's popcount is
+/// exactly this (the diagonal bit is always clear), so no partner scan.
+int PotentialGain(const ComparisonInstance& instance, int i, int dense_type) {
+  const DiffMatrix& matrix = instance.diff_matrix();
+  return bits::Popcount(matrix.Row(dense_type, i), matrix.words_per_mask());
 }
 
 }  // namespace
@@ -45,7 +42,7 @@ std::vector<Dfs> GreedySelector::Select(const ComparisonInstance& instance,
           const Entry& e = entries[static_cast<size_t>(k)];
           if (frontier_occ < 0) frontier_occ = e.occurrence;
           if (e.occurrence != frontier_occ) break;
-          const int gain = PotentialGain(instance, i, e.type_id);
+          const int gain = PotentialGain(instance, i, e.dense_type);
           if (gain > best_gain) {
             best_gain = gain;
             best_result = i;

@@ -37,7 +37,6 @@ ComparisonInstance ComparisonInstance::Build(
   const int n = inst.num_results();
   inst.entries_.resize(static_cast<size_t>(n));
   inst.groups_.resize(static_cast<size_t>(n));
-  inst.type_to_entry_.resize(static_cast<size_t>(n));
 
   for (int i = 0; i < n; ++i) {
     const feature::ResultFeatures& rf = inst.results_[static_cast<size_t>(i)];
@@ -72,55 +71,52 @@ ComparisonInstance ComparisonInstance::Build(
       group.end = static_cast<int32_t>(entries.size());
       groups.push_back(std::move(group));
     }
-    auto& type_map = inst.type_to_entry_[static_cast<size_t>(i)];
+  }
+
+  // Dense-index every type seen anywhere (ascending TypeId — deterministic
+  // and binary-searchable), then stamp each entry with its dense type and
+  // build the flat [result x type] -> entry table.
+  std::vector<feature::TypeId> all_types;
+  for (int i = 0; i < n; ++i) {
+    for (const Entry& e : inst.entries_[static_cast<size_t>(i)]) {
+      all_types.push_back(e.type_id);
+    }
+  }
+  std::sort(all_types.begin(), all_types.end());
+  all_types.erase(std::unique(all_types.begin(), all_types.end()),
+                  all_types.end());
+  inst.diff_matrix_ = DiffMatrix(std::move(all_types), n);
+
+  const int num_types = inst.diff_matrix_.num_types();
+  inst.entry_of_type_.assign(
+      static_cast<size_t>(n) * static_cast<size_t>(num_types), -1);
+  for (int i = 0; i < n; ++i) {
+    auto& entries = inst.entries_[static_cast<size_t>(i)];
     for (size_t k = 0; k < entries.size(); ++k) {
-      type_map.emplace(entries[k].type_id, static_cast<int>(k));
+      entries[k].dense_type = inst.diff_matrix_.DenseIndex(entries[k].type_id);
+      XSACT_CHECK(entries[k].dense_type >= 0);
+      inst.entry_of_type_[static_cast<size_t>(i) *
+                              static_cast<size_t>(num_types) +
+                          static_cast<size_t>(entries[k].dense_type)] =
+          static_cast<int32_t>(k);
     }
   }
 
-  // Dense-index every type seen anywhere, then precompute the symmetric
-  // differentiability matrix per type.
-  for (int i = 0; i < n; ++i) {
-    for (const Entry& e : inst.entries_[static_cast<size_t>(i)]) {
-      inst.type_index_.emplace(e.type_id,
-                               static_cast<int>(inst.type_index_.size()));
-    }
-  }
-  inst.diff_.assign(inst.type_index_.size(),
-                    std::vector<uint8_t>(static_cast<size_t>(n) *
-                                             static_cast<size_t>(n),
-                                         0));
-  for (const auto& [type_id, dense] : inst.type_index_) {
-    auto& matrix = inst.diff_[static_cast<size_t>(dense)];
+  // Precompute the symmetric differentiability masks per type: for every
+  // pair of results carrying the type, evaluate the paper's predicate.
+  for (int dense = 0; dense < num_types; ++dense) {
+    const feature::TypeId type_id = inst.diff_matrix_.TypeAt(dense);
     for (int i = 0; i < n; ++i) {
-      if (!inst.HasType(i, type_id)) continue;
+      if (inst.EntryIndexOfDenseType(i, dense) < 0) continue;
       for (int j = i + 1; j < n; ++j) {
-        if (!inst.HasType(j, type_id)) continue;
-        const uint8_t d = inst.ComputeDiff(type_id, i, j) ? 1 : 0;
-        matrix[static_cast<size_t>(i) * static_cast<size_t>(n) +
-               static_cast<size_t>(j)] = d;
-        matrix[static_cast<size_t>(j) * static_cast<size_t>(n) +
-               static_cast<size_t>(i)] = d;
+        if (inst.EntryIndexOfDenseType(j, dense) < 0) continue;
+        if (inst.ComputeDiff(type_id, i, j)) {
+          inst.diff_matrix_.Set(dense, i, j);
+        }
       }
     }
   }
   return inst;
-}
-
-int ComparisonInstance::EntryIndexOfType(int i, feature::TypeId t) const {
-  const auto& map = type_to_entry_[static_cast<size_t>(i)];
-  auto it = map.find(t);
-  return it == map.end() ? -1 : it->second;
-}
-
-bool ComparisonInstance::Differentiable(feature::TypeId t, int i,
-                                        int j) const {
-  auto it = type_index_.find(t);
-  if (it == type_index_.end()) return false;
-  const int n = num_results();
-  return diff_[static_cast<size_t>(it->second)]
-              [static_cast<size_t>(i) * static_cast<size_t>(n) +
-               static_cast<size_t>(j)] != 0;
 }
 
 bool ComparisonInstance::ComputeDiff(feature::TypeId t, int i, int j) const {
@@ -137,22 +133,6 @@ bool ComparisonInstance::ComputeDiff(feature::TypeId t, int i, int j) const {
     if (OccurrencesDiffer(rel_i, rel_j, diff_threshold_)) return true;
   }
   return false;
-}
-
-int64_t ComparisonInstance::DifferentiationCeiling() const {
-  const int n = num_results();
-  int64_t ceiling = 0;
-  for (const auto& [type_id, dense] : type_index_) {
-    (void)type_id;
-    const auto& matrix = diff_[static_cast<size_t>(dense)];
-    for (int i = 0; i < n; ++i) {
-      for (int j = i + 1; j < n; ++j) {
-        ceiling += matrix[static_cast<size_t>(i) * static_cast<size_t>(n) +
-                          static_cast<size_t>(j)];
-      }
-    }
-  }
-  return ceiling;
 }
 
 }  // namespace xsact::core

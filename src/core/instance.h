@@ -11,15 +11,21 @@
 // A selected entry denotes the feature type plus its DOMINANT value in
 // that result — exactly what XSACT's comparison table displays (one value
 // and its percentage per cell, Figure 2).
+//
+// Storage is fully dense: every type occurring anywhere gets a dense
+// index (ascending TypeId), diff(t, i, j) lives in a word-packed
+// DiffMatrix, and type -> entry resolution per result is a flat
+// [result x dense type] table — no hash probes anywhere on the
+// optimizers' hot path.
 
 #ifndef XSACT_CORE_INSTANCE_H_
 #define XSACT_CORE_INSTANCE_H_
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/diff_matrix.h"
 #include "feature/catalog.h"
 #include "feature/result_features.h"
 
@@ -35,6 +41,8 @@ struct Entry {
   double cardinality = 1;
   /// Dense index of the entity group this entry belongs to.
   int32_t group = 0;
+  /// Dense index of the type in the instance's DiffMatrix.
+  int32_t dense_type = -1;
 
   /// Relative occurrence of the type (occurrence / cardinality).
   double RelOccurrence() const {
@@ -79,8 +87,27 @@ class ComparisonInstance {
     return groups_[static_cast<size_t>(i)];
   }
 
+  /// The word-packed differentiability substrate.
+  const DiffMatrix& diff_matrix() const { return diff_matrix_; }
+
+  /// Dense index of type `t`, or -1 when it occurs in no result.
+  int DenseTypeIndex(feature::TypeId t) const {
+    return diff_matrix_.DenseIndex(t);
+  }
+
+  /// Index of the entry carrying the dense type in result `i`, or -1.
+  /// O(1): a flat table lookup.
+  int EntryIndexOfDenseType(int i, int dense_type) const {
+    if (dense_type < 0) return -1;
+    return entry_of_type_[static_cast<size_t>(i) *
+                              static_cast<size_t>(diff_matrix_.num_types()) +
+                          static_cast<size_t>(dense_type)];
+  }
+
   /// Index of the entry carrying type `t` in result `i`, or -1.
-  int EntryIndexOfType(int i, feature::TypeId t) const;
+  int EntryIndexOfType(int i, feature::TypeId t) const {
+    return EntryIndexOfDenseType(i, DenseTypeIndex(t));
+  }
 
   /// True iff type `t` occurs in result `i`.
   bool HasType(int i, feature::TypeId t) const {
@@ -89,14 +116,19 @@ class ComparisonInstance {
 
   /// Precomputed differentiability of results i and j on type t.
   /// False when the type is missing in either result.
-  bool Differentiable(feature::TypeId t, int i, int j) const;
+  bool Differentiable(feature::TypeId t, int i, int j) const {
+    const int dense = DenseTypeIndex(t);
+    return dense >= 0 && diff_matrix_.Test(dense, i, j);
+  }
 
   /// Number of distinct feature types across all results.
-  size_t NumTypesTotal() const { return type_index_.size(); }
+  size_t NumTypesTotal() const {
+    return static_cast<size_t>(diff_matrix_.num_types());
+  }
 
   /// Upper bound on achievable total DoD: for every pair, the number of
   /// shared differentiable types (useful for reporting).
-  int64_t DifferentiationCeiling() const;
+  int64_t DifferentiationCeiling() const { return diff_matrix_.CountPairs(); }
 
  private:
   /// Evaluates the paper's differentiability predicate for the dominant
@@ -109,12 +141,10 @@ class ComparisonInstance {
 
   std::vector<std::vector<Entry>> entries_;
   std::vector<std::vector<EntityGroup>> groups_;
-  // per result: type_id -> entry index
-  std::vector<std::unordered_map<feature::TypeId, int>> type_to_entry_;
-  // types that occur in >= 1 result, dense-indexed for the diff matrix
-  std::unordered_map<feature::TypeId, int> type_index_;
-  // diff matrix: [dense type][i * n + j] (symmetric, diagonal false)
-  std::vector<std::vector<uint8_t>> diff_;
+  /// Dense types + word-packed diff masks.
+  DiffMatrix diff_matrix_;
+  /// [result * num_types + dense_type] -> entry index or -1.
+  std::vector<int32_t> entry_of_type_;
 };
 
 }  // namespace xsact::core

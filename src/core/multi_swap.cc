@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "core/dod.h"
+#include "core/selection_state.h"
 #include "core/snippet_selector.h"
 
 namespace xsact::core {
@@ -28,133 +29,162 @@ struct Value {
   }
 };
 
-/// Per-group precomputation: for each k (number of selected types in the
-/// group), the best achievable gain and the concrete choice realizing it.
-struct GroupPlan {
+/// Per-group planner: for each k (number of selected types in the group)
+/// the best achievable gain, with the realizing choice recomputed on
+/// demand — only the DP's final reconstruction needs one concrete k per
+/// group, so materializing every candidate set up front would be wasted
+/// allocation on the hot path.
+///
+/// The per-k walk (full tie levels in entry order, then the top of the
+/// boundary level in gain order) deliberately accumulates gains in the
+/// exact same sequence for every k, keeping floating-point results
+/// bit-identical across refactors of this planner.
+struct GroupPlanner {
   // best[k] = max gain using exactly k types of this group (k <= size()).
   std::vector<double> best;
-  // chosen[k] = entry indices realizing best[k].
-  std::vector<std::vector<int>> chosen;
-};
+  // Entry indices of the group sorted per tie level by (gain desc,
+  // stable), concatenated in level order; level l spans
+  // [level_begin[l], level_begin[l + 1]).
+  std::vector<int> sorted;
+  std::vector<int> level_begin;
 
-/// Builds the plan for one entity group. `gain` is indexed by entry.
-GroupPlan PlanGroup(const ComparisonInstance& instance, int i,
-                    const EntityGroup& group, const std::vector<double>& gain,
-                    int max_k) {
-  const auto& entries = instance.entries(i);
-  GroupPlan plan;
-  const int limit = std::min(max_k, group.size());
-  plan.best.assign(static_cast<size_t>(limit) + 1, 0);
-  plan.chosen.assign(static_cast<size_t>(limit) + 1, {});
+  /// Plans one entity group. `gain` is indexed by entry.
+  void Plan(const EntityGroup& group, const std::vector<Entry>& entries,
+            const std::vector<double>& gain, int max_k) {
+    const int limit = std::min(max_k, group.size());
+    best.assign(static_cast<size_t>(limit) + 1, 0);
 
-  // Split the group into tie levels (equal occurrence runs).
-  struct Level {
-    int begin;
-    int end;
-  };
-  std::vector<Level> levels;
-  int pos = group.begin;
-  while (pos < group.end) {
-    int end = pos + 1;
-    while (end < group.end &&
-           entries[static_cast<size_t>(end)].occurrence ==
-               entries[static_cast<size_t>(pos)].occurrence) {
-      ++end;
+    // Split the group into tie levels (equal occurrence runs) and sort
+    // each level's entries by gain once (the seed re-sorted the boundary
+    // level for every k; the stable comparator makes both identical).
+    sorted.clear();
+    level_begin.clear();
+    int pos = group.begin;
+    while (pos < group.end) {
+      int end = pos + 1;
+      while (end < group.end &&
+             entries[static_cast<size_t>(end)].occurrence ==
+                 entries[static_cast<size_t>(pos)].occurrence) {
+        ++end;
+      }
+      level_begin.push_back(static_cast<int>(sorted.size()));
+      for (int e = pos; e < end; ++e) sorted.push_back(e);
+      std::stable_sort(sorted.begin() + level_begin.back(), sorted.end(),
+                       [&](int a, int b) {
+                         return gain[static_cast<size_t>(a)] >
+                                gain[static_cast<size_t>(b)] + kGainEps;
+                       });
+      pos = end;
     }
-    levels.push_back(Level{pos, end});
-    pos = end;
+    level_begin.push_back(static_cast<int>(sorted.size()));
+
+    for (int k = 1; k <= limit; ++k) {
+      // Take full levels until the boundary level containing the k-th
+      // slot, then the highest-gain types within the boundary level.
+      // Within one level choices are independent, so greedy top-k is
+      // exact.
+      double total = 0;
+      int remaining = k;
+      ForChoice(group, k, [&](int e) {
+        total += gain[static_cast<size_t>(e)];
+        --remaining;
+      });
+      XSACT_CHECK(remaining == 0);
+      best[static_cast<size_t>(k)] = total;
+    }
   }
 
-  for (int k = 1; k <= limit; ++k) {
-    // Take full levels until the boundary level containing the k-th slot,
-    // then the highest-gain types within the boundary level. Within one
-    // level choices are independent, so the greedy top-k is exact.
-    double total = 0;
-    std::vector<int> picked;
+  /// Calls fn(entry) for each entry of the size-k optimum, in the
+  /// deterministic pick order (full levels in entry order, boundary
+  /// level sorted).
+  template <typename Fn>
+  void ForChoice(const EntityGroup& group, int k, Fn&& fn) const {
     int remaining = k;
-    for (const Level& level : levels) {
-      const int level_size = level.end - level.begin;
+    const int num_levels = static_cast<int>(level_begin.size()) - 1;
+    int entry_pos = group.begin;
+    for (int l = 0; l < num_levels && remaining > 0; ++l) {
+      const int level_size = level_begin[static_cast<size_t>(l) + 1] -
+                             level_begin[static_cast<size_t>(l)];
       if (remaining >= level_size) {
-        for (int e = level.begin; e < level.end; ++e) {
-          total += gain[static_cast<size_t>(e)];
-          picked.push_back(e);
-        }
+        // Full level: entry order.
+        for (int e = entry_pos; e < entry_pos + level_size; ++e) fn(e);
         remaining -= level_size;
-        if (remaining == 0) break;
       } else {
-        std::vector<int> idx;
-        idx.reserve(static_cast<size_t>(level_size));
-        for (int e = level.begin; e < level.end; ++e) idx.push_back(e);
-        std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
-          return gain[static_cast<size_t>(a)] >
-                 gain[static_cast<size_t>(b)] + kGainEps;
-        });
+        // Boundary level: top-remaining of the sorted order.
         for (int r = 0; r < remaining; ++r) {
-          total += gain[static_cast<size_t>(idx[static_cast<size_t>(r)])];
-          picked.push_back(idx[static_cast<size_t>(r)]);
+          fn(sorted[static_cast<size_t>(level_begin[static_cast<size_t>(l)] +
+                                        r)]);
         }
         remaining = 0;
-        break;
       }
+      entry_pos += level_size;
     }
-    XSACT_CHECK(remaining == 0);
-    plan.best[static_cast<size_t>(k)] = total;
-    plan.chosen[static_cast<size_t>(k)] = std::move(picked);
   }
-  return plan;
-}
+};
+
+/// Reusable scratch for OptimizeWithGains: the round-robin loop visits
+/// every result each round, so per-visit allocations of the planners and
+/// DP tables would dominate once gains are popcounts.
+struct DpWorkspace {
+  std::vector<GroupPlanner> planners;
+  std::vector<Value> dp;
+  std::vector<Value> next;
+  std::vector<int> choice;  // [group * (budget + 1) + b]
+  std::vector<double> gain;
+};
 
 /// The exact per-result DP over per-entry gains.
 Dfs OptimizeWithGains(const ComparisonInstance& instance, int i,
-                      int size_bound, const std::vector<double>& gain) {
+                      int size_bound, const std::vector<double>& gain,
+                      DpWorkspace& ws) {
   const auto& groups = instance.groups(i);
+  const auto& entries = instance.entries(i);
 
-  std::vector<GroupPlan> plans;
-  plans.reserve(groups.size());
-  for (const EntityGroup& g : groups) {
-    plans.push_back(PlanGroup(instance, i, g, gain, size_bound));
+  if (ws.planners.size() < groups.size()) ws.planners.resize(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    ws.planners[g].Plan(groups[g], entries, gain, size_bound);
   }
 
   // Multiple-choice knapsack over groups. dp[b] = best Value with total
   // size exactly b after processing a prefix of groups; parent pointers
   // record the per-group allocation for reconstruction.
   const size_t budget = static_cast<size_t>(size_bound);
-  std::vector<Value> dp(budget + 1);
-  dp[0] = Value{0, 0};
-  std::vector<std::vector<int>> choice(
-      plans.size(), std::vector<int>(budget + 1, -1));
+  ws.dp.assign(budget + 1, Value{});
+  ws.dp[0] = Value{0, 0};
+  ws.choice.assign(groups.size() * (budget + 1), -1);
 
-  for (size_t g = 0; g < plans.size(); ++g) {
-    std::vector<Value> next(budget + 1, Value{});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    ws.next.assign(budget + 1, Value{});
     for (size_t b = 0; b <= budget; ++b) {
-      if (!dp[b].Reachable()) continue;
-      const size_t max_k = std::min(budget - b, plans[g].best.size() - 1);
+      if (!ws.dp[b].Reachable()) continue;
+      const size_t max_k =
+          std::min(budget - b, ws.planners[g].best.size() - 1);
       for (size_t k = 0; k <= max_k; ++k) {
-        Value candidate{dp[b].gain + plans[g].best[k],
-                        dp[b].size + static_cast<int>(k)};
-        if (next[b + k] < candidate) {
-          next[b + k] = candidate;
-          choice[g][b + k] = static_cast<int>(k);
+        Value candidate{ws.dp[b].gain + ws.planners[g].best[k],
+                        ws.dp[b].size + static_cast<int>(k)};
+        if (ws.next[b + k] < candidate) {
+          ws.next[b + k] = candidate;
+          ws.choice[g * (budget + 1) + b + k] = static_cast<int>(k);
         }
       }
     }
-    dp = std::move(next);
+    std::swap(ws.dp, ws.next);
   }
 
   // Best budget <= L.
   size_t best_b = 0;
   for (size_t b = 1; b <= budget; ++b) {
-    if (dp[b].Reachable() && dp[best_b] < dp[b]) best_b = b;
+    if (ws.dp[b].Reachable() && ws.dp[best_b] < ws.dp[b]) best_b = b;
   }
 
-  // Reconstruct.
+  // Reconstruct: one concrete choice per group.
   Dfs result(instance, i);
   size_t b = best_b;
-  for (size_t g = plans.size(); g-- > 0;) {
-    const int k = choice[g][b];
+  for (size_t g = groups.size(); g-- > 0;) {
+    const int k = ws.choice[g * (budget + 1) + b];
     XSACT_CHECK(k >= 0 || b == 0);
     if (k > 0) {
-      for (int e : plans[g].chosen[static_cast<size_t>(k)]) result.Add(e);
+      ws.planners[g].ForChoice(groups[g], k, [&](int e) { result.Add(e); });
       b -= static_cast<size_t>(k);
     }
   }
@@ -162,34 +192,76 @@ Dfs OptimizeWithGains(const ComparisonInstance& instance, int i,
   return result;
 }
 
+/// Per-entry gains of result i against the state's current assignment:
+/// one popcount per entry instead of a partner scan.
+void GainsFromState(const SelectionState& state, int i,
+                    const TypeWeights& weights, std::vector<double>* gain) {
+  const auto& entries = state.instance().entries(i);
+  gain->assign(entries.size(), 0);
+  for (size_t k = 0; k < entries.size(); ++k) {
+    (*gain)[k] = state.WeightedTypeGain(i, entries[k].dense_type, weights);
+  }
+}
+
 /// Round-robin fixpoint loop shared by the weighted and unweighted
 /// optimizers. An update is accepted only when it improves (gain, size)
 /// lexicographically, so the potential (total weighted DoD, total size)
-/// strictly increases and iteration terminates.
+/// strictly increases and iteration terminates. The SelectionState keeps
+/// per-type selection masks in lockstep with the assignment, so the gain
+/// vector of each visit is a row of popcounts rather than a rescan of
+/// every partner DFS.
 std::vector<Dfs> SelectLoop(const ComparisonInstance& instance,
                             const SelectorOptions& options,
                             const TypeWeights& weights) {
   std::vector<Dfs> dfss = SnippetSelector().Select(instance, options);
+  SelectionState state(instance, &dfss);
+
+  // Last-visit snapshot of each entry's type-mask version, per result.
+  // When no version moved since the previous visit, that visit's gains —
+  // and therefore its DP outcome — are provably unchanged, so the whole
+  // re-optimization is a no-op and is skipped. (A result's own mask bits
+  // never feed its own gains: the diff rows' diagonal is clear.)
+  std::vector<std::vector<uint32_t>> seen(
+      static_cast<size_t>(instance.num_results()));
+  DpWorkspace ws;
 
   for (int round = 0; round < options.max_rounds; ++round) {
     bool improved = false;
     for (int i = 0; i < instance.num_results(); ++i) {
-      Dfs candidate = MultiSwapOptimizer::OptimizeOneWeighted(
-          instance, dfss, i, options.size_bound, weights);
+      const auto& entries = instance.entries(i);
+      auto& snapshot = seen[static_cast<size_t>(i)];
+      if (!snapshot.empty()) {
+        bool dirty = false;
+        for (size_t k = 0; k < entries.size(); ++k) {
+          if (snapshot[k] != state.Version(entries[k].dense_type)) {
+            dirty = true;
+            break;
+          }
+        }
+        if (!dirty) continue;
+      }
+      GainsFromState(state, i, weights, &ws.gain);
+      const std::vector<double>& gain = ws.gain;
+      Dfs candidate =
+          OptimizeWithGains(instance, i, options.size_bound, gain, ws);
       double current_gain = 0;
       const Dfs& current = dfss[static_cast<size_t>(i)];
-      for (feature::TypeId t : current.SelectedTypes(instance)) {
-        current_gain += WeightedTypeGain(instance, dfss, i, t, weights);
-      }
+      current.ForEachSelected(
+          [&](int e) { current_gain += gain[static_cast<size_t>(e)]; });
       double candidate_gain = 0;
-      for (feature::TypeId t : candidate.SelectedTypes(instance)) {
-        candidate_gain += WeightedTypeGain(instance, dfss, i, t, weights);
-      }
+      candidate.ForEachSelected(
+          [&](int e) { candidate_gain += gain[static_cast<size_t>(e)]; });
       const Value cur{current_gain, current.size()};
       const Value cand{candidate_gain, candidate.size()};
       if (cur < cand) {
-        dfss[static_cast<size_t>(i)] = std::move(candidate);
+        state.Assign(i, candidate);
         improved = true;
+      }
+      // Snapshot AFTER a potential accept, so the result's own version
+      // bumps (which cannot change its own gains) don't re-dirty it.
+      snapshot.resize(entries.size());
+      for (size_t k = 0; k < entries.size(); ++k) {
+        snapshot[k] = state.Version(entries[k].dense_type);
       }
     }
     if (!improved) break;
@@ -210,12 +282,10 @@ Dfs MultiSwapOptimizer::OptimizeOneWeighted(const ComparisonInstance& instance,
                                             const std::vector<Dfs>& dfss,
                                             int i, int size_bound,
                                             const TypeWeights& weights) {
-  const auto& entries = instance.entries(i);
-  std::vector<double> gain(entries.size(), 0);
-  for (size_t k = 0; k < entries.size(); ++k) {
-    gain[k] = WeightedTypeGain(instance, dfss, i, entries[k].type_id, weights);
-  }
-  return OptimizeWithGains(instance, i, size_bound, gain);
+  const SelectionState state(instance, dfss);
+  DpWorkspace ws;
+  GainsFromState(state, i, weights, &ws.gain);
+  return OptimizeWithGains(instance, i, size_bound, ws.gain, ws);
 }
 
 std::vector<Dfs> MultiSwapOptimizer::Select(const ComparisonInstance& instance,

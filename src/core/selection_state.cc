@@ -1,0 +1,119 @@
+#include "core/selection_state.h"
+
+#include "common/macros.h"
+
+namespace xsact::core {
+
+SelectionState::SelectionState(const ComparisonInstance& instance,
+                               const std::vector<Dfs>* dfss,
+                               std::vector<Dfs>* mutable_dfss)
+    : instance_(&instance),
+      dfss_(dfss),
+      mutable_dfss_(mutable_dfss),
+      words_(instance.diff_matrix().words_per_mask()) {
+  const int num_types = instance.diff_matrix().num_types();
+  XSACT_CHECK(static_cast<int>(dfss_->size()) == instance.num_results());
+  selected_.assign(
+      static_cast<size_t>(num_types) * static_cast<size_t>(words_), 0);
+  versions_.assign(static_cast<size_t>(num_types), 1);
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const auto& entries = instance.entries(i);
+    (*dfss_)[static_cast<size_t>(i)].ForEachSelected([&](int k) {
+      SetMaskBit(entries[static_cast<size_t>(k)].dense_type, i);
+    });
+  }
+}
+
+SelectionState::SelectionState(const ComparisonInstance& instance,
+                               std::vector<Dfs>* dfss)
+    : SelectionState(instance, dfss, dfss) {}
+
+SelectionState::SelectionState(const ComparisonInstance& instance,
+                               const std::vector<Dfs>& dfss)
+    : SelectionState(instance, &dfss, nullptr) {}
+
+void SelectionState::SetMaskBit(int dense_type, int i) {
+  bits::Set(selected_.data() + static_cast<size_t>(dense_type) *
+                                   static_cast<size_t>(words_),
+            i);
+}
+
+void SelectionState::ClearMaskBit(int dense_type, int i) {
+  bits::Clear(selected_.data() + static_cast<size_t>(dense_type) *
+                                     static_cast<size_t>(words_),
+              i);
+}
+
+void SelectionState::Add(int i, int entry_index) {
+  XSACT_CHECK(mutable_dfss_ != nullptr);
+  Dfs& dfs = (*mutable_dfss_)[static_cast<size_t>(i)];
+  if (dfs.Contains(entry_index)) return;
+  dfs.Add(entry_index);
+  const int dense =
+      instance_->entries(i)[static_cast<size_t>(entry_index)].dense_type;
+  SetMaskBit(dense, i);
+  ++versions_[static_cast<size_t>(dense)];
+}
+
+void SelectionState::Remove(int i, int entry_index) {
+  XSACT_CHECK(mutable_dfss_ != nullptr);
+  Dfs& dfs = (*mutable_dfss_)[static_cast<size_t>(i)];
+  if (!dfs.Contains(entry_index)) return;
+  dfs.Remove(entry_index);
+  const int dense =
+      instance_->entries(i)[static_cast<size_t>(entry_index)].dense_type;
+  ClearMaskBit(dense, i);
+  ++versions_[static_cast<size_t>(dense)];
+}
+
+void SelectionState::Assign(int i, const Dfs& replacement) {
+  XSACT_CHECK(mutable_dfss_ != nullptr);
+  XSACT_CHECK(replacement.result_index() == i);
+  Dfs& current = (*mutable_dfss_)[static_cast<size_t>(i)];
+  const auto& entries = instance_->entries(i);
+  current.ForEachSelected([&](int k) {
+    if (!replacement.Contains(k)) {
+      const int dense = entries[static_cast<size_t>(k)].dense_type;
+      ClearMaskBit(dense, i);
+      ++versions_[static_cast<size_t>(dense)];
+    }
+  });
+  replacement.ForEachSelected([&](int k) {
+    if (!current.Contains(k)) {
+      const int dense = entries[static_cast<size_t>(k)].dense_type;
+      SetMaskBit(dense, i);
+      ++versions_[static_cast<size_t>(dense)];
+    }
+  });
+  current = replacement;
+}
+
+int64_t SelectionState::TotalDod() const {
+  // Each unordered differentiable pair (i, j) with both sides selecting t
+  // is counted from both rows, so the sweep halves at the end.
+  const DiffMatrix& matrix = instance_->diff_matrix();
+  int64_t twice = 0;
+  for (int t = 0; t < matrix.num_types(); ++t) {
+    const uint64_t* mask = SelectedMask(t);
+    bits::ForEachBit(mask, words_, [&](int i) {
+      twice += bits::PopcountAnd(matrix.Row(t, i), mask, words_);
+    });
+  }
+  return twice / 2;
+}
+
+double SelectionState::WeightedTotalDod(const TypeWeights& weights) const {
+  const DiffMatrix& matrix = instance_->diff_matrix();
+  double twice = 0;
+  for (int t = 0; t < matrix.num_types(); ++t) {
+    const uint64_t* mask = SelectedMask(t);
+    int64_t pairs = 0;
+    bits::ForEachBit(mask, words_, [&](int i) {
+      pairs += bits::PopcountAnd(matrix.Row(t, i), mask, words_);
+    });
+    if (pairs > 0) twice += static_cast<double>(pairs) * weights.Of(matrix.TypeAt(t));
+  }
+  return twice / 2;
+}
+
+}  // namespace xsact::core

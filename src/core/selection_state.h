@@ -1,0 +1,106 @@
+// SelectionState: incrementally-maintained per-type selection masks over
+// a DFS assignment, the gain substrate of the swap optimizers.
+//
+// For every dense type t it maintains selected_mask(t) = the word-packed
+// set of results whose CURRENT DFS selects t. With the instance's
+// DiffMatrix this turns the core quantities into popcounts:
+//
+//   TypeGain(i, t) = popcount(diff_row(t, i) & selected_mask(t))
+//                    (the diff row's diagonal bit is always clear, so no
+//                     self-pair correction is needed)
+//   TotalDod       = 1/2 * sum over t, i in selected_mask(t) of
+//                    popcount(diff_row(t, i) & selected_mask(t))
+//
+// Every mutation bumps the affected type's version counter; optimizers
+// cache per-entry gains keyed by these versions and only refresh entries
+// whose type's mask changed since the last visit.
+//
+// The state can wrap an assignment in two modes:
+//   * mutable  — constructed with a std::vector<Dfs>*; Add/Remove/Assign
+//     keep the DFSs and the masks in lockstep.
+//   * read-only — constructed with a const std::vector<Dfs>&; only the
+//     query API is usable (mutations CHECK-fail).
+
+#ifndef XSACT_CORE_SELECTION_STATE_H_
+#define XSACT_CORE_SELECTION_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dfs.h"
+#include "core/instance.h"
+#include "core/weights.h"
+
+namespace xsact::core {
+
+class SelectionState {
+ public:
+  /// Mutable mode: the state owns mutation of `*dfss` from now on; all
+  /// changes to the assignment must go through Add/Remove/Assign.
+  SelectionState(const ComparisonInstance& instance, std::vector<Dfs>* dfss);
+
+  /// Read-only mode over a frozen assignment.
+  SelectionState(const ComparisonInstance& instance,
+                 const std::vector<Dfs>& dfss);
+
+  const ComparisonInstance& instance() const { return *instance_; }
+  const std::vector<Dfs>& dfss() const { return *dfss_; }
+
+  /// Selects entry `entry_index` in D_i (no-op when already selected).
+  void Add(int i, int entry_index);
+
+  /// Deselects entry `entry_index` from D_i (no-op when not selected).
+  void Remove(int i, int entry_index);
+
+  /// Replaces D_i wholesale, updating masks for the symmetric difference.
+  void Assign(int i, const Dfs& replacement);
+
+  /// Word-packed mask of results whose current DFS selects dense type t.
+  const uint64_t* SelectedMask(int dense_type) const {
+    return selected_.data() + static_cast<size_t>(dense_type) *
+                                  static_cast<size_t>(words_);
+  }
+
+  /// Monotone change counter of a type's selected mask (for gain caches).
+  uint32_t Version(int dense_type) const {
+    return versions_[static_cast<size_t>(dense_type)];
+  }
+
+  /// Marginal gain of dense type t at result i against the current
+  /// assignment: partners selecting t and differentiable from i on t.
+  int TypeGain(int i, int dense_type) const {
+    return bits::PopcountAnd(instance_->diff_matrix().Row(dense_type, i),
+                             SelectedMask(dense_type), words_);
+  }
+
+  double WeightedTypeGain(int i, int dense_type,
+                          const TypeWeights& weights) const {
+    return TypeGain(i, dense_type) *
+           weights.Of(instance_->diff_matrix().TypeAt(dense_type));
+  }
+
+  /// Total DoD of the current assignment as a popcount sweep.
+  int64_t TotalDod() const;
+
+  /// Weighted total DoD (uniform weights agree with TotalDod exactly).
+  double WeightedTotalDod(const TypeWeights& weights) const;
+
+ private:
+  SelectionState(const ComparisonInstance& instance,
+                 const std::vector<Dfs>* dfss, std::vector<Dfs>* mutable_dfss);
+
+  /// Flips result i's membership in the type's mask.
+  void SetMaskBit(int dense_type, int i);
+  void ClearMaskBit(int dense_type, int i);
+
+  const ComparisonInstance* instance_ = nullptr;
+  const std::vector<Dfs>* dfss_ = nullptr;
+  std::vector<Dfs>* mutable_dfss_ = nullptr;  // null in read-only mode
+  int words_ = 0;                             // words per result mask
+  std::vector<uint64_t> selected_;            // [dense_type][word]
+  std::vector<uint32_t> versions_;            // starts at 1 per type
+};
+
+}  // namespace xsact::core
+
+#endif  // XSACT_CORE_SELECTION_STATE_H_

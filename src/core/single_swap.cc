@@ -1,6 +1,7 @@
 #include "core/single_swap.h"
 
 #include "core/dod.h"
+#include "core/selection_state.h"
 #include "core/snippet_selector.h"
 
 namespace xsact::core {
@@ -35,20 +36,64 @@ struct Move {
   int delta = 0;    // DoD change
 };
 
+/// Per-result cache of entry gains, keyed by the selection masks' version
+/// counters: an entry's gain is refreshed only when its type's selected
+/// mask changed since the last visit, so repeated BestMove calls touch
+/// only the types perturbed by intervening moves.
+struct GainCache {
+  std::vector<int> gain;
+  std::vector<uint32_t> seen;  // SelectionState version, 0 = never seen
+  // Versions at the result's last NON-IMPROVING BestMove; while they all
+  // still match, revisiting the result is provably a no-op (gains and the
+  // DFS itself are unchanged) and the whole move enumeration is skipped.
+  std::vector<uint32_t> settled;
+
+  void Reset(size_t num_entries) {
+    gain.assign(num_entries, 0);
+    seen.assign(num_entries, 0);
+    settled.clear();
+  }
+
+  bool Settled(const SelectionState& state,
+               const std::vector<Entry>& entries) const {
+    if (settled.empty() && !entries.empty()) return false;
+    for (size_t k = 0; k < entries.size(); ++k) {
+      if (settled[k] != state.Version(entries[k].dense_type)) return false;
+    }
+    return true;
+  }
+
+  void MarkSettled(const SelectionState& state,
+                   const std::vector<Entry>& entries) {
+    settled.resize(entries.size());
+    for (size_t k = 0; k < entries.size(); ++k) {
+      settled[k] = state.Version(entries[k].dense_type);
+    }
+  }
+};
+
 /// Finds the best single add/replace move for result `i`, or a move with
 /// delta == 0 when none improves. Gains are evaluated against the other
 /// results' CURRENT DFSs (changing D_i does not change its own gains).
-Move BestMove(const ComparisonInstance& instance, std::vector<Dfs>& dfss,
-              int i, int size_bound) {
-  Dfs& dfs = dfss[static_cast<size_t>(i)];
+/// `dfs` must be the mutable DFS the state wraps for result i; tentative
+/// validity probes mutate it directly and roll back, never touching the
+/// masks.
+Move BestMove(const SelectionState& state, Dfs& dfs, int i, int size_bound,
+              GainCache& cache) {
+  const ComparisonInstance& instance = state.instance();
   const auto& entries = instance.entries(i);
   const auto& groups = instance.groups(i);
 
-  // Gain of each type of this result against the fixed other DFSs.
-  std::vector<int> gain(entries.size(), 0);
+  // Refresh stale gains: one popcount per entry whose type mask moved.
   for (size_t k = 0; k < entries.size(); ++k) {
-    gain[k] = TypeGain(instance, dfss, i, entries[k].type_id);
+    const int dense = entries[k].dense_type;
+    const uint32_t version = state.Version(dense);
+    if (cache.seen[k] != version) {
+      cache.gain[k] = state.TypeGain(i, dense);
+      cache.seen[k] = version;
+    }
   }
+  const std::vector<int>& gain = cache.gain;
 
   Move best;
   auto try_move = [&](int remove, int add) {
@@ -88,6 +133,16 @@ std::vector<Dfs> SingleSwapOptimizer::Select(
   // Paper: start from a reasonable summary and iteratively improve.
   std::vector<Dfs> dfss = SnippetSelector().Select(instance, options);
 
+  const int n = instance.num_results();
+  SelectionState state(instance, &dfss);
+  std::vector<GainCache> caches(static_cast<size_t>(n));
+  const auto reset_caches = [&] {
+    for (int i = 0; i < n; ++i) {
+      caches[static_cast<size_t>(i)].Reset(instance.entries(i).size());
+    }
+  };
+  reset_caches();
+
   // Alternate swap optimization and (optional) filling until neither
   // changes anything. Every optimization move strictly raises total DoD
   // and every fill strictly grows total size with DoD non-decreasing, so
@@ -97,14 +152,19 @@ std::vector<Dfs> SingleSwapOptimizer::Select(
     bool changed = false;
     for (int pass = 0; pass < options.max_rounds; ++pass) {
       bool pass_improved = false;
-      for (int i = 0; i < instance.num_results(); ++i) {
+      for (int i = 0; i < n; ++i) {
+        GainCache& cache = caches[static_cast<size_t>(i)];
+        if (cache.Settled(state, instance.entries(i))) continue;
         // Exhaust improving moves on result i before moving on.
         for (;;) {
-          const Move move = BestMove(instance, dfss, i, options.size_bound);
-          if (move.delta <= 0) break;
-          Dfs& dfs = dfss[static_cast<size_t>(i)];
-          if (move.remove >= 0) dfs.Remove(move.remove);
-          dfs.Add(move.add);
+          const Move move = BestMove(state, dfss[static_cast<size_t>(i)], i,
+                                     options.size_bound, cache);
+          if (move.delta <= 0) {
+            cache.MarkSettled(state, instance.entries(i));
+            break;
+          }
+          if (move.remove >= 0) state.Remove(i, move.remove);
+          state.Add(i, move.add);
           pass_improved = true;
           changed = true;
         }
@@ -114,7 +174,12 @@ std::vector<Dfs> SingleSwapOptimizer::Select(
     if (options.fill_to_bound) {
       const std::vector<Dfs> before = dfss;
       FillToBound(instance, options.size_bound, &dfss);
-      if (!(dfss == before)) changed = true;
+      if (!(dfss == before)) {
+        changed = true;
+        // The fill bypassed the state; rebuild masks and drop the caches.
+        state = SelectionState(instance, &dfss);
+        reset_caches();
+      }
     }
     if (!changed) break;
   }
@@ -125,8 +190,14 @@ bool SingleSwapOptimizer::HasImprovingMove(const ComparisonInstance& instance,
                                            const std::vector<Dfs>& dfss,
                                            int size_bound) {
   std::vector<Dfs> copy = dfss;
+  SelectionState state(instance, &copy);
   for (int i = 0; i < instance.num_results(); ++i) {
-    if (BestMove(instance, copy, i, size_bound).delta > 0) return true;
+    GainCache cache;
+    cache.Reset(instance.entries(i).size());
+    if (BestMove(state, copy[static_cast<size_t>(i)], i, size_bound, cache)
+            .delta > 0) {
+      return true;
+    }
   }
   return false;
 }

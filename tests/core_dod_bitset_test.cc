@@ -1,0 +1,381 @@
+// Property tests for the bitset differentiation substrate: the packed
+// DiffMatrix, the word-based Dfs bitmap, the popcount DoD primitives and
+// the incrementally-maintained SelectionState must agree EXACTLY with a
+// naive scalar reference re-derived from first principles (TypeStats +
+// the paper's predicate), across ~100 randomized instances of varying
+// size, threshold and weighting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dod.h"
+#include "core/selection_state.h"
+#include "core/weights.h"
+#include "test_util.h"
+
+namespace xsact::core {
+namespace {
+
+using testing::InstanceFixture;
+using testing::RandomInstance;
+
+// ---------------------------------------------------------------------------
+// Naive scalar reference, independent of the DiffMatrix: re-evaluates the
+// paper's differentiability predicate straight from the TypeStats.
+// ---------------------------------------------------------------------------
+
+bool NaiveOccurrencesDiffer(double a, double b, double threshold) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  constexpr double kEps = 1e-9;
+  return (hi - lo) > threshold * lo + kEps;
+}
+
+bool NaiveDifferentiable(const ComparisonInstance& instance,
+                         feature::TypeId t, int i, int j) {
+  if (i == j) return false;
+  const feature::TypeStats* si = instance.result(i).Find(t);
+  const feature::TypeStats* sj = instance.result(j).Find(t);
+  if (si == nullptr || sj == nullptr) return false;
+  for (const feature::ValueId v : {si->DominantValue(), sj->DominantValue()}) {
+    if (v == feature::kInvalidValueId) continue;
+    if (NaiveOccurrencesDiffer(si->RelativeOccurrenceOf(v),
+                               sj->RelativeOccurrenceOf(v),
+                               instance.diff_threshold())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int NaivePairDod(const ComparisonInstance& instance, const Dfs& a,
+                 const Dfs& b) {
+  int dod = 0;
+  for (feature::TypeId t : a.SelectedTypes(instance)) {
+    if (b.ContainsType(instance, t) &&
+        NaiveDifferentiable(instance, t, a.result_index(), b.result_index())) {
+      ++dod;
+    }
+  }
+  return dod;
+}
+
+int64_t NaiveTotalDod(const ComparisonInstance& instance,
+                      const std::vector<Dfs>& dfss) {
+  int64_t total = 0;
+  for (size_t i = 0; i < dfss.size(); ++i) {
+    for (size_t j = i + 1; j < dfss.size(); ++j) {
+      total += NaivePairDod(instance, dfss[i], dfss[j]);
+    }
+  }
+  return total;
+}
+
+int NaiveTypeGain(const ComparisonInstance& instance,
+                  const std::vector<Dfs>& dfss, int i, feature::TypeId t) {
+  int gain = 0;
+  for (int j = 0; j < instance.num_results(); ++j) {
+    if (j == i) continue;
+    if (dfss[static_cast<size_t>(j)].ContainsType(instance, t) &&
+        NaiveDifferentiable(instance, t, i, j)) {
+      ++gain;
+    }
+  }
+  return gain;
+}
+
+double NaiveWeightedPairDod(const ComparisonInstance& instance, const Dfs& a,
+                            const Dfs& b, const TypeWeights& weights) {
+  double dod = 0;
+  for (feature::TypeId t : a.SelectedTypes(instance)) {
+    if (b.ContainsType(instance, t) &&
+        NaiveDifferentiable(instance, t, a.result_index(), b.result_index())) {
+      dod += weights.Of(t);
+    }
+  }
+  return dod;
+}
+
+/// Random (not necessarily valid) DFS assignment; DoD primitives are
+/// defined on arbitrary subsets.
+std::vector<Dfs> RandomAssignment(const ComparisonInstance& instance,
+                                  Rng& rng) {
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    Dfs dfs(instance, i);
+    const int num_entries = static_cast<int>(instance.entries(i).size());
+    for (int k = 0; k < num_entries; ++k) {
+      if (rng.Below(3) == 0) dfs.Add(k);
+    }
+    dfss.push_back(std::move(dfs));
+  }
+  return dfss;
+}
+
+/// ~100 varied instances: seeds x (n, types, threshold) grid.
+struct Config {
+  uint64_t seed;
+  int n;
+  int max_types;
+  double threshold;
+};
+
+std::vector<Config> Grid() {
+  std::vector<Config> configs;
+  uint64_t seed = 1;
+  for (const int n : {2, 3, 5, 8, 13}) {
+    for (const int max_types : {3, 8, 16}) {
+      for (const double threshold : {0.05, 0.10, 0.50}) {
+        configs.push_back(Config{seed++, n, max_types, threshold});
+      }
+    }
+  }
+  // 5 * 3 * 3 = 45 grid points, doubled with a second seed round = 90,
+  // plus a few larger instances crossing the one-word mask boundary.
+  const size_t base = configs.size();
+  for (size_t c = 0; c < base; ++c) {
+    Config copy = configs[c];
+    copy.seed += 1000;
+    configs.push_back(copy);
+  }
+  configs.push_back(Config{7001, 40, 12, 0.10});
+  configs.push_back(Config{7002, 65, 10, 0.10});  // > 64 results: 2 words
+  configs.push_back(Config{7003, 70, 6, 0.25});
+  return configs;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix + primitive equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(DodBitsetTest, DiffMatrixMatchesNaivePredicate) {
+  for (const Config& config : Grid()) {
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    const ComparisonInstance& instance = fx.instance;
+    const DiffMatrix& matrix = instance.diff_matrix();
+    int64_t pairs = 0;
+    for (int dense = 0; dense < matrix.num_types(); ++dense) {
+      const feature::TypeId t = matrix.TypeAt(dense);
+      EXPECT_EQ(instance.DenseTypeIndex(t), dense);
+      for (int i = 0; i < instance.num_results(); ++i) {
+        for (int j = 0; j < instance.num_results(); ++j) {
+          const bool expected = NaiveDifferentiable(instance, t, i, j);
+          ASSERT_EQ(instance.Differentiable(t, i, j), expected)
+              << "seed=" << config.seed << " t=" << t << " i=" << i
+              << " j=" << j;
+          ASSERT_EQ(matrix.Test(dense, i, j), expected);
+          if (expected && i < j) ++pairs;
+        }
+      }
+    }
+    EXPECT_EQ(matrix.CountPairs(), pairs);
+    EXPECT_EQ(instance.DifferentiationCeiling(), pairs);
+  }
+}
+
+TEST(DodBitsetTest, PairTotalAndGainMatchNaiveReference) {
+  for (const Config& config : Grid()) {
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    const ComparisonInstance& instance = fx.instance;
+    Rng rng(config.seed ^ 0xABCDEF);
+    const std::vector<Dfs> dfss = RandomAssignment(instance, rng);
+
+    for (size_t i = 0; i < dfss.size(); ++i) {
+      for (size_t j = i + 1; j < dfss.size(); ++j) {
+        ASSERT_EQ(PairDod(instance, dfss[i], dfss[j]),
+                  NaivePairDod(instance, dfss[i], dfss[j]))
+            << "seed=" << config.seed << " i=" << i << " j=" << j;
+      }
+    }
+    ASSERT_EQ(TotalDod(instance, dfss), NaiveTotalDod(instance, dfss))
+        << "seed=" << config.seed;
+
+    for (int i = 0; i < instance.num_results(); ++i) {
+      for (const Entry& e : instance.entries(i)) {
+        ASSERT_EQ(TypeGain(instance, dfss, i, e.type_id),
+                  NaiveTypeGain(instance, dfss, i, e.type_id))
+            << "seed=" << config.seed << " i=" << i << " type=" << e.type_id;
+      }
+    }
+  }
+}
+
+TEST(DodBitsetTest, WeightedPrimitivesMatchNaiveReference) {
+  for (const Config& config : Grid()) {
+    if (config.seed % 3 != 0) continue;  // weighted pass on a subsample
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    const ComparisonInstance& instance = fx.instance;
+    Rng rng(config.seed ^ 0x5EED);
+    const std::vector<Dfs> dfss = RandomAssignment(instance, rng);
+
+    for (const WeightScheme scheme :
+         {WeightScheme::kUniform, WeightScheme::kInterestingness,
+          WeightScheme::kSignificance}) {
+      const TypeWeights weights = TypeWeights::Compute(instance, scheme);
+      for (size_t i = 0; i < dfss.size(); ++i) {
+        for (size_t j = i + 1; j < dfss.size(); ++j) {
+          ASSERT_DOUBLE_EQ(
+              WeightedPairDod(instance, dfss[i], dfss[j], weights),
+              NaiveWeightedPairDod(instance, dfss[i], dfss[j], weights));
+        }
+      }
+      for (int i = 0; i < instance.num_results(); ++i) {
+        for (const Entry& e : instance.entries(i)) {
+          ASSERT_DOUBLE_EQ(
+              WeightedTypeGain(instance, dfss, i, e.type_id, weights),
+              NaiveTypeGain(instance, dfss, i, e.type_id) *
+                  weights.Of(e.type_id));
+        }
+      }
+    }
+    // Uniform weighting degenerates exactly to the unweighted objective.
+    const TypeWeights uniform = TypeWeights::Uniform();
+    EXPECT_DOUBLE_EQ(WeightedTotalDod(instance, dfss, uniform),
+                     static_cast<double>(TotalDod(instance, dfss)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SelectionState: incremental maintenance vs rebuild-from-scratch.
+// ---------------------------------------------------------------------------
+
+/// Compares every per-type selected mask of `state` against `fresh`.
+void ExpectMasksEqual(const ComparisonInstance& instance,
+                      const SelectionState& state,
+                      const SelectionState& fresh) {
+  const int words = instance.diff_matrix().words_per_mask();
+  for (int t = 0; t < instance.diff_matrix().num_types(); ++t) {
+    for (int w = 0; w < words; ++w) {
+      ASSERT_EQ(state.SelectedMask(t)[w], fresh.SelectedMask(t)[w])
+          << "type " << t << " word " << w;
+    }
+  }
+}
+
+TEST(SelectionStateTest, IncrementalMatchesRebuildUnderRandomMutation) {
+  for (const Config& config : Grid()) {
+    if (config.seed % 2 != 0) continue;  // mutation pass on a subsample
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    const ComparisonInstance& instance = fx.instance;
+    Rng rng(config.seed ^ 0xFACE);
+
+    std::vector<Dfs> dfss;
+    for (int i = 0; i < instance.num_results(); ++i) {
+      dfss.emplace_back(instance, i);
+    }
+    SelectionState state(instance, &dfss);
+
+    for (int step = 0; step < 200; ++step) {
+      const int i =
+          static_cast<int>(rng.Below(static_cast<uint64_t>(instance.num_results())));
+      const int num_entries = static_cast<int>(instance.entries(i).size());
+      if (num_entries == 0) continue;
+      const int k = static_cast<int>(rng.Below(static_cast<uint64_t>(num_entries)));
+      switch (rng.Below(3)) {
+        case 0:
+          state.Add(i, k);
+          break;
+        case 1:
+          state.Remove(i, k);
+          break;
+        default: {
+          // Wholesale replacement through Assign.
+          Dfs replacement(instance, i);
+          for (int e = 0; e < num_entries; ++e) {
+            if (rng.Below(2) == 0) replacement.Add(e);
+          }
+          state.Assign(i, replacement);
+          break;
+        }
+      }
+      if (step % 25 == 0 || step == 199) {
+        const SelectionState fresh(instance, dfss);
+        ExpectMasksEqual(instance, state, fresh);
+        ASSERT_EQ(state.TotalDod(), fresh.TotalDod());
+        ASSERT_EQ(state.TotalDod(), NaiveTotalDod(instance, dfss))
+            << "seed=" << config.seed << " step=" << step;
+      }
+    }
+
+    // Per-type gains from masks agree with the naive partner scan.
+    for (int i = 0; i < instance.num_results(); ++i) {
+      for (const Entry& e : instance.entries(i)) {
+        ASSERT_EQ(state.TypeGain(i, e.dense_type),
+                  NaiveTypeGain(instance, dfss, i, e.type_id));
+      }
+    }
+    const TypeWeights weights =
+        TypeWeights::Compute(instance, WeightScheme::kSignificance);
+    EXPECT_NEAR(state.WeightedTotalDod(weights),
+                WeightedTotalDod(instance, dfss, weights), 1e-7);
+  }
+}
+
+TEST(SelectionStateTest, VersionsAdvanceOnlyForTouchedTypes) {
+  InstanceFixture fx = RandomInstance(42, 6, 10, 0.10);
+  const ComparisonInstance& instance = fx.instance;
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < instance.num_results(); ++i) dfss.emplace_back(instance, i);
+  SelectionState state(instance, &dfss);
+
+  std::vector<uint32_t> before;
+  for (int t = 0; t < instance.diff_matrix().num_types(); ++t) {
+    before.push_back(state.Version(t));
+  }
+  ASSERT_FALSE(instance.entries(0).empty());
+  const int dense = instance.entries(0)[0].dense_type;
+  state.Add(0, 0);
+  for (int t = 0; t < instance.diff_matrix().num_types(); ++t) {
+    if (t == dense) {
+      EXPECT_GT(state.Version(t), before[static_cast<size_t>(t)]);
+    } else {
+      EXPECT_EQ(state.Version(t), before[static_cast<size_t>(t)]);
+    }
+  }
+  // Redundant add: no mask change, no version bump.
+  const uint32_t v = state.Version(dense);
+  state.Add(0, 0);
+  EXPECT_EQ(state.Version(dense), v);
+}
+
+// ---------------------------------------------------------------------------
+// Word-packed Dfs bitmap vs a std::set model.
+// ---------------------------------------------------------------------------
+
+TEST(DfsBitsetTest, WordBitmapMatchesSetModel) {
+  InstanceFixture fx = RandomInstance(99, 3, 40, 0.10);
+  const ComparisonInstance& instance = fx.instance;
+  const int num_entries = static_cast<int>(instance.entries(0).size());
+  ASSERT_GT(num_entries, 0);
+
+  Rng rng(123);
+  Dfs dfs(instance, 0);
+  std::set<int> model;
+  for (int step = 0; step < 500; ++step) {
+    const int k = static_cast<int>(rng.Below(static_cast<uint64_t>(num_entries)));
+    if (rng.Below(2) == 0) {
+      dfs.Add(k);
+      model.insert(k);
+    } else {
+      dfs.Remove(k);
+      model.erase(k);
+    }
+    ASSERT_EQ(dfs.size(), static_cast<int>(model.size()));
+  }
+  EXPECT_EQ(dfs.SelectedEntries(),
+            std::vector<int>(model.begin(), model.end()));
+  for (int k = 0; k < num_entries; ++k) {
+    EXPECT_EQ(dfs.Contains(k), model.count(k) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace xsact::core
