@@ -52,7 +52,7 @@ const xml::NodeTable& Table() {
 
 const search::InvertedIndex& Index() {
   static const search::InvertedIndex* kIndex = new search::InvertedIndex(
-      search::InvertedIndex::Build(Corpus(), Table()));
+      search::InvertedIndex::Build(Table()));
   return *kIndex;
 }
 
@@ -85,7 +85,7 @@ BENCHMARK(BM_NodeTableBuild);
 
 void BM_IndexBuild(benchmark::State& state) {
   for (auto _ : state) {
-    auto index = search::InvertedIndex::Build(Corpus(), Table());
+    auto index = search::InvertedIndex::Build(Table());
     benchmark::DoNotOptimize(index);
   }
   state.counters["terms"] = static_cast<double>(Index().TermCount());
@@ -152,7 +152,7 @@ const SizedCorpus& CorpusOfSize(int products) {
     auto* corpus = new SizedCorpus{data::GenerateProductReviews(config),
                                    xml::NodeTable(), search::InvertedIndex()};
     corpus->table = xml::NodeTable::Build(corpus->doc);
-    corpus->index = search::InvertedIndex::Build(corpus->doc, corpus->table);
+    corpus->index = search::InvertedIndex::Build(corpus->table);
     it = cache->emplace(products, corpus).first;
   }
   return *it->second;

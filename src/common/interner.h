@@ -3,15 +3,19 @@
 // XSACT's feature catalog compares feature types and values billions of
 // times inside the swap loops; interning turns those comparisons into
 // integer equality and makes tie-breaking deterministic.
+//
+// Lookups are heterogeneous: Find/Intern take a string_view and probe the
+// hash table directly, so a cache hit allocates nothing. Interned strings
+// live in a deque (stable addresses), and the map keys are views into it.
 
 #ifndef XSACT_COMMON_INTERNER_H_
 #define XSACT_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/macros.h"
 
@@ -21,19 +25,28 @@ namespace xsact {
 /// order starting at 0, which also gives a stable deterministic ordering.
 class StringInterner {
  public:
-  /// Returns the id for `s`, inserting it if new.
+  StringInterner() = default;
+  /// Not copyable: a copy's map keys would be views into the SOURCE's
+  /// storage. Moves keep views valid (deque elements do not relocate).
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `s`, inserting it if new. Allocates only when `s`
+  /// has not been seen before.
   int32_t Intern(std::string_view s) {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     if (it != ids_.end()) return it->second;
     const int32_t id = static_cast<int32_t>(strings_.size());
     strings_.emplace_back(s);
-    ids_.emplace(strings_.back(), id);
+    ids_.emplace(std::string_view(strings_.back()), id);
     return id;
   }
 
-  /// Returns the id for `s`, or -1 when not interned.
+  /// Returns the id for `s`, or -1 when not interned. Allocation-free.
   int32_t Find(std::string_view s) const {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     return it == ids_.end() ? -1 : it->second;
   }
 
@@ -46,9 +59,16 @@ class StringInterner {
   /// Number of interned strings.
   size_t size() const { return strings_.size(); }
 
+  /// Removes every interned string; the hash table keeps its buckets, so
+  /// a cleared interner re-fills without rehash churn (workspace reuse).
+  void Clear() {
+    ids_.clear();
+    strings_.clear();
+  }
+
  private:
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, int32_t> ids_;
+  std::deque<std::string> strings_;  // deque: stable addresses for the keys
+  std::unordered_map<std::string_view, int32_t> ids_;
 };
 
 }  // namespace xsact

@@ -19,18 +19,12 @@ std::vector<std::string> Split(std::string_view input, char delim) {
 }
 
 std::vector<std::string> Tokenize(std::string_view input) {
+  // Delegates to ForEachToken so index-time and query-time tokenization
+  // can never drift apart.
   std::vector<std::string> out;
-  std::string current;
-  for (char c : input) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      current.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!current.empty()) {
-      out.push_back(std::move(current));
-      current.clear();
-    }
-  }
-  if (!current.empty()) out.push_back(std::move(current));
+  std::string scratch;
+  ForEachToken(input, &scratch,
+               [&](std::string_view token) { out.emplace_back(token); });
   return out;
 }
 
@@ -49,6 +43,22 @@ std::string_view Trim(std::string_view s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
+}
+
+std::string_view ComposeTagKey(std::string_view first,
+                               std::string_view second) {
+  static thread_local std::string scratch;
+  scratch.assign(first);
+  scratch.push_back('\x1f');
+  scratch.append(second);
+  return scratch;
+}
+
+void FoldCase(std::string* s, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    (*s)[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>((*s)[i])));
+  }
 }
 
 std::string ToLower(std::string_view s) {

@@ -6,6 +6,7 @@
 #ifndef XSACT_COMMON_STRING_UTIL_H_
 #define XSACT_COMMON_STRING_UTIL_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,25 @@ std::vector<std::string> Split(std::string_view input, char delim);
 /// This is the tokenizer used for both indexing and query parsing.
 std::vector<std::string> Tokenize(std::string_view input);
 
+/// Allocation-light tokenizer: calls `fn(std::string_view token)` for each
+/// token of `input` (same tokens, in the same order, as Tokenize). The
+/// lowercased token bytes live in `*scratch`, which is reused across calls
+/// — the view is only valid until the next token is produced.
+template <typename Fn>
+void ForEachToken(std::string_view input, std::string* scratch, Fn&& fn) {
+  scratch->clear();
+  for (char c : input) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      scratch->push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!scratch->empty()) {
+      fn(std::string_view(*scratch));
+      scratch->clear();
+    }
+  }
+  if (!scratch->empty()) fn(std::string_view(*scratch));
+}
+
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
@@ -27,6 +47,23 @@ std::string_view Trim(std::string_view s);
 
 /// ASCII lowercase copy.
 std::string ToLower(std::string_view s);
+
+/// ASCII-lowercases `(*s)[begin..end)` in place. The library's single
+/// case-folding primitive: indexing-time and query-time folding must stay
+/// byte-identical (the extractor's precomputed-vs-dynamic equivalence
+/// depends on it).
+void FoldCase(std::string* s, size_t begin, size_t end);
+
+/// ASCII-lowercases all of `*s` in place.
+inline void FoldCase(std::string* s) { FoldCase(s, 0, s->size()); }
+
+/// Composes "first\x1fsecond" into a thread-local scratch buffer and
+/// returns a view of it (valid until the calling thread's next call).
+/// The unit separator cannot occur in tag or attribute names, so the
+/// composition is unambiguous; the schema and the feature catalog both
+/// key their interners with this.
+std::string_view ComposeTagKey(std::string_view first,
+                               std::string_view second);
 
 /// True iff `s` starts with / ends with the given affix.
 bool StartsWith(std::string_view s, std::string_view prefix);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <numeric>
 
 #include "common/macros.h"
 
@@ -40,36 +40,49 @@ ComparisonInstance ComparisonInstance::Build(
 
   for (int i = 0; i < n; ++i) {
     const feature::ResultFeatures& rf = inst.results_[static_cast<size_t>(i)];
-    // Bucket types by entity name (the first half of the type).
-    std::map<std::string, std::vector<const feature::TypeStats*>> by_entity;
-    for (const feature::TypeStats& ts : rf.types()) {
-      by_entity[catalog->EntityOf(ts.type_id)].push_back(&ts);
-    }
+    // Group by entity name (ascending) with the validity order inside each
+    // group: one sort on (entity, occurrence desc, type id) — type ids are
+    // unique, so the key is total and this reproduces the sorted-map
+    // bucketing it replaces without per-result map churn.
+    std::vector<int32_t> by_entity(rf.types().size());
+    std::iota(by_entity.begin(), by_entity.end(), 0);
+    std::sort(by_entity.begin(), by_entity.end(),
+              [&](int32_t x, int32_t y) {
+                const feature::TypeStats& a =
+                    rf.types()[static_cast<size_t>(x)];
+                const feature::TypeStats& b =
+                    rf.types()[static_cast<size_t>(y)];
+                const std::string& ea = catalog->EntityOf(a.type_id);
+                const std::string& eb = catalog->EntityOf(b.type_id);
+                if (ea != eb) return ea < eb;
+                if (a.occurrence != b.occurrence) {
+                  return a.occurrence > b.occurrence;
+                }
+                return a.type_id < b.type_id;
+              });
     auto& entries = inst.entries_[static_cast<size_t>(i)];
     auto& groups = inst.groups_[static_cast<size_t>(i)];
-    for (auto& [entity_name, stats] : by_entity) {
-      // Validity order: occurrence desc, then type id for determinism.
-      std::sort(stats.begin(), stats.end(),
-                [](const feature::TypeStats* a, const feature::TypeStats* b) {
-                  if (a->occurrence != b->occurrence) {
-                    return a->occurrence > b->occurrence;
-                  }
-                  return a->type_id < b->type_id;
-                });
-      EntityGroup group;
-      group.entity = entity_name;
-      group.begin = static_cast<int32_t>(entries.size());
-      for (const feature::TypeStats* ts : stats) {
-        Entry e;
-        e.type_id = ts->type_id;
-        e.dominant_value = ts->DominantValue();
-        e.occurrence = ts->occurrence;
-        e.cardinality = ts->entity_cardinality;
-        e.group = static_cast<int32_t>(groups.size());
-        entries.push_back(e);
+    for (const int32_t stats_index : by_entity) {
+      const feature::TypeStats& ts =
+          rf.types()[static_cast<size_t>(stats_index)];
+      const std::string& entity_name = catalog->EntityOf(ts.type_id);
+      if (groups.empty() || groups.back().entity != entity_name) {
+        EntityGroup group;
+        group.entity = entity_name;
+        group.begin = static_cast<int32_t>(entries.size());
+        group.end = group.begin;
+        groups.push_back(std::move(group));
       }
-      group.end = static_cast<int32_t>(entries.size());
-      groups.push_back(std::move(group));
+      Entry e;
+      e.type_id = ts.type_id;
+      e.dominant_value = ts.DominantValue();
+      e.occurrence = ts.occurrence;
+      e.dominant_count = ts.values.empty() ? 0 : ts.values.front().count;
+      e.cardinality = ts.entity_cardinality;
+      e.group = static_cast<int32_t>(groups.size()) - 1;
+      e.stats_index = stats_index;
+      entries.push_back(e);
+      groups.back().end = static_cast<int32_t>(entries.size());
     }
   }
 
@@ -104,13 +117,23 @@ ComparisonInstance ComparisonInstance::Build(
 
   // Precompute the symmetric differentiability masks per type: for every
   // pair of results carrying the type, evaluate the paper's predicate.
+  // Stats are resolved through the entries' stats_index — no hash probes.
   for (int dense = 0; dense < num_types; ++dense) {
-    const feature::TypeId type_id = inst.diff_matrix_.TypeAt(dense);
     for (int i = 0; i < n; ++i) {
-      if (inst.EntryIndexOfDenseType(i, dense) < 0) continue;
+      const int ei = inst.EntryIndexOfDenseType(i, dense);
+      if (ei < 0) continue;
+      const feature::TypeStats& si =
+          inst.results_[static_cast<size_t>(i)].types()[static_cast<size_t>(
+              inst.entries_[static_cast<size_t>(i)][static_cast<size_t>(ei)]
+                  .stats_index)];
       for (int j = i + 1; j < n; ++j) {
-        if (inst.EntryIndexOfDenseType(j, dense) < 0) continue;
-        if (inst.ComputeDiff(type_id, i, j)) {
+        const int ej = inst.EntryIndexOfDenseType(j, dense);
+        if (ej < 0) continue;
+        const feature::TypeStats& sj =
+            inst.results_[static_cast<size_t>(j)].types()[static_cast<size_t>(
+                inst.entries_[static_cast<size_t>(j)][static_cast<size_t>(ej)]
+                    .stats_index)];
+        if (inst.ComputeDiff(si, sj)) {
           inst.diff_matrix_.Set(dense, i, j);
         }
       }
@@ -119,17 +142,15 @@ ComparisonInstance ComparisonInstance::Build(
   return inst;
 }
 
-bool ComparisonInstance::ComputeDiff(feature::TypeId t, int i, int j) const {
-  const feature::TypeStats* si = results_[static_cast<size_t>(i)].Find(t);
-  const feature::TypeStats* sj = results_[static_cast<size_t>(j)].Find(t);
-  XSACT_CHECK(si != nullptr && sj != nullptr);
+bool ComparisonInstance::ComputeDiff(const feature::TypeStats& si,
+                                     const feature::TypeStats& sj) const {
   // The displayed feature of t on each side is its dominant value; the
   // pair is differentiable when EITHER displayed feature's relative
   // occurrences differ across the two results by more than the threshold.
-  for (const feature::ValueId v : {si->DominantValue(), sj->DominantValue()}) {
+  for (const feature::ValueId v : {si.DominantValue(), sj.DominantValue()}) {
     if (v == feature::kInvalidValueId) continue;
-    const double rel_i = si->RelativeOccurrenceOf(v);
-    const double rel_j = sj->RelativeOccurrenceOf(v);
+    const double rel_i = si.RelativeOccurrenceOf(v);
+    const double rel_j = sj.RelativeOccurrenceOf(v);
     if (OccurrencesDiffer(rel_i, rel_j, diff_threshold_)) return true;
   }
   return false;

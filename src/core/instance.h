@@ -37,16 +37,27 @@ struct Entry {
   feature::ValueId dominant_value = feature::kInvalidValueId;
   /// Absolute occurrence of the type in the result (significance key).
   double occurrence = 0;
+  /// Occurrence of the DOMINANT value alone (what a table cell displays).
+  double dominant_count = 0;
   /// Cardinality of the owning entity within the result.
   double cardinality = 1;
   /// Dense index of the entity group this entry belongs to.
   int32_t group = 0;
   /// Dense index of the type in the instance's DiffMatrix.
   int32_t dense_type = -1;
+  /// Position of this type's TypeStats in the result's types() vector
+  /// (lets the build resolve stats without hashing the type id).
+  int32_t stats_index = -1;
 
   /// Relative occurrence of the type (occurrence / cardinality).
   double RelOccurrence() const {
     return cardinality > 0 ? occurrence / cardinality : 0;
+  }
+
+  /// Relative occurrence of the dominant value — the percentage rendered
+  /// next to the cell value in the comparison table.
+  double DominantRelOccurrence() const {
+    return cardinality > 0 ? dominant_count / cardinality : 0;
   }
 };
 
@@ -132,8 +143,9 @@ class ComparisonInstance {
 
  private:
   /// Evaluates the paper's differentiability predicate for the dominant
-  /// values of type `t` in results i and j.
-  bool ComputeDiff(feature::TypeId t, int i, int j) const;
+  /// values of a type's stats in two results.
+  bool ComputeDiff(const feature::TypeStats& si,
+                   const feature::TypeStats& sj) const;
 
   std::vector<feature::ResultFeatures> results_;
   const feature::FeatureCatalog* catalog_ = nullptr;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <vector>
 
 namespace xsact::core {
@@ -23,9 +22,12 @@ namespace {
 
 double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
 
-/// Normalized Shannon entropy of a histogram (0 when <= 1 bucket).
-double NormalizedEntropy(const std::map<feature::ValueId, int>& histogram,
-                         int total) {
+/// Normalized Shannon entropy of a histogram (0 when <= 1 bucket). The
+/// histogram is sorted by value id, so the summation order matches the
+/// std::map-based scalar implementation bit for bit.
+double NormalizedEntropy(
+    const std::vector<std::pair<feature::ValueId, int>>& histogram,
+    int total) {
   if (histogram.size() <= 1 || total <= 0) return 0.0;
   double h = 0.0;
   for (const auto& [value, count] : histogram) {
@@ -36,40 +38,49 @@ double NormalizedEntropy(const std::map<feature::ValueId, int>& histogram,
   return h / std::log(static_cast<double>(histogram.size()));
 }
 
-/// Interestingness of one type: how much its presentation varies across
-/// the results that carry it.
-double Interestingness(const ComparisonInstance& instance,
-                       feature::TypeId type) {
-  std::map<feature::ValueId, int> dominant_values;
+/// Interestingness of one dense type: how much its presentation varies
+/// across the results that carry it. One flat-table sweep per type.
+double Interestingness(const ComparisonInstance& instance, int dense_type,
+                       std::vector<std::pair<feature::ValueId, int>>* scratch) {
+  scratch->clear();
   double min_rel = 1.0;
   double max_rel = 0.0;
   int carriers = 0;
   for (int i = 0; i < instance.num_results(); ++i) {
-    const feature::TypeStats* stats = instance.result(i).Find(type);
-    if (stats == nullptr) continue;
+    const int entry_index = instance.EntryIndexOfDenseType(i, dense_type);
+    if (entry_index < 0) continue;
+    const Entry& e = instance.entries(i)[static_cast<size_t>(entry_index)];
     ++carriers;
-    const feature::ValueId v = stats->DominantValue();
-    ++dominant_values[v];
-    const double rel = stats->RelativeOccurrenceOf(v);
+    bool found = false;
+    for (auto& [value, count] : *scratch) {
+      if (value == e.dominant_value) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) scratch->emplace_back(e.dominant_value, 1);
+    const double rel = e.DominantRelOccurrence();
     min_rel = std::min(min_rel, rel);
     max_rel = std::max(max_rel, rel);
   }
   if (carriers <= 1) return 0.0;  // nothing to contrast
-  const double value_diversity = NormalizedEntropy(dominant_values, carriers);
+  std::sort(scratch->begin(), scratch->end());
+  const double value_diversity = NormalizedEntropy(*scratch, carriers);
   const double share_spread = Clamp01(max_rel - min_rel);
   return std::max(value_diversity, share_spread);
 }
 
 /// Mean relative occurrence across carriers.
-double Significance(const ComparisonInstance& instance,
-                    feature::TypeId type) {
+double Significance(const ComparisonInstance& instance, int dense_type) {
   double sum = 0.0;
   int carriers = 0;
   for (int i = 0; i < instance.num_results(); ++i) {
-    const feature::TypeStats* stats = instance.result(i).Find(type);
-    if (stats == nullptr) continue;
+    const int entry_index = instance.EntryIndexOfDenseType(i, dense_type);
+    if (entry_index < 0) continue;
+    const Entry& e = instance.entries(i)[static_cast<size_t>(entry_index)];
     ++carriers;
-    sum += Clamp01(stats->RelativeOccurrence());
+    sum += Clamp01(e.RelOccurrence());
   }
   return carriers > 0 ? sum / carriers : 0.0;
 }
@@ -79,23 +90,31 @@ double Significance(const ComparisonInstance& instance,
 TypeWeights TypeWeights::Compute(const ComparisonInstance& instance,
                                  WeightScheme scheme) {
   TypeWeights weights;
-  for (int i = 0; i < instance.num_results(); ++i) {
-    for (const Entry& e : instance.entries(i)) {
-      if (weights.weights_.count(e.type_id) > 0) continue;
-      double w = 1.0;
-      switch (scheme) {
-        case WeightScheme::kUniform:
-          w = 1.0;
-          break;
-        case WeightScheme::kInterestingness:
-          w = kFloor + (1.0 - kFloor) * Interestingness(instance, e.type_id);
-          break;
-        case WeightScheme::kSignificance:
-          w = kFloor + (1.0 - kFloor) * Significance(instance, e.type_id);
-          break;
-      }
-      weights.weights_.emplace(e.type_id, w);
+  // One pass over the dense type index — every type occurring anywhere
+  // gets its weight exactly once; no per-entry "seen before?" probes.
+  const DiffMatrix& matrix = instance.diff_matrix();
+  if (matrix.num_types() > 0) {
+    weights.by_type_.assign(
+        static_cast<size_t>(matrix.types().back()) + 1, 1.0);
+    weights.is_set_.assign(weights.by_type_.size(), false);
+  }
+  std::vector<std::pair<feature::ValueId, int>> histogram;
+  for (int t = 0; t < matrix.num_types(); ++t) {
+    double w = 1.0;
+    switch (scheme) {
+      case WeightScheme::kUniform:
+        w = 1.0;
+        break;
+      case WeightScheme::kInterestingness:
+        w = kFloor + (1.0 - kFloor) * Interestingness(instance, t, &histogram);
+        break;
+      case WeightScheme::kSignificance:
+        w = kFloor + (1.0 - kFloor) * Significance(instance, t);
+        break;
     }
+    weights.by_type_[static_cast<size_t>(matrix.TypeAt(t))] = w;
+    weights.is_set_[static_cast<size_t>(matrix.TypeAt(t))] = true;
+    ++weights.num_set_;
   }
   return weights;
 }
@@ -103,7 +122,17 @@ TypeWeights TypeWeights::Compute(const ComparisonInstance& instance,
 TypeWeights TypeWeights::Uniform() { return TypeWeights(); }
 
 void TypeWeights::Set(feature::TypeId type, double weight) {
-  weights_[type] = std::min(1.0, std::max(kFloor, weight));
+  if (type < 0) return;
+  if (static_cast<size_t>(type) >= by_type_.size()) {
+    by_type_.resize(static_cast<size_t>(type) + 1, 1.0);
+    is_set_.resize(static_cast<size_t>(type) + 1, false);
+  }
+  if (!is_set_[static_cast<size_t>(type)]) {
+    is_set_[static_cast<size_t>(type)] = true;
+    ++num_set_;
+  }
+  by_type_[static_cast<size_t>(type)] =
+      std::min(1.0, std::max(kFloor, weight));
 }
 
 }  // namespace xsact::core

@@ -9,7 +9,7 @@
 #ifndef XSACT_CORE_WEIGHTS_H_
 #define XSACT_CORE_WEIGHTS_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "core/instance.h"
 
@@ -46,20 +46,28 @@ class TypeWeights {
   /// Uniform table (all weights 1).
   static TypeWeights Uniform();
 
-  /// Weight of a type; 1.0 for unknown types.
+  /// Weight of a type; 1.0 for unknown types. TypeIds are dense catalog
+  /// ids, so this is a bounds check plus one array load — cheap enough
+  /// for the optimizers' weighted gain inner loop.
   double Of(feature::TypeId type) const {
-    auto it = weights_.find(type);
-    return it == weights_.end() ? 1.0 : it->second;
+    return type >= 0 && static_cast<size_t>(type) < by_type_.size()
+               ? by_type_[static_cast<size_t>(type)]
+               : 1.0;
   }
 
   /// Sets/overrides one weight (clamped to [kFloor, 1]); exposed so
   /// applications can inject domain knowledge (e.g. boost "price").
   void Set(feature::TypeId type, double weight);
 
-  size_t size() const { return weights_.size(); }
+  /// Number of types whose weight was computed or explicitly set.
+  size_t size() const { return num_set_; }
 
  private:
-  std::unordered_map<feature::TypeId, double> weights_;
+  /// TypeId-indexed weight table; ids outside the vector (or never
+  /// computed/set) read as 1.0.
+  std::vector<double> by_type_;
+  std::vector<bool> is_set_;
+  size_t num_set_ = 0;
 };
 
 }  // namespace xsact::core

@@ -76,8 +76,17 @@ StatusOr<ComparisonOutcome> Xsact::CompareResults(
   std::vector<feature::ResultFeatures> features;
   features.reserve(roots.size());
   for (const xml::Node* root : roots) {
-    features.push_back(
-        extractor.Extract(*root, engine_.schema(), outcome.catalog.get()));
+    // Serve-path fast extraction over the node's pre-order id range; the
+    // node-walk fallback covers roots from outside the engine's document.
+    const xml::NodeId root_id = engine_.table().IdOf(root);
+    if (root_id != xml::kInvalidNodeId) {
+      features.push_back(extractor.Extract(engine_.table(),
+                                           engine_.category_index(), root_id,
+                                           outcome.catalog.get()));
+    } else {
+      features.push_back(
+          extractor.Extract(*root, engine_.schema(), outcome.catalog.get()));
+    }
   }
   outcome.instance = core::ComparisonInstance::Build(
       std::move(features), outcome.catalog.get(), options.diff_threshold);

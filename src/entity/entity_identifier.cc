@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/string_util.h"
+
 namespace xsact::entity {
 
 namespace {
@@ -50,10 +52,15 @@ EntitySchema SchemaFromStats(const StatsMap& stats) {
 
 }  // namespace
 
+int32_t EntitySchema::FindKey(std::string_view parent_tag,
+                              std::string_view tag) const {
+  return keys_.Find(ComposeTagKey(parent_tag, tag));
+}
+
 NodeCategory EntitySchema::CategoryOf(std::string_view parent_tag,
                                       std::string_view tag) const {
-  auto it = categories_.find({std::string(parent_tag), std::string(tag)});
-  if (it != categories_.end()) return it->second;
+  const int32_t key = FindKey(parent_tag, tag);
+  if (key >= 0) return by_key_[static_cast<size_t>(key)];
   return NodeCategory::kAttribute;
 }
 
@@ -65,8 +72,8 @@ NodeCategory EntitySchema::CategoryOf(const xml::Node& node) const {
     return node.IsLeafElement() ? NodeCategory::kAttribute
                                 : NodeCategory::kConnection;
   }
-  auto it = categories_.find({parent->tag(), node.tag()});
-  if (it != categories_.end()) return it->second;
+  const int32_t key = FindKey(parent->tag(), node.tag());
+  if (key >= 0) return by_key_[static_cast<size_t>(key)];
   return node.IsLeafElement() ? NodeCategory::kAttribute
                               : NodeCategory::kConnection;
 }
@@ -91,11 +98,17 @@ EntitySchema::Entries() const {
 
 bool EntitySchema::Contains(std::string_view parent_tag,
                             std::string_view tag) const {
-  return categories_.count({std::string(parent_tag), std::string(tag)}) > 0;
+  return FindKey(parent_tag, tag) >= 0;
 }
 
 void EntitySchema::Set(std::string parent_tag, std::string tag,
                        NodeCategory category) {
+  const int32_t key = keys_.Intern(ComposeTagKey(parent_tag, tag));
+  if (static_cast<size_t>(key) == by_key_.size()) {
+    by_key_.push_back(category);
+  } else {
+    by_key_[static_cast<size_t>(key)] = category;
+  }
   categories_[{std::move(parent_tag), std::move(tag)}] = category;
 }
 

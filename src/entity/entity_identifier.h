@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "entity/node_category.h"
 #include "xml/document.h"
 
@@ -49,7 +50,18 @@ class EntitySchema {
   void Set(std::string parent_tag, std::string tag, NodeCategory category);
 
  private:
+  /// Composes "parent\x1ftag" into a thread-local scratch (no allocation
+  /// after warmup, reentrant for concurrent const queries) and returns
+  /// the dense key id, or -1 when never registered.
+  int32_t FindKey(std::string_view parent_tag, std::string_view tag) const;
+
+  /// Sorted view kept for Entries(); the hot path probes the interner.
   std::map<std::pair<std::string, std::string>, NodeCategory> categories_;
+  /// "parent\x1ftag" -> dense id -> category: one hash probe, O(1),
+  /// allocation-free. Extraction calls CategoryOf once per element, so
+  /// this is on the serve path's critical loop.
+  StringInterner keys_;
+  std::vector<NodeCategory> by_key_;
 };
 
 /// Infers the schema of `doc` with the structural rules described in

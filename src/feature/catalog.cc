@@ -1,23 +1,13 @@
 #include "feature/catalog.h"
 
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace xsact::feature {
 
-namespace {
-
-std::string TypeKey(std::string_view entity, std::string_view attribute) {
-  std::string key(entity);
-  key.push_back('\x1f');  // unit separator: cannot occur in tag names
-  key.append(attribute);
-  return key;
-}
-
-}  // namespace
-
 TypeId FeatureCatalog::InternType(std::string_view entity,
                                   std::string_view attribute) {
-  const std::string key = TypeKey(entity, attribute);
+  const std::string_view key = ComposeTagKey(entity, attribute);
   const int32_t existing = keys_.Find(key);
   if (existing >= 0) return existing;
   const TypeId id = keys_.Intern(key);
@@ -29,7 +19,7 @@ TypeId FeatureCatalog::InternType(std::string_view entity,
 
 TypeId FeatureCatalog::FindType(std::string_view entity,
                                 std::string_view attribute) const {
-  return keys_.Find(TypeKey(entity, attribute));
+  return keys_.Find(ComposeTagKey(entity, attribute));
 }
 
 const std::string& FeatureCatalog::EntityOf(TypeId id) const {

@@ -19,13 +19,16 @@
 #ifndef XSACT_FEATURE_EXTRACTOR_H_
 #define XSACT_FEATURE_EXTRACTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "entity/category_index.h"
 #include "entity/entity_identifier.h"
 #include "feature/catalog.h"
 #include "feature/result_features.h"
 #include "xml/node.h"
+#include "xml/path.h"
 
 namespace xsact::feature {
 
@@ -40,12 +43,20 @@ struct ExtractorOptions {
   bool skip_empty_values = true;
 };
 
-/// Stateless extractor; the catalog accumulates interned types/values
-/// across all results of a comparison.
+namespace internal {
+struct ExtractionWorkspace;
+}  // namespace internal
+
+/// Extractor; the catalog accumulates interned types/values across all
+/// results of a comparison. The extractor reuses an internal workspace
+/// (local interners, aggregation tables, text scratch) across Extract
+/// calls, so one instance must not run concurrent extractions.
 class FeatureExtractor {
  public:
-  explicit FeatureExtractor(ExtractorOptions options = {})
-      : options_(options) {}
+  explicit FeatureExtractor(ExtractorOptions options = {});
+  ~FeatureExtractor();
+  FeatureExtractor(FeatureExtractor&&) noexcept;
+  FeatureExtractor& operator=(FeatureExtractor&&) noexcept;
 
   /// Extracts the features of the subtree rooted at `result_root`.
   /// `schema` must have been inferred from the corpus (or the result set),
@@ -54,8 +65,19 @@ class FeatureExtractor {
                          const entity::EntitySchema& schema,
                          FeatureCatalog* catalog) const;
 
+  /// Serve-path fast variant: extracts the subtree rooted at `root_id` as
+  /// one linear sweep of its pre-order id range, reading the per-document
+  /// category index instead of probing the schema per node. `index` must
+  /// have been built from `table`. Produces output identical to the
+  /// node-walk overload.
+  ResultFeatures Extract(const xml::NodeTable& table,
+                         const entity::DocumentCategoryIndex& index,
+                         xml::NodeId root_id, FeatureCatalog* catalog) const;
+
  private:
   ExtractorOptions options_;
+  /// Reused per-extraction state; cleared (capacity kept) on every call.
+  mutable std::unique_ptr<internal::ExtractionWorkspace> workspace_;
 };
 
 }  // namespace xsact::feature

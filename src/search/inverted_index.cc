@@ -1,51 +1,73 @@
 #include "search/inverted_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/string_util.h"
 
 namespace xsact::search {
 
-InvertedIndex InvertedIndex::Build(const xml::Document& doc,
-                                   const xml::NodeTable& table) {
-  (void)doc;  // the node table fully describes the document
+InvertedIndex InvertedIndex::Build(const xml::NodeTable& table) {
   InvertedIndex index;
+
+  // Single sweep: text nodes post against their containing element,
+  // attribute values against their owning element. Occurrences are
+  // collected as (term id, element id) pairs and laid out afterwards.
+  std::vector<std::pair<int32_t, xml::NodeId>> occurrences;
+  std::string scratch;
+  auto post = [&](std::string_view text, xml::NodeId element_id) {
+    ForEachToken(text, &scratch, [&](std::string_view token) {
+      occurrences.emplace_back(index.terms_.Intern(token), element_id);
+    });
+  };
   for (size_t id = 0; id < table.size(); ++id) {
     const xml::Node* node = table.node(static_cast<xml::NodeId>(id));
-    if (!node->is_text()) continue;
-    // Attribute the text to the containing element.
-    const xml::NodeId element_id =
-        table.parent(static_cast<xml::NodeId>(id)) != xml::kInvalidNodeId
-            ? table.parent(static_cast<xml::NodeId>(id))
-            : static_cast<xml::NodeId>(id);
-    for (const std::string& term : Tokenize(node->text())) {
-      index.postings_[term].push_back(element_id);
-    }
-  }
-  // Also index attribute values on their owning element.
-  for (size_t id = 0; id < table.size(); ++id) {
-    const xml::Node* node = table.node(static_cast<xml::NodeId>(id));
-    if (!node->is_element()) continue;
-    for (const auto& [name, value] : node->attributes()) {
-      (void)name;
-      for (const std::string& term : Tokenize(value)) {
-        index.postings_[term].push_back(static_cast<xml::NodeId>(id));
+    if (node->is_text()) {
+      const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(id));
+      post(node->text(),
+           parent != xml::kInvalidNodeId ? parent
+                                         : static_cast<xml::NodeId>(id));
+    } else if (node->is_element()) {
+      for (const auto& [name, value] : node->attributes()) {
+        (void)name;
+        post(value, static_cast<xml::NodeId>(id));
       }
     }
   }
-  for (auto& [term, list] : index.postings_) {
-    (void)term;
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-    index.total_postings_ += list.size();
-  }
-  return index;
-}
 
-const std::vector<xml::NodeId>& InvertedIndex::Postings(
-    std::string_view term) const {
-  auto it = postings_.find(std::string(term));
-  return it == postings_.end() ? empty_ : it->second;
+  // Counting sort into CSR ranges, then sort + dedup each term's range,
+  // compacting the array in place.
+  const size_t num_terms = index.terms_.size();
+  index.offsets_.assign(num_terms + 1, 0);
+  for (const auto& [term, element] : occurrences) {
+    (void)element;
+    ++index.offsets_[static_cast<size_t>(term) + 1];
+  }
+  for (size_t t = 0; t < num_terms; ++t) {
+    index.offsets_[t + 1] += index.offsets_[t];
+  }
+  index.postings_.resize(occurrences.size());
+  std::vector<size_t> cursor(index.offsets_.begin(),
+                             index.offsets_.end() - 1);
+  for (const auto& [term, element] : occurrences) {
+    index.postings_[cursor[static_cast<size_t>(term)]++] = element;
+  }
+  size_t write = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    const size_t begin = index.offsets_[t];
+    const size_t end = index.offsets_[t + 1];
+    std::sort(index.postings_.begin() + static_cast<ptrdiff_t>(begin),
+              index.postings_.begin() + static_cast<ptrdiff_t>(end));
+    index.offsets_[t] = write;
+    for (size_t r = begin; r < end; ++r) {
+      if (r > begin && index.postings_[r] == index.postings_[r - 1]) continue;
+      index.postings_[write++] = index.postings_[r];
+    }
+  }
+  index.offsets_[num_terms] = write;
+  index.postings_.resize(write);
+  index.postings_.shrink_to_fit();
+  return index;
 }
 
 }  // namespace xsact::search

@@ -1,18 +1,24 @@
 // Inverted index over XML text content.
 //
 // Every text node's tokens are posted against the ELEMENT that contains
-// the text. Postings are dense pre-order NodeIds (document order), so
-// posting lists double as Dewey-ordered match lists for the SLCA
-// algorithms.
+// the text (attribute values against their owning element). Postings are
+// dense pre-order NodeIds (document order), so posting lists double as
+// Dewey-ordered match lists for the SLCA algorithms.
+//
+// Terms are interned to dense ids and all posting lists live in one
+// contiguous array (CSR layout: offsets_[t]..offsets_[t+1]). Lookups are
+// heterogeneous string_view probes — a query term never materializes a
+// std::string, and a hit returns a view into the shared array.
 
 #ifndef XSACT_SEARCH_INVERTED_INDEX_H_
 #define XSACT_SEARCH_INVERTED_INDEX_H_
 
-#include <string>
+#include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
+#include "search/posting_list.h"
 #include "xml/document.h"
 #include "xml/path.h"
 
@@ -21,29 +27,33 @@ namespace xsact::search {
 /// Keyword -> sorted element-id posting lists for one document.
 class InvertedIndex {
  public:
-  /// Builds the index. `table` must describe `doc` and must outlive any
-  /// query evaluated against this index.
-  static InvertedIndex Build(const xml::Document& doc,
-                             const xml::NodeTable& table);
+  /// Builds the index in a single sweep of the node table. `table` must
+  /// outlive any query evaluated against this index.
+  static InvertedIndex Build(const xml::NodeTable& table);
 
   /// Posting list for a (case-folded) term; empty list when absent.
-  const std::vector<xml::NodeId>& Postings(std::string_view term) const;
-
-  /// Number of distinct terms.
-  size_t TermCount() const { return postings_.size(); }
-
-  /// Total number of postings across all terms.
-  size_t PostingCount() const { return total_postings_; }
-
-  /// True iff the term occurs anywhere in the document.
-  bool Contains(std::string_view term) const {
-    return postings_.count(std::string(term)) > 0;
+  /// Allocation-free.
+  PostingList Postings(std::string_view term) const {
+    const int32_t id = terms_.Find(term);
+    if (id < 0) return PostingList();
+    const size_t begin = offsets_[static_cast<size_t>(id)];
+    const size_t end = offsets_[static_cast<size_t>(id) + 1];
+    return PostingList(postings_.data() + begin, end - begin);
   }
 
+  /// Number of distinct terms.
+  size_t TermCount() const { return terms_.size(); }
+
+  /// Total number of postings across all terms.
+  size_t PostingCount() const { return postings_.size(); }
+
+  /// True iff the term occurs anywhere in the document.
+  bool Contains(std::string_view term) const { return terms_.Find(term) >= 0; }
+
  private:
-  std::unordered_map<std::string, std::vector<xml::NodeId>> postings_;
-  std::vector<xml::NodeId> empty_;
-  size_t total_postings_ = 0;
+  StringInterner terms_;           // term -> dense term id
+  std::vector<size_t> offsets_;    // term id -> [offsets_[t], offsets_[t+1])
+  std::vector<xml::NodeId> postings_;  // contiguous, sorted + unique per term
 };
 
 }  // namespace xsact::search

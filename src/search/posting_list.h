@@ -1,0 +1,43 @@
+// PostingList: a non-owning view of one term's sorted element-id posting
+// range inside the inverted index's contiguous posting array.
+//
+// The SLCA algorithms and the ranker only ever read posting lists, so the
+// query path passes these views around instead of copying id vectors —
+// the per-query pipeline stays allocation-free up to result materialization.
+
+#ifndef XSACT_SEARCH_POSTING_LIST_H_
+#define XSACT_SEARCH_POSTING_LIST_H_
+
+#include <cstddef>
+
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// Read-only view of a sorted, duplicate-free run of element NodeIds.
+/// Valid as long as the owning InvertedIndex (or backing vector) lives.
+class PostingList {
+ public:
+  using value_type = xml::NodeId;
+  using const_iterator = const xml::NodeId*;
+
+  constexpr PostingList() = default;
+  constexpr PostingList(const xml::NodeId* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  xml::NodeId operator[](size_t i) const { return data_[i]; }
+  xml::NodeId front() const { return data_[0]; }
+  xml::NodeId back() const { return data_[size_ - 1]; }
+
+ private:
+  const xml::NodeId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_POSTING_LIST_H_

@@ -8,7 +8,7 @@ namespace xsact::search {
 size_t TermFrequencyInSubtree(const xml::NodeTable& table,
                               const InvertedIndex& index,
                               const std::string& term, xml::NodeId root_id) {
-  const std::vector<xml::NodeId>& postings = index.Postings(term);
+  const PostingList postings = index.Postings(term);
   const xml::NodeId end = static_cast<xml::NodeId>(
       root_id +
       static_cast<xml::NodeId>(table.node(root_id)->SubtreeSize()));

@@ -13,7 +13,8 @@ SearchEngine::SearchEngine(xml::Document doc, SlcaAlgorithm algorithm)
     : doc_(std::move(doc)),
       table_(xml::NodeTable::Build(doc_)),
       schema_(entity::InferSchema(doc_)),
-      index_(InvertedIndex::Build(doc_, table_)),
+      index_(InvertedIndex::Build(table_)),
+      category_index_(table_, schema_),
       algorithm_(algorithm) {}
 
 std::vector<QueryTerm> ParseQuery(std::string_view query) {
@@ -58,18 +59,22 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
   }
   MatchLists lists;
   lists.reserve(terms.size());
+  // Backing storage for fielded terms only; unrestricted terms view the
+  // index's posting array directly.
+  std::vector<std::vector<xml::NodeId>> filtered_storage;
+  filtered_storage.reserve(terms.size());
   for (const QueryTerm& qt : terms) {
-    const std::vector<xml::NodeId>& postings = index_.Postings(qt.term);
+    const PostingList postings = index_.Postings(qt.term);
     if (qt.field.empty()) {
       lists.push_back(postings);
     } else {
       // Fielded term: keep only matches whose containing element has the
       // requested tag.
-      std::vector<xml::NodeId> filtered;
+      std::vector<xml::NodeId>& filtered = filtered_storage.emplace_back();
       for (xml::NodeId id : postings) {
         if (table_.node(id)->tag() == qt.field) filtered.push_back(id);
       }
-      lists.push_back(std::move(filtered));
+      lists.push_back(PostingList(filtered.data(), filtered.size()));
     }
     if (lists.back().empty()) {
       return std::vector<SearchResult>{};  // conjunctive: no results

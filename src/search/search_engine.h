@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "entity/category_index.h"
 #include "entity/entity_identifier.h"
 #include "search/inverted_index.h"
 #include "search/slca.h"
@@ -80,11 +81,18 @@ class SearchEngine {
   const entity::EntitySchema& schema() const { return schema_; }
   const InvertedIndex& index() const { return index_; }
 
+  /// Per-node schema facts (categories, owners, subtree extents),
+  /// precomputed once so the serve path reads flat arrays.
+  const entity::DocumentCategoryIndex& category_index() const {
+    return category_index_;
+  }
+
  private:
   xml::Document doc_;
   xml::NodeTable table_;
   entity::EntitySchema schema_;
   InvertedIndex index_;
+  entity::DocumentCategoryIndex category_index_;
   SlcaAlgorithm algorithm_;
 };
 

@@ -20,12 +20,16 @@
 
 #include <vector>
 
+#include "search/posting_list.h"
 #include "xml/path.h"
 
 namespace xsact::search {
 
-/// Keyword match lists: one sorted vector of element ids per keyword.
-using MatchLists = std::vector<std::vector<xml::NodeId>>;
+/// Keyword match lists: one sorted element-id list view per keyword. The
+/// views typically point straight into the inverted index (or into a
+/// caller-owned filtered vector), so assembling a query's match lists
+/// copies no ids.
+using MatchLists = std::vector<PostingList>;
 
 /// Linear-scan SLCA. Supports up to 64 keywords. Returns element ids in
 /// document order; empty when any list is empty (conjunctive semantics).

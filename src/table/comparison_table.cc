@@ -1,10 +1,9 @@
 #include "table/comparison_table.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/string_util.h"
-#include "core/dod.h"
+#include "core/selection_state.h"
 
 namespace xsact::table {
 
@@ -18,42 +17,45 @@ ComparisonTable BuildComparisonTable(const core::ComparisonInstance& instance,
     table.headers.push_back(label.empty() ? "result " + std::to_string(i + 1)
                                           : label);
   }
-  table.total_dod = core::TotalDod(instance, dfss);
 
-  // Union of selected types, remembering who selected them.
-  std::map<feature::TypeId, std::vector<int>> selected_by;
-  for (int i = 0; i < n; ++i) {
-    for (feature::TypeId t :
-         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
-      selected_by[t].push_back(i);
-    }
-  }
+  // Read-only selection masks over the assignment: one word-packed mask of
+  // selecting results per dense type, total DoD as a popcount sweep.
+  const core::SelectionState state(instance, dfss);
+  table.total_dod = state.TotalDod();
 
+  const core::DiffMatrix& matrix = instance.diff_matrix();
+  const int words = matrix.words_per_mask();
   const auto& catalog = instance.catalog();
-  for (const auto& [type_id, selectors] : selected_by) {
+  // Dense type order is ascending TypeId, matching the sorted-map walk
+  // this replaces row for row.
+  for (int t = 0; t < matrix.num_types(); ++t) {
+    const uint64_t* mask = state.SelectedMask(t);
+    const int selected_in = core::bits::Popcount(mask, words);
+    if (selected_in == 0) continue;
+
     TableRow row;
-    row.type_id = type_id;
-    row.label = catalog.TypeName(type_id);
-    row.selected_in = static_cast<int>(selectors.size());
+    row.type_id = matrix.TypeAt(t);
+    row.label = catalog.TypeName(row.type_id);
+    row.selected_in = selected_in;
     row.cells.assign(static_cast<size_t>(n), "-");
-    for (int i : selectors) {
-      const feature::TypeStats* stats = instance.result(i).Find(type_id);
-      if (stats == nullptr) continue;
-      const feature::ValueId v = stats->DominantValue();
+    core::bits::ForEachBit(mask, words, [&](int i) {
+      const int entry_index = instance.EntryIndexOfDenseType(i, t);
+      if (entry_index < 0) return;
+      const core::Entry& entry =
+          instance.entries(i)[static_cast<size_t>(entry_index)];
+      const feature::ValueId v = entry.dominant_value;
       std::string cell =
           v == feature::kInvalidValueId ? "?" : catalog.ValueOf(v);
       cell += " (" +
-              FormatDouble(100.0 * stats->RelativeOccurrenceOf(v), 0) + "%)";
+              FormatDouble(100.0 * entry.DominantRelOccurrence(), 0) + "%)";
       row.cells[static_cast<size_t>(i)] = std::move(cell);
-    }
-    for (size_t a = 0; a < selectors.size() && !row.differentiating; ++a) {
-      for (size_t b = a + 1; b < selectors.size(); ++b) {
-        if (instance.Differentiable(type_id, selectors[a], selectors[b])) {
-          row.differentiating = true;
-          break;
-        }
+      // Differentiating iff some selected pair differs on the type: any
+      // selecting result with a selected partner in its diff row.
+      if (!row.differentiating &&
+          core::bits::PopcountAnd(matrix.Row(t, i), mask, words) > 0) {
+        row.differentiating = true;
       }
-    }
+    });
     table.rows.push_back(std::move(row));
   }
 

@@ -1,9 +1,10 @@
 #include "table/explainer.h"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
 
 #include "common/string_util.h"
+#include "core/selection_state.h"
 
 namespace xsact::table {
 
@@ -23,65 +24,82 @@ std::string Percent(double rel) {
 std::vector<Explanation> ExplainDifferences(
     const core::ComparisonInstance& instance,
     const std::vector<core::Dfs>& dfss, size_t max_statements) {
-  const int n = instance.num_results();
   const auto& catalog = instance.catalog();
+  const core::DiffMatrix& matrix = instance.diff_matrix();
+  const int words = matrix.words_per_mask();
 
-  // Collect, per type, the results whose DFS selects it.
-  std::map<feature::TypeId, std::vector<int>> selected_by;
-  for (int i = 0; i < n; ++i) {
-    for (feature::TypeId t :
-         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
-      selected_by[t].push_back(i);
-    }
-  }
+  // Read-only selection masks; a type's candidate pairs are the set bits
+  // of diff_row(t, a) & selected_mask(t) above a, per selecting result a —
+  // the scalar all-pairs Differentiable probes collapse into word ops.
+  const core::SelectionState state(instance, dfss);
 
   std::vector<Explanation> out;
-  for (const auto& [type_id, holders] : selected_by) {
+  for (int t = 0; t < matrix.num_types(); ++t) {
+    const uint64_t* mask = state.SelectedMask(t);
+    if (core::bits::Popcount(mask, words) < 2) continue;
+    const feature::TypeId type_id = matrix.TypeAt(t);
+
     // Find the most contrasting differentiable pair for the sentence and
-    // count how many pairs the type separates.
+    // count how many pairs the type separates. Bits are visited in
+    // ascending (a, b) order, matching the scalar pair loop's tie-breaks.
     int pairs = 0;
-    int best_a = -1;
-    int best_b = -1;
+    const core::Entry* best_a = nullptr;
+    const core::Entry* best_b = nullptr;
+    int best_a_idx = -1;
+    int best_b_idx = -1;
     double best_contrast = -1;
-    for (size_t x = 0; x < holders.size(); ++x) {
-      for (size_t y = x + 1; y < holders.size(); ++y) {
-        const int a = holders[x];
-        const int b = holders[y];
-        if (!instance.Differentiable(type_id, a, b)) continue;
-        ++pairs;
-        const feature::TypeStats* sa = instance.result(a).Find(type_id);
-        const feature::TypeStats* sb = instance.result(b).Find(type_id);
-        const double contrast =
-            std::abs(sa->RelativeOccurrenceOf(sa->DominantValue()) -
-                     sb->RelativeOccurrenceOf(sb->DominantValue())) +
-            (sa->DominantValue() != sb->DominantValue() ? 1.0 : 0.0);
-        if (contrast > best_contrast) {
-          best_contrast = contrast;
-          best_a = a;
-          best_b = b;
+    core::bits::ForEachBit(mask, words, [&](int a) {
+      const uint64_t* row = matrix.Row(t, a);
+      for (int w = 0; w < words; ++w) {
+        uint64_t word = row[w] & mask[w];
+        // Keep only partners b > a so each unordered pair is seen once.
+        // (2 << 63 wraps to 0, so the formula also clears a full word.)
+        if (w == a / core::bits::kWordBits) {
+          word &= ~((uint64_t{2} << (a % core::bits::kWordBits)) - 1);
+        } else if (w < a / core::bits::kWordBits) {
+          word = 0;
+        }
+        while (word != 0) {
+          const int b = w * core::bits::kWordBits + __builtin_ctzll(word);
+          word &= word - 1;
+          ++pairs;
+          const core::Entry& ea = instance.entries(a)[static_cast<size_t>(
+              instance.EntryIndexOfDenseType(a, t))];
+          const core::Entry& eb = instance.entries(b)[static_cast<size_t>(
+              instance.EntryIndexOfDenseType(b, t))];
+          const double contrast =
+              std::abs(ea.DominantRelOccurrence() -
+                       eb.DominantRelOccurrence()) +
+              (ea.dominant_value != eb.dominant_value ? 1.0 : 0.0);
+          if (contrast > best_contrast) {
+            best_contrast = contrast;
+            best_a = &ea;
+            best_b = &eb;
+            best_a_idx = a;
+            best_b_idx = b;
+          }
         }
       }
-    }
+    });
     if (pairs == 0) continue;
 
-    const feature::TypeStats* sa = instance.result(best_a).Find(type_id);
-    const feature::TypeStats* sb = instance.result(best_b).Find(type_id);
-    const feature::ValueId va = sa->DominantValue();
-    const feature::ValueId vb = sb->DominantValue();
+    const feature::ValueId va = best_a->dominant_value;
+    const feature::ValueId vb = best_b->dominant_value;
     Explanation e;
     e.type_id = type_id;
     e.pairs_differentiated = pairs;
     const std::string attr = catalog.AttributeOf(type_id);
     if (va != vb) {
       e.text = attr + " is \"" + catalog.ValueOf(va) + "\" for " +
-               LabelOf(instance, best_a) + " but \"" + catalog.ValueOf(vb) +
-               "\" for " + LabelOf(instance, best_b);
+               LabelOf(instance, best_a_idx) + " but \"" + catalog.ValueOf(vb) +
+               "\" for " + LabelOf(instance, best_b_idx);
     } else {
       e.text = attr + " holds for " +
-               Percent(sa->RelativeOccurrenceOf(va)) + " of " +
-               LabelOf(instance, best_a) + "'s " + catalog.EntityOf(type_id) +
-               "s vs " + Percent(sb->RelativeOccurrenceOf(vb)) + " of " +
-               LabelOf(instance, best_b) + "'s";
+               Percent(best_a->DominantRelOccurrence()) + " of " +
+               LabelOf(instance, best_a_idx) + "'s " +
+               catalog.EntityOf(type_id) + "s vs " +
+               Percent(best_b->DominantRelOccurrence()) + " of " +
+               LabelOf(instance, best_b_idx) + "'s";
     }
     out.push_back(std::move(e));
   }

@@ -9,7 +9,7 @@ namespace {
 void CollectText(const Node& node, std::string* out) {
   if (node.is_text()) {
     if (!out->empty() && !node.text().empty()) out->push_back(' ');
-    out->append(std::string(Trim(node.text())));
+    out->append(Trim(node.text()));
     return;
   }
   for (const auto& child : node.children()) CollectText(*child, out);
@@ -21,6 +21,12 @@ std::string Node::InnerText() const {
   std::string out;
   CollectText(*this, &out);
   return std::string(Trim(out));
+}
+
+std::string_view Node::InnerTextView(std::string* scratch) const {
+  scratch->clear();
+  CollectText(*this, scratch);
+  return Trim(*scratch);
 }
 
 size_t Node::SubtreeSize() const {

@@ -132,6 +132,11 @@ class Node {
   /// at both ends.
   std::string InnerText() const;
 
+  /// Allocation-light InnerText: collects into `*scratch` (clearing it)
+  /// and returns the trimmed view into the buffer. The view is valid
+  /// until `*scratch` is next modified. Same content as InnerText().
+  std::string_view InnerTextView(std::string* scratch) const;
+
   /// Number of nodes in this subtree (including this node).
   size_t SubtreeSize() const;
 

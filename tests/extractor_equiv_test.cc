@@ -1,0 +1,230 @@
+// Equivalence test for the id-based extractor rewrite: a faithful
+// reproduction of the seed's tuple-of-strings extractor (recursive entity
+// count pass + std::map<tuple<string,string,string>> aggregation) must
+// produce IDENTICAL ResultFeatures — and drive identical catalog id
+// assignment — on the generated demo corpora and on randomized documents.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/outdoor_retailer.h"
+#include "data/movies.h"
+#include "data/product_reviews.h"
+#include "entity/entity_identifier.h"
+#include "feature/extractor.h"
+#include "search/search_engine.h"
+#include "xml/document.h"
+
+namespace xsact::feature {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The seed's extractor, reproduced verbatim.
+// ---------------------------------------------------------------------------
+
+struct LegacyState {
+  std::unordered_map<std::string, double> cardinality;
+  std::map<std::tuple<std::string, std::string, std::string>, double> obs;
+};
+
+void LegacyCountEntities(const xml::Node& node, const xml::Node& root,
+                         const entity::EntitySchema& schema,
+                         LegacyState* state) {
+  if (node.is_element() &&
+      (&node == &root ||
+       schema.CategoryOf(node) == entity::NodeCategory::kEntity)) {
+    state->cardinality[node.tag()] += 1;
+  }
+  for (const auto& child : node.children()) {
+    LegacyCountEntities(*child, root, schema, state);
+  }
+}
+
+ResultFeatures LegacyExtract(const xml::Node& result_root,
+                             const entity::EntitySchema& schema,
+                             FeatureCatalog* catalog,
+                             const ExtractorOptions& options) {
+  LegacyState state;
+  LegacyCountEntities(result_root, result_root, schema, &state);
+
+  std::vector<const xml::Node*> stack = {&result_root};
+  while (!stack.empty()) {
+    const xml::Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& child : node->children()) {
+      if (child->is_element()) stack.push_back(child.get());
+    }
+    if (!node->is_element() || !node->IsLeafElement()) continue;
+    if (node == &result_root) continue;
+
+    std::string value = node->InnerText();
+    if (value.empty() && options.skip_empty_values) continue;
+    if (options.fold_value_case) value = ToLower(value);
+    if (value.size() > options.max_value_length) {
+      value.resize(options.max_value_length);
+    }
+
+    const entity::NodeCategory category = schema.CategoryOf(*node);
+    const xml::Node* owner = schema.OwningEntity(*node, result_root);
+    const std::string& entity_tag = owner->tag();
+
+    if (category == entity::NodeCategory::kMultiAttribute) {
+      state.obs[{entity_tag, node->tag() + ": " + value, "yes"}] += 1;
+    } else {
+      state.obs[{entity_tag, node->tag(), value}] += 1;
+    }
+  }
+
+  ResultFeatures features;
+  features.set_label(search::InferTitle(result_root));
+  for (const auto& [key, count] : state.obs) {
+    const auto& [entity_tag, attribute, value] = key;
+    const TypeId type = catalog->InternType(entity_tag, attribute);
+    const ValueId value_id = catalog->InternValue(value);
+    auto it = state.cardinality.find(entity_tag);
+    const double cardinality = it == state.cardinality.end() ? 1 : it->second;
+    features.AddObservation(type, value_id, count, cardinality);
+  }
+  features.Seal();
+  return features;
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+void ExpectFeaturesEqual(const ResultFeatures& got, const ResultFeatures& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.label(), want.label()) << context;
+  ASSERT_EQ(got.NumTypes(), want.NumTypes()) << context;
+  ASSERT_EQ(got.NumFeatures(), want.NumFeatures()) << context;
+  for (size_t t = 0; t < got.types().size(); ++t) {
+    const TypeStats& a = got.types()[t];
+    const TypeStats& b = want.types()[t];
+    ASSERT_EQ(a.type_id, b.type_id) << context << " type#" << t;
+    ASSERT_EQ(a.occurrence, b.occurrence) << context << " type#" << t;
+    ASSERT_EQ(a.entity_cardinality, b.entity_cardinality)
+        << context << " type#" << t;
+    ASSERT_EQ(a.values.size(), b.values.size()) << context << " type#" << t;
+    for (size_t v = 0; v < a.values.size(); ++v) {
+      ASSERT_EQ(a.values[v].value_id, b.values[v].value_id)
+          << context << " type#" << t << " value#" << v;
+      ASSERT_EQ(a.values[v].count, b.values[v].count)
+          << context << " type#" << t << " value#" << v;
+    }
+  }
+}
+
+void ExpectCatalogsEqual(const FeatureCatalog& got, const FeatureCatalog& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.NumTypes(), want.NumTypes()) << context;
+  ASSERT_EQ(got.NumValues(), want.NumValues()) << context;
+  for (TypeId t = 0; t < static_cast<TypeId>(want.NumTypes()); ++t) {
+    ASSERT_EQ(got.EntityOf(t), want.EntityOf(t)) << context << " type=" << t;
+    ASSERT_EQ(got.AttributeOf(t), want.AttributeOf(t))
+        << context << " type=" << t;
+  }
+  for (ValueId v = 0; v < static_cast<ValueId>(want.NumValues()); ++v) {
+    ASSERT_EQ(got.ValueOf(v), want.ValueOf(v)) << context << " value=" << v;
+  }
+}
+
+/// Runs both extractors over every subtree under `roots_parent` whose tag
+/// is `result_tag`, sharing one catalog per side, and compares everything.
+void CompareOnCorpus(const xml::Document& doc, const std::string& result_tag,
+                     const ExtractorOptions& options,
+                     const std::string& context) {
+  const entity::EntitySchema schema = entity::InferSchema(doc);
+  const std::vector<const xml::Node*> roots =
+      xml::SelectByTag(*doc.root(), result_tag);
+  ASSERT_FALSE(roots.empty()) << context;
+
+  const xml::NodeTable table = xml::NodeTable::Build(doc);
+  const entity::DocumentCategoryIndex category_index(table, schema);
+
+  FeatureCatalog new_catalog;
+  FeatureCatalog fast_catalog;
+  FeatureCatalog legacy_catalog;
+  const FeatureExtractor extractor(options);
+  for (size_t r = 0; r < roots.size(); ++r) {
+    const ResultFeatures got =
+        extractor.Extract(*roots[r], schema, &new_catalog);
+    const ResultFeatures fast = extractor.Extract(
+        table, category_index, table.IdOf(roots[r]), &fast_catalog);
+    const ResultFeatures want =
+        LegacyExtract(*roots[r], schema, &legacy_catalog, options);
+    ExpectFeaturesEqual(got, want,
+                        context + " result#" + std::to_string(r));
+    ExpectFeaturesEqual(fast, want,
+                        context + " fast result#" + std::to_string(r));
+  }
+  ExpectCatalogsEqual(new_catalog, legacy_catalog, context);
+  ExpectCatalogsEqual(fast_catalog, legacy_catalog, context + " fast");
+}
+
+TEST(ExtractorEquivTest, ProductReviewsCorpus) {
+  data::ProductReviewsConfig config;
+  config.num_products = 12;
+  CompareOnCorpus(data::GenerateProductReviews(config), "product", {},
+                  "product_reviews");
+}
+
+TEST(ExtractorEquivTest, OutdoorRetailerBrands) {
+  CompareOnCorpus(data::GenerateOutdoorRetailer({}), "brand", {},
+                  "outdoor_retailer");
+}
+
+TEST(ExtractorEquivTest, MoviesCorpus) {
+  data::MoviesConfig config;
+  config.franchise_sizes = {3, 4, 5};
+  CompareOnCorpus(data::GenerateMovies(config), "movie", {}, "movies");
+}
+
+TEST(ExtractorEquivTest, OptionVariants) {
+  data::ProductReviewsConfig config;
+  config.num_products = 6;
+  const xml::Document doc = data::GenerateProductReviews(config);
+
+  ExtractorOptions no_fold;
+  no_fold.fold_value_case = false;
+  CompareOnCorpus(doc, "product", no_fold, "no_fold");
+
+  ExtractorOptions truncate;
+  truncate.max_value_length = 5;
+  CompareOnCorpus(doc, "product", truncate, "truncate");
+
+  ExtractorOptions keep_empty;
+  keep_empty.skip_empty_values = false;
+  CompareOnCorpus(doc, "product", keep_empty, "keep_empty");
+}
+
+TEST(ExtractorEquivTest, RandomizedDocuments) {
+  const std::vector<std::string> tags = {"a", "b", "c", "d"};
+  const std::vector<std::string> words = {"Red",  "green", "BLUE ",
+                                          "teal", "gray",  "a b"};
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    xml::Document doc = xml::Document::WithRoot("root");
+    std::vector<xml::Node*> elements = {doc.root()};
+    const int nodes = static_cast<int>(rng.Range(10, 80));
+    for (int i = 0; i < nodes; ++i) {
+      xml::Node* parent = elements[rng.Below(elements.size())];
+      xml::Node* e = parent->AddElement(tags[rng.Below(tags.size())]);
+      elements.push_back(e);
+      if (rng.Chance(0.7)) {
+        e->AddChild(xml::Node::MakeText(words[rng.Below(words.size())]));
+      }
+    }
+    CompareOnCorpus(doc, "a", {}, "random seed=" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace xsact::feature

@@ -24,7 +24,7 @@ class ElcaTest : public ::testing::Test {
   void Init(std::string_view text) {
     doc_ = Doc(text);
     table_ = xml::NodeTable::Build(doc_);
-    index_ = InvertedIndex::Build(doc_, table_);
+    index_ = InvertedIndex::Build(table_);
   }
 
   MatchLists Lists(const std::vector<std::string>& terms) {
@@ -100,7 +100,7 @@ TEST_P(ElcaSupersetProperty, SlcaSubsetOfElca) {
     }
   }
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
   for (const auto& terms : std::vector<std::vector<std::string>>{
            {"ant"}, {"ant", "bee"}, {"cat", "dog"}, {"ant", "bee", "cat"}}) {
     MatchLists lists;

@@ -27,7 +27,7 @@ TEST(InvertedIndexTest, PostingsAreSortedElementIds) {
   xml::Document doc = Doc(
       "<c><p><n>alpha beta</n></p><p><n>beta gamma</n></p></c>");
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
 
   EXPECT_TRUE(index.Contains("alpha"));
   EXPECT_TRUE(index.Contains("beta"));
@@ -46,7 +46,7 @@ TEST(InvertedIndexTest, PostingsAreSortedElementIds) {
 TEST(InvertedIndexTest, CaseFoldingAndTokenization) {
   xml::Document doc = Doc("<r><t>TomTom, GPS-Device!</t></r>");
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
   EXPECT_TRUE(index.Contains("tomtom"));
   EXPECT_TRUE(index.Contains("gps"));
   EXPECT_TRUE(index.Contains("device"));
@@ -56,7 +56,7 @@ TEST(InvertedIndexTest, CaseFoldingAndTokenization) {
 TEST(InvertedIndexTest, AttributeValuesIndexed) {
   xml::Document doc = Doc(R"(<r><a name="hidden gem">x</a></r>)");
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
   ASSERT_TRUE(index.Contains("hidden"));
   EXPECT_EQ(table.node(index.Postings("hidden")[0])->tag(), "a");
 }
@@ -64,7 +64,7 @@ TEST(InvertedIndexTest, AttributeValuesIndexed) {
 TEST(InvertedIndexTest, DuplicateTermInOneElementPostsOnce) {
   xml::Document doc = Doc("<r><t>spam spam spam</t></r>");
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
   EXPECT_EQ(index.Postings("spam").size(), 1u);
 }
 
@@ -85,7 +85,7 @@ class SlcaTest : public ::testing::Test {
   void Init(std::string_view text) {
     doc_ = Doc(text);
     table_ = xml::NodeTable::Build(doc_);
-    index_ = InvertedIndex::Build(doc_, table_);
+    index_ = InvertedIndex::Build(table_);
   }
 
   std::vector<std::string> TagsOf(const std::vector<xml::NodeId>& ids) {
@@ -194,7 +194,7 @@ TEST_P(SlcaEquivalenceProperty, ScanEqualsIndexed) {
     }
   }
   const xml::NodeTable table = xml::NodeTable::Build(doc);
-  const InvertedIndex index = InvertedIndex::Build(doc, table);
+  const InvertedIndex index = InvertedIndex::Build(table);
 
   for (const auto& terms : std::vector<std::vector<std::string>>{
            {"ant"},

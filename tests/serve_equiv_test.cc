@@ -1,0 +1,383 @@
+// Property tests pinning the bitset-substrate ports of the serve path's
+// rendering layer — BuildComparisonTable, ExplainDifferences and
+// TypeWeights::Compute — against faithful reproductions of the scalar
+// implementations they replaced, on randomized instances (the
+// core_dod_bitset_test pattern). The ports are pure representation
+// changes: every table row, explanation sentence, and weight must match
+// EXACTLY, including tie-breaking and floating-point summation order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/dod.h"
+#include "core/weights.h"
+#include "table/comparison_table.h"
+#include "table/explainer.h"
+#include "test_util.h"
+
+namespace xsact {
+namespace {
+
+using core::ComparisonInstance;
+using core::Dfs;
+using core::TypeWeights;
+using core::WeightScheme;
+using table::ComparisonTable;
+using table::Explanation;
+using table::TableRow;
+using testing::InstanceFixture;
+using testing::RandomInstance;
+
+// ---------------------------------------------------------------------------
+// Scalar references: the pre-port implementations, reproduced verbatim
+// (std::map unions, per-cell Differentiable probes, TypeStats scans).
+// ---------------------------------------------------------------------------
+
+ComparisonTable ScalarBuildComparisonTable(const ComparisonInstance& instance,
+                                           const std::vector<Dfs>& dfss) {
+  const int n = instance.num_results();
+  ComparisonTable table;
+  for (int i = 0; i < n; ++i) {
+    const std::string& label = instance.result(i).label();
+    table.headers.push_back(label.empty() ? "result " + std::to_string(i + 1)
+                                          : label);
+  }
+  table.total_dod = core::TotalDod(instance, dfss);
+
+  std::map<feature::TypeId, std::vector<int>> selected_by;
+  for (int i = 0; i < n; ++i) {
+    for (feature::TypeId t :
+         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
+      selected_by[t].push_back(i);
+    }
+  }
+
+  const auto& catalog = instance.catalog();
+  for (const auto& [type_id, selectors] : selected_by) {
+    TableRow row;
+    row.type_id = type_id;
+    row.label = catalog.TypeName(type_id);
+    row.selected_in = static_cast<int>(selectors.size());
+    row.cells.assign(static_cast<size_t>(n), "-");
+    for (int i : selectors) {
+      const feature::TypeStats* stats = instance.result(i).Find(type_id);
+      if (stats == nullptr) continue;
+      const feature::ValueId v = stats->DominantValue();
+      std::string cell =
+          v == feature::kInvalidValueId ? "?" : catalog.ValueOf(v);
+      cell += " (" +
+              FormatDouble(100.0 * stats->RelativeOccurrenceOf(v), 0) + "%)";
+      row.cells[static_cast<size_t>(i)] = std::move(cell);
+    }
+    for (size_t a = 0; a < selectors.size() && !row.differentiating; ++a) {
+      for (size_t b = a + 1; b < selectors.size(); ++b) {
+        if (instance.Differentiable(type_id, selectors[a], selectors[b])) {
+          row.differentiating = true;
+          break;
+        }
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+
+  std::stable_sort(table.rows.begin(), table.rows.end(),
+                   [](const TableRow& a, const TableRow& b) {
+                     if (a.differentiating != b.differentiating) {
+                       return a.differentiating;
+                     }
+                     if (a.selected_in != b.selected_in) {
+                       return a.selected_in > b.selected_in;
+                     }
+                     return a.label < b.label;
+                   });
+  return table;
+}
+
+std::string ScalarLabelOf(const ComparisonInstance& instance, int i) {
+  const std::string& label = instance.result(i).label();
+  return label.empty() ? "result " + std::to_string(i + 1) : label;
+}
+
+std::string ScalarPercent(double rel) {
+  return FormatDouble(100.0 * rel, 0) + "%";
+}
+
+std::vector<Explanation> ScalarExplainDifferences(
+    const ComparisonInstance& instance, const std::vector<Dfs>& dfss,
+    size_t max_statements) {
+  const int n = instance.num_results();
+  const auto& catalog = instance.catalog();
+
+  std::map<feature::TypeId, std::vector<int>> selected_by;
+  for (int i = 0; i < n; ++i) {
+    for (feature::TypeId t :
+         dfss[static_cast<size_t>(i)].SelectedTypes(instance)) {
+      selected_by[t].push_back(i);
+    }
+  }
+
+  std::vector<Explanation> out;
+  for (const auto& [type_id, holders] : selected_by) {
+    int pairs = 0;
+    int best_a = -1;
+    int best_b = -1;
+    double best_contrast = -1;
+    for (size_t x = 0; x < holders.size(); ++x) {
+      for (size_t y = x + 1; y < holders.size(); ++y) {
+        const int a = holders[x];
+        const int b = holders[y];
+        if (!instance.Differentiable(type_id, a, b)) continue;
+        ++pairs;
+        const feature::TypeStats* sa = instance.result(a).Find(type_id);
+        const feature::TypeStats* sb = instance.result(b).Find(type_id);
+        const double contrast =
+            std::abs(sa->RelativeOccurrenceOf(sa->DominantValue()) -
+                     sb->RelativeOccurrenceOf(sb->DominantValue())) +
+            (sa->DominantValue() != sb->DominantValue() ? 1.0 : 0.0);
+        if (contrast > best_contrast) {
+          best_contrast = contrast;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (pairs == 0) continue;
+
+    const feature::TypeStats* sa = instance.result(best_a).Find(type_id);
+    const feature::TypeStats* sb = instance.result(best_b).Find(type_id);
+    const feature::ValueId va = sa->DominantValue();
+    const feature::ValueId vb = sb->DominantValue();
+    Explanation e;
+    e.type_id = type_id;
+    e.pairs_differentiated = pairs;
+    const std::string attr = catalog.AttributeOf(type_id);
+    if (va != vb) {
+      e.text = attr + " is \"" + catalog.ValueOf(va) + "\" for " +
+               ScalarLabelOf(instance, best_a) + " but \"" +
+               catalog.ValueOf(vb) + "\" for " +
+               ScalarLabelOf(instance, best_b);
+    } else {
+      e.text = attr + " holds for " +
+               ScalarPercent(sa->RelativeOccurrenceOf(va)) + " of " +
+               ScalarLabelOf(instance, best_a) + "'s " +
+               catalog.EntityOf(type_id) + "s vs " +
+               ScalarPercent(sb->RelativeOccurrenceOf(vb)) + " of " +
+               ScalarLabelOf(instance, best_b) + "'s";
+    }
+    out.push_back(std::move(e));
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Explanation& a, const Explanation& b) {
+                     return a.pairs_differentiated > b.pairs_differentiated;
+                   });
+  if (out.size() > max_statements) out.resize(max_statements);
+  return out;
+}
+
+double ScalarClamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+double ScalarNormalizedEntropy(const std::map<feature::ValueId, int>& histogram,
+                               int total) {
+  if (histogram.size() <= 1 || total <= 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : histogram) {
+    (void)value;
+    const double p = static_cast<double>(count) / total;
+    if (p > 0) h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(histogram.size()));
+}
+
+double ScalarInterestingness(const ComparisonInstance& instance,
+                             feature::TypeId type) {
+  std::map<feature::ValueId, int> dominant_values;
+  double min_rel = 1.0;
+  double max_rel = 0.0;
+  int carriers = 0;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const feature::TypeStats* stats = instance.result(i).Find(type);
+    if (stats == nullptr) continue;
+    ++carriers;
+    const feature::ValueId v = stats->DominantValue();
+    ++dominant_values[v];
+    const double rel = stats->RelativeOccurrenceOf(v);
+    min_rel = std::min(min_rel, rel);
+    max_rel = std::max(max_rel, rel);
+  }
+  if (carriers <= 1) return 0.0;
+  const double value_diversity =
+      ScalarNormalizedEntropy(dominant_values, carriers);
+  const double share_spread = ScalarClamp01(max_rel - min_rel);
+  return std::max(value_diversity, share_spread);
+}
+
+double ScalarSignificance(const ComparisonInstance& instance,
+                          feature::TypeId type) {
+  double sum = 0.0;
+  int carriers = 0;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    const feature::TypeStats* stats = instance.result(i).Find(type);
+    if (stats == nullptr) continue;
+    ++carriers;
+    sum += ScalarClamp01(stats->RelativeOccurrence());
+  }
+  return carriers > 0 ? sum / carriers : 0.0;
+}
+
+/// The seed's TypeWeights::Compute: per-(result, entry) discovery with
+/// "seen before?" probes, returned as a plain map.
+std::map<feature::TypeId, double> ScalarComputeWeights(
+    const ComparisonInstance& instance, WeightScheme scheme) {
+  std::map<feature::TypeId, double> weights;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    for (const core::Entry& e : instance.entries(i)) {
+      if (weights.count(e.type_id) > 0) continue;
+      double w = 1.0;
+      switch (scheme) {
+        case WeightScheme::kUniform:
+          w = 1.0;
+          break;
+        case WeightScheme::kInterestingness:
+          w = TypeWeights::kFloor +
+              (1.0 - TypeWeights::kFloor) *
+                  ScalarInterestingness(instance, e.type_id);
+          break;
+        case WeightScheme::kSignificance:
+          w = TypeWeights::kFloor +
+              (1.0 - TypeWeights::kFloor) *
+                  ScalarSignificance(instance, e.type_id);
+          break;
+      }
+      weights.emplace(e.type_id, w);
+    }
+  }
+  return weights;
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+std::vector<Dfs> RandomAssignment(const ComparisonInstance& instance,
+                                  Rng& rng) {
+  std::vector<Dfs> dfss;
+  for (int i = 0; i < instance.num_results(); ++i) {
+    Dfs dfs(instance, i);
+    const int num_entries = static_cast<int>(instance.entries(i).size());
+    for (int k = 0; k < num_entries; ++k) {
+      if (rng.Below(3) == 0) dfs.Add(k);
+    }
+    dfss.push_back(std::move(dfs));
+  }
+  return dfss;
+}
+
+struct Config {
+  uint64_t seed;
+  int n;
+  int max_types;
+  double threshold;
+};
+
+std::vector<Config> Grid() {
+  std::vector<Config> configs;
+  uint64_t seed = 31;
+  for (const int n : {2, 3, 5, 8, 13}) {
+    for (const int max_types : {3, 8, 16}) {
+      for (const double threshold : {0.05, 0.10, 0.50}) {
+        configs.push_back(Config{seed++, n, max_types, threshold});
+      }
+    }
+  }
+  configs.push_back(Config{8101, 40, 12, 0.10});
+  configs.push_back(Config{8102, 66, 10, 0.10});  // > 64 results: 2 words
+  return configs;
+}
+
+void ExpectTablesEqual(const ComparisonTable& got, const ComparisonTable& want,
+                       uint64_t seed) {
+  ASSERT_EQ(got.headers, want.headers) << "seed=" << seed;
+  ASSERT_EQ(got.total_dod, want.total_dod) << "seed=" << seed;
+  ASSERT_EQ(got.rows.size(), want.rows.size()) << "seed=" << seed;
+  for (size_t r = 0; r < got.rows.size(); ++r) {
+    const TableRow& a = got.rows[r];
+    const TableRow& b = want.rows[r];
+    ASSERT_EQ(a.type_id, b.type_id) << "seed=" << seed << " row=" << r;
+    ASSERT_EQ(a.label, b.label) << "seed=" << seed << " row=" << r;
+    ASSERT_EQ(a.cells, b.cells) << "seed=" << seed << " row=" << r;
+    ASSERT_EQ(a.selected_in, b.selected_in) << "seed=" << seed << " row=" << r;
+    ASSERT_EQ(a.differentiating, b.differentiating)
+        << "seed=" << seed << " row=" << r;
+  }
+}
+
+TEST(ServeEquivTest, ComparisonTableMatchesScalarReference) {
+  for (const Config& config : Grid()) {
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    Rng rng(config.seed ^ 0x7AB1E);
+    const std::vector<Dfs> dfss = RandomAssignment(fx.instance, rng);
+    ExpectTablesEqual(table::BuildComparisonTable(fx.instance, dfss),
+                      ScalarBuildComparisonTable(fx.instance, dfss),
+                      config.seed);
+  }
+}
+
+TEST(ServeEquivTest, ExplanationsMatchScalarReference) {
+  for (const Config& config : Grid()) {
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    Rng rng(config.seed ^ 0xE9b1A);
+    const std::vector<Dfs> dfss = RandomAssignment(fx.instance, rng);
+    for (const size_t max_statements : {size_t{3}, size_t{5}, size_t{100}}) {
+      const std::vector<Explanation> got =
+          table::ExplainDifferences(fx.instance, dfss, max_statements);
+      const std::vector<Explanation> want =
+          ScalarExplainDifferences(fx.instance, dfss, max_statements);
+      ASSERT_EQ(got.size(), want.size()) << "seed=" << config.seed;
+      for (size_t e = 0; e < got.size(); ++e) {
+        ASSERT_EQ(got[e].type_id, want[e].type_id)
+            << "seed=" << config.seed << " e=" << e;
+        ASSERT_EQ(got[e].pairs_differentiated, want[e].pairs_differentiated)
+            << "seed=" << config.seed << " e=" << e;
+        ASSERT_EQ(got[e].text, want[e].text)
+            << "seed=" << config.seed << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(ServeEquivTest, WeightsMatchScalarReferenceBitForBit) {
+  for (const Config& config : Grid()) {
+    InstanceFixture fx = RandomInstance(config.seed, config.n,
+                                        config.max_types, config.threshold);
+    const ComparisonInstance& instance = fx.instance;
+    for (const WeightScheme scheme :
+         {WeightScheme::kUniform, WeightScheme::kInterestingness,
+          WeightScheme::kSignificance}) {
+      const TypeWeights ported = TypeWeights::Compute(instance, scheme);
+      const std::map<feature::TypeId, double> scalar =
+          ScalarComputeWeights(instance, scheme);
+      ASSERT_EQ(ported.size(), scalar.size()) << "seed=" << config.seed;
+      for (const auto& [type_id, w] : scalar) {
+        // Exact equality: the port must preserve summation order.
+        ASSERT_EQ(ported.Of(type_id), w)
+            << "seed=" << config.seed << " type=" << type_id
+            << " scheme=" << core::WeightSchemeName(scheme);
+      }
+      // Types outside the instance still read as 1.0.
+      EXPECT_DOUBLE_EQ(ported.Of(100000), 1.0);
+      EXPECT_DOUBLE_EQ(ported.Of(feature::kInvalidTypeId), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsact
