@@ -1,0 +1,354 @@
+// bench_concurrent_serve — the two-tier serving core under concurrent
+// load: one immutable CorpusSnapshot shared by a QueryService worker
+// pool, swept over thread counts on each corpus's largest scale.
+//
+// Gates (exit non-zero on failure):
+//   * byte-identity: every outcome served under maximum concurrency —
+//     comparison table, explanations, selected DFSs, total DoD — must be
+//     byte-identical to the single-threaded reference for its query;
+//   * cache correctness: with the result cache enabled, a second round
+//     of the same workload must be answered entirely from the cache and
+//     return the identical (shared) outcomes;
+//   * throughput scaling: >= 3x aggregate QPS at 8 worker threads vs 1
+//     on every corpus. This gate needs real parallel hardware, so it is
+//     enforced only when std::thread::hardware_concurrency() >= 8 and
+//     reported (not gated) on smaller machines — the JSON records which.
+//
+// Emits machine-readable BENCH_concurrent_serve.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+#include "table/explainer.h"
+#include "table/renderer.h"
+
+namespace {
+
+using namespace xsact;
+
+/// One query of a corpus workload.
+struct Query {
+  std::string text;
+  engine::CompareOptions options;
+};
+
+/// One corpus at its largest benchmark scale.
+struct Corpus {
+  std::string name;
+  engine::SnapshotPtr snapshot;
+  std::vector<Query> queries;
+};
+
+/// Everything observable about an outcome, rendered to one string.
+std::string RenderOutcome(const engine::ComparisonOutcome& outcome) {
+  std::string out = table::RenderAscii(outcome.table);
+  out += "total_dod=" + std::to_string(outcome.total_dod) + "\n";
+  for (const table::Explanation& e :
+       table::ExplainDifferences(outcome.instance, outcome.dfss, 5)) {
+    out += e.text + "\n";
+  }
+  for (const core::Dfs& dfs : outcome.dfss) {
+    out += dfs.ToString(outcome.instance) + "\n";
+  }
+  return out;
+}
+
+std::vector<Corpus> BuildCorpora() {
+  std::vector<Corpus> corpora;
+  {
+    Corpus c;
+    c.name = "product_reviews";
+    data::ProductReviewsConfig config;
+    config.num_products = 96;  // pipeline bench's L scale
+    c.snapshot = engine::CorpusSnapshot::Build(
+        data::GenerateProductReviews(config));
+    for (const char* text : {"gps", "camera", "phone"}) {
+      Query q;
+      q.text = text;
+      q.options.selector.size_bound = 6;
+      c.queries.push_back(std::move(q));
+    }
+    corpora.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "outdoor_retailer";
+    data::OutdoorRetailerConfig config;
+    config.min_products = 18 * 4;  // L scale
+    config.max_products = 60 * 4;
+    c.snapshot = engine::CorpusSnapshot::Build(
+        data::GenerateOutdoorRetailer(config));
+    Query q;
+    q.text = "men jackets";
+    q.options.selector.size_bound = 6;
+    q.options.lift_results_to = "brand";
+    c.queries.push_back(std::move(q));
+    corpora.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "movies";
+    data::MoviesConfig config;
+    for (int& size : config.franchise_sizes) size *= 4;  // L scale
+    c.snapshot = engine::CorpusSnapshot::Build(data::GenerateMovies(config));
+    for (const data::QuerySpec& spec : data::MovieQueryWorkload()) {
+      Query q;
+      q.text = spec.query;
+      q.options.selector.size_bound = spec.size_bound;
+      c.queries.push_back(std::move(q));
+    }
+    corpora.push_back(std::move(c));
+  }
+  return corpora;
+}
+
+/// Submits `tasks` round-robin over the corpus queries and waits for all
+/// futures; returns them for inspection.
+std::vector<StatusOr<engine::OutcomePtr>> RunRound(
+    engine::QueryService& service, const Corpus& corpus, int tasks) {
+  std::vector<std::future<StatusOr<engine::OutcomePtr>>> futures;
+  futures.reserve(static_cast<size_t>(tasks));
+  for (int k = 0; k < tasks; ++k) {
+    const Query& q = corpus.queries[static_cast<size_t>(k) %
+                                    corpus.queries.size()];
+    futures.push_back(service.Submit(q.text, q.options));
+  }
+  std::vector<StatusOr<engine::OutcomePtr>> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& future : futures) outcomes.push_back(future.get());
+  return outcomes;
+}
+
+struct ThroughputRow {
+  std::string corpus;
+  int threads = 0;
+  int tasks = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double speedup_vs_1 = 0;
+};
+
+struct CacheRow {
+  std::string corpus;
+  double round1_ms = 0;
+  double round2_ms = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double hit_speedup = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("concurrent_serve",
+                "shared-snapshot concurrent serving: QueryService "
+                "throughput scaling + byte-identity + result cache");
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  // The scaling gate needs real parallel hardware and native speed; it is
+  // skipped on small machines and in instrumented builds (the TSAN CI job
+  // sets XSACT_BENCH_NO_SCALING_GATE — identity gates still apply there).
+  const bool gate_scaling =
+      hardware >= 8 && std::getenv("XSACT_BENCH_NO_SCALING_GATE") == nullptr;
+  const int kTasks = 48;
+  const int kReps = 3;  // per (corpus, threads): best-of to damp noise
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  bool gate_ok = true;
+  std::vector<ThroughputRow> rows;
+  std::vector<CacheRow> cache_rows;
+
+  std::printf("hardware_concurrency=%u (scaling gate %s)\n", hardware,
+              gate_scaling ? "ENFORCED" : "reported only, needs >= 8 cores");
+  std::printf("%-17s %7s %6s %10s %9s %9s\n", "corpus", "threads", "tasks",
+              "wall-ms", "qps", "spd-vs-1");
+
+  for (const Corpus& corpus : BuildCorpora()) {
+    // Single-threaded reference render per query.
+    std::vector<std::string> reference;
+    for (const Query& q : corpus.queries) {
+      engine::QuerySession session;
+      auto outcome = engine::SearchAndCompare(*corpus.snapshot, &session,
+                                              q.text, 0, q.options);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "FAIL %s: reference serve for \"%s\": %s\n",
+                     corpus.name.c_str(), q.text.c_str(),
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      reference.push_back(RenderOutcome(*outcome));
+    }
+
+    // Byte-identity gate under maximum concurrency (uncached).
+    {
+      engine::QueryServiceOptions options;
+      options.num_threads = thread_counts.back();
+      options.enable_cache = false;
+      engine::QueryService service(corpus.snapshot, options);
+      const auto outcomes = RunRound(service, corpus, kTasks);
+      for (size_t k = 0; k < outcomes.size(); ++k) {
+        if (!outcomes[k].ok()) {
+          std::fprintf(stderr, "FAIL %s: concurrent serve errored: %s\n",
+                       corpus.name.c_str(),
+                       outcomes[k].status().ToString().c_str());
+          gate_ok = false;
+          continue;
+        }
+        const std::string rendered = RenderOutcome(**outcomes[k]);
+        if (rendered != reference[k % corpus.queries.size()]) {
+          std::fprintf(stderr,
+                       "FAIL %s: outcome for task %zu diverged from the "
+                       "single-threaded reference\n",
+                       corpus.name.c_str(), k);
+          gate_ok = false;
+        }
+      }
+    }
+
+    // Throughput sweep (uncached; service reused across reps, best-of).
+    double qps_at_1 = 0;
+    for (const int threads : thread_counts) {
+      engine::QueryServiceOptions options;
+      options.num_threads = threads;
+      options.enable_cache = false;
+      engine::QueryService service(corpus.snapshot, options);
+      double best_s = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        const auto outcomes = RunRound(service, corpus, kTasks);
+        const double seconds = timer.ElapsedSeconds();
+        for (const auto& outcome : outcomes) {
+          if (!outcome.ok()) {
+            std::fprintf(stderr, "FAIL %s: serve errored under load\n",
+                         corpus.name.c_str());
+            return 1;
+          }
+        }
+        if (rep == 0 || seconds < best_s) best_s = seconds;
+      }
+      ThroughputRow row;
+      row.corpus = corpus.name;
+      row.threads = threads;
+      row.tasks = kTasks;
+      row.wall_ms = best_s * 1e3;
+      row.qps = best_s > 0 ? kTasks / best_s : 0;
+      if (threads == 1) qps_at_1 = row.qps;
+      row.speedup_vs_1 = qps_at_1 > 0 ? row.qps / qps_at_1 : 0;
+      std::printf("%-17s %7d %6d %10.2f %9.1f %8.2fx\n", row.corpus.c_str(),
+                  row.threads, row.tasks, row.wall_ms, row.qps,
+                  row.speedup_vs_1);
+      rows.push_back(std::move(row));
+    }
+    const ThroughputRow& at8 = rows.back();
+    if (gate_scaling && at8.speedup_vs_1 < 3.0) {
+      std::fprintf(stderr, "FAIL %s: %.2fx aggregate speedup at 8 threads "
+                   "< 3x\n", corpus.name.c_str(), at8.speedup_vs_1);
+      gate_ok = false;
+    }
+
+    // Cache rounds: round 2 must be all hits and identical outcomes.
+    {
+      engine::QueryServiceOptions options;
+      options.num_threads = static_cast<int>(
+          hardware >= 4 ? 4 : (hardware > 0 ? hardware : 1));
+      options.enable_cache = true;
+      engine::QueryService service(corpus.snapshot, options);
+      CacheRow row;
+      row.corpus = corpus.name;
+      Timer t1;
+      (void)RunRound(service, corpus, kTasks);
+      row.round1_ms = t1.ElapsedSeconds() * 1e3;
+      Timer t2;
+      const auto outcomes = RunRound(service, corpus, kTasks);
+      row.round2_ms = t2.ElapsedSeconds() * 1e3;
+      const engine::CacheStats stats = service.cache_stats();
+      row.hits = stats.hits;
+      row.misses = stats.misses;
+      row.hit_speedup = row.round2_ms > 0 ? row.round1_ms / row.round2_ms : 0;
+      // Round 1 misses at least once per distinct key and may compute a
+      // key twice when its repeats overlap in flight; round 2 must hit
+      // on every task.
+      if (stats.hits < static_cast<uint64_t>(kTasks)) {
+        std::fprintf(stderr,
+                     "FAIL %s: round 2 expected >= %d cache hits, got "
+                     "%llu\n",
+                     corpus.name.c_str(), kTasks,
+                     static_cast<unsigned long long>(stats.hits));
+        gate_ok = false;
+      }
+      for (size_t k = 0; k < outcomes.size(); ++k) {
+        if (!outcomes[k].ok() ||
+            RenderOutcome(**outcomes[k]) !=
+                reference[k % corpus.queries.size()]) {
+          std::fprintf(stderr, "FAIL %s: cached outcome %zu diverged\n",
+                       corpus.name.c_str(), k);
+          gate_ok = false;
+        }
+      }
+      std::printf("%-17s   cache %6d r1 %7.2f ms, r2 %7.2f ms "
+                  "(%llu hits, %llu misses, %.1fx)\n",
+                  corpus.name.c_str(), kTasks, row.round1_ms, row.round2_ms,
+                  static_cast<unsigned long long>(row.hits),
+                  static_cast<unsigned long long>(row.misses),
+                  row.hit_speedup);
+      cache_rows.push_back(std::move(row));
+    }
+  }
+
+  bench::Rule();
+
+  FILE* json = std::fopen("BENCH_concurrent_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"concurrent_serve\",\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"scaling_gate\": \"%s\",\n  \"rows\": [\n",
+                 hardware,
+                 gate_scaling ? "enforced"
+                             : "reported only (hardware_concurrency < 8)");
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const ThroughputRow& row = rows[r];
+      std::fprintf(json,
+                   "    {\"corpus\": \"%s\", \"threads\": %d, \"tasks\": %d, "
+                   "\"wall_ms\": %.3f, \"qps\": %.1f, "
+                   "\"speedup_vs_1\": %.2f}%s\n",
+                   row.corpus.c_str(), row.threads, row.tasks, row.wall_ms,
+                   row.qps, row.speedup_vs_1,
+                   r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"cache\": [\n");
+    for (size_t r = 0; r < cache_rows.size(); ++r) {
+      const CacheRow& row = cache_rows[r];
+      std::fprintf(json,
+                   "    {\"corpus\": \"%s\", \"round1_ms\": %.3f, "
+                   "\"round2_ms\": %.3f, \"hits\": %llu, \"misses\": %llu, "
+                   "\"hit_speedup\": %.1f}%s\n",
+                   row.corpus.c_str(), row.round1_ms, row.round2_ms,
+                   static_cast<unsigned long long>(row.hits),
+                   static_cast<unsigned long long>(row.misses),
+                   row.hit_speedup,
+                   r + 1 < cache_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"gate_ok\": %s\n}\n",
+                 gate_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_concurrent_serve.json\n");
+  }
+
+  if (!gate_ok) return 1;
+  std::printf("gate OK: byte-identical outcomes under concurrency, cache "
+              "round fully served from cache%s\n",
+              gate_scaling ? ", >= 3x at 8 threads on every corpus" : "");
+  return 0;
+}

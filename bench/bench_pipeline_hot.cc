@@ -800,6 +800,7 @@ int main() {
       std::vector<xml::NodeId> root_ids;
       for (const auto& r : *results) root_ids.push_back(r.root_id);
       feature::FeatureExtractor extractor;
+      feature::ExtractionScratch scratch;
       stages.extract_ms =
           bench::TimeRepeated(repeats, [&] {
             feature::FeatureCatalog catalog;
@@ -807,7 +808,7 @@ int main() {
             for (const xml::NodeId root_id : root_ids) {
               features.push_back(extractor.Extract(
                   xsact.engine().table(), xsact.engine().category_index(),
-                  root_id, &catalog));
+                  root_id, &catalog, &scratch));
             }
           }).min() * 1e3;
       auto outcome = xsact.SearchAndCompare(w.query, 0, OptionsFor(w));

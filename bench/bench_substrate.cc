@@ -186,11 +186,12 @@ void BM_FeatureExtraction(benchmark::State& state) {
   const entity::EntitySchema schema = entity::InferSchema(Corpus());
   const auto products = Corpus().root()->ChildElements("product");
   feature::FeatureExtractor extractor;
+  feature::ExtractionScratch scratch;
   size_t i = 0;
   for (auto _ : state) {
     feature::FeatureCatalog catalog;
     auto rf = extractor.Extract(*products[i % products.size()], schema,
-                                &catalog);
+                                &catalog, &scratch);
     benchmark::DoNotOptimize(rf);
     ++i;
   }

@@ -1,10 +1,14 @@
 #include "cli/app.h"
 
+#include <vector>
+
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/multi_swap.h"
 #include "data/movies.h"
 #include "data/outdoor_retailer.h"
 #include "data/product_reviews.h"
+#include "engine/query_service.h"
 #include "table/explainer.h"
 #include "table/renderer.h"
 
@@ -26,6 +30,86 @@ std::string Render(const table::ComparisonTable& table, OutputFormat format) {
       return table::RenderJson(table) + "\n";
   }
   return "";
+}
+
+/// Load-generation path (--threads / --repeat / --cache): serves the
+/// query through a QueryService pool, checks that every repetition
+/// produced an identical table, and prints throughput + cache counters
+/// before rendering the (shared) outcome once.
+int RunLoadGen(const CliOptions& options, const engine::Xsact& xsact,
+               const engine::CompareOptions& compare, std::ostream& out,
+               std::ostream& err) {
+  engine::QueryServiceOptions service_options;
+  service_options.num_threads = options.threads > 0 ? options.threads : 1;
+  service_options.enable_cache = options.cache;
+  engine::QueryService service(xsact.snapshot(), service_options);
+
+  const std::vector<std::string> queries(
+      static_cast<size_t>(options.repeat), options.query);
+  Timer timer;
+  auto futures = service.SubmitBatch(queries, compare);
+  engine::OutcomePtr first;
+  for (auto& future : futures) {
+    StatusOr<engine::OutcomePtr> outcome = future.get();
+    if (!outcome.ok()) {
+      err << outcome.status() << "\n";
+      return 1;
+    }
+    if (first == nullptr) {
+      first = *outcome;
+    } else if ((*outcome)->total_dod != first->total_dod ||
+               (*outcome)->table.rows.size() != first->table.rows.size()) {
+      err << "outcome diverged across repetitions\n";
+      return 1;
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  out << "served " << queries.size() << " queries on "
+      << service.num_threads() << " thread(s) in "
+      << FormatDouble(seconds * 1e3, 1) << " ms ("
+      << FormatDouble(seconds > 0 ? queries.size() / seconds : 0, 0)
+      << " qps)\n";
+  if (options.cache) {
+    const engine::CacheStats stats = service.cache_stats();
+    out << "cache: " << stats.hits << " hits, " << stats.misses
+        << " misses, " << stats.evictions << " evictions, " << stats.entries
+        << " entries\n";
+  }
+
+  // Render exactly what the synchronous path renders. The shared outcome
+  // is immutable, so the --weights re-selection recomputes into locals.
+  const std::vector<core::Dfs>* dfss = &first->dfss;
+  const table::ComparisonTable* table = &first->table;
+  std::vector<core::Dfs> reselected_dfss;
+  table::ComparisonTable reselected_table;
+  if (options.algorithm == core::SelectorKind::kWeightedMultiSwap &&
+      options.weight_scheme != core::WeightScheme::kInterestingness) {
+    core::WeightedMultiSwapOptimizer selector(options.weight_scheme);
+    core::SelectorOptions sopts;
+    sopts.size_bound = options.bound;
+    reselected_dfss = selector.Select(first->instance, sopts);
+    reselected_table =
+        table::BuildComparisonTable(first->instance, reselected_dfss);
+    dfss = &reselected_dfss;
+    table = &reselected_table;
+  }
+
+  out << Render(*table, options.format);
+  if (options.explain) {
+    const auto explanations =
+        table::ExplainDifferences(first->instance, *dfss);
+    out << "\nkey differences:\n" << table::RenderExplanations(explanations);
+  }
+  if (options.show_dfs) {
+    out << "\nselected DFSs (" << core::SelectorKindName(options.algorithm)
+        << "):\n";
+    for (int i = 0; i < first->instance.num_results(); ++i) {
+      out << "  " << table->headers[static_cast<size_t>(i)] << ": "
+          << (*dfss)[static_cast<size_t>(i)].ToString(first->instance)
+          << "\n";
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -95,6 +179,9 @@ int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err) {
   compare.diff_threshold = options.threshold;
   compare.lift_results_to = options.lift;
   compare.max_compared = options.max_results;
+  if (options.threads > 0 || options.repeat > 1 || options.cache) {
+    return RunLoadGen(options, *xsact, compare, out, err);
+  }
   auto outcome = xsact->SearchAndCompare(options.query, 0, compare);
   if (!outcome.ok()) {
     err << outcome.status() << "\n";

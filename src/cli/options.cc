@@ -148,6 +148,22 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
       if (!has_value) return NeedValue("seed");
       XSACT_ASSIGN_OR_RETURN(const int seed, ParseInt("seed", value));
       options.seed = static_cast<uint64_t>(seed);
+    } else if (arg == "--cache") {
+      options.cache = true;
+    } else if (MatchFlag(arg, "threads", &value, &has_value)) {
+      if (!has_value) return NeedValue("threads");
+      XSACT_ASSIGN_OR_RETURN(const int threads, ParseInt("threads", value));
+      if (threads < 0) {
+        return Status::InvalidArgument("--threads must be >= 0");
+      }
+      options.threads = threads;
+    } else if (MatchFlag(arg, "repeat", &value, &has_value)) {
+      if (!has_value) return NeedValue("repeat");
+      XSACT_ASSIGN_OR_RETURN(const int repeat, ParseInt("repeat", value));
+      if (repeat <= 0) {
+        return Status::InvalidArgument("--repeat must be positive");
+      }
+      options.repeat = repeat;
     } else {
       return Status::InvalidArgument("unknown argument '" + std::string(arg) +
                                      "'; see --help");
@@ -179,6 +195,12 @@ std::string CliUsage() {
       "  --lift=TAG           lift results to the enclosing TAG entity\n"
       "  --format=FMT         ascii | markdown | html | csv | json\n"
       "  --seed=N             dataset generator seed override\n"
+      "  --threads=N          serve through a QueryService with N worker\n"
+      "                       threads (load generation; 0 = synchronous)\n"
+      "  --repeat=N           submit the query N times (default 1); with\n"
+      "                       --threads prints aggregate throughput\n"
+      "  --cache              enable the QueryService result cache and\n"
+      "                       print hit/miss counters\n"
       "  --ranked             order results by relevance\n"
       "  --list               only list results (with snippets)\n"
       "  --show-dfs           also print the selected DFS per result\n"

@@ -31,6 +31,9 @@ struct CliOptions {
   size_t max_results = 4;    ///< compare at most this many results (0=all)
   double threshold = 0.10;   ///< differentiability threshold x
   uint64_t seed = 0;         ///< generator seed override (0 = default)
+  int threads = 0;           ///< >0: serve through a QueryService pool
+  int repeat = 1;            ///< submit the query N times (load generation)
+  bool cache = false;        ///< enable the QueryService result cache
   bool list_only = false;    ///< print the result list, no comparison
   bool ranked = false;       ///< order results by relevance
   bool show_dfs = false;     ///< also print each DFS

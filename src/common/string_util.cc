@@ -45,13 +45,12 @@ std::string_view Trim(std::string_view s) {
   return s.substr(b, e - b);
 }
 
-std::string_view ComposeTagKey(std::string_view first,
-                               std::string_view second) {
-  static thread_local std::string scratch;
-  scratch.assign(first);
-  scratch.push_back('\x1f');
-  scratch.append(second);
-  return scratch;
+std::string_view ComposeTagKey(std::string_view first, std::string_view second,
+                               std::string* scratch) {
+  scratch->assign(first);
+  scratch->push_back('\x1f');
+  scratch->append(second);
+  return *scratch;
 }
 
 void FoldCase(std::string* s, size_t begin, size_t end) {

@@ -57,13 +57,16 @@ void FoldCase(std::string* s, size_t begin, size_t end);
 /// ASCII-lowercases all of `*s` in place.
 inline void FoldCase(std::string* s) { FoldCase(s, 0, s->size()); }
 
-/// Composes "first\x1fsecond" into a thread-local scratch buffer and
-/// returns a view of it (valid until the calling thread's next call).
-/// The unit separator cannot occur in tag or attribute names, so the
+/// Composes "first\x1fsecond" into the caller-supplied `*scratch` and
+/// returns a view of it (valid until `*scratch` is next mutated). The
+/// unit separator cannot occur in tag or attribute names, so the
 /// composition is unambiguous; the schema and the feature catalog both
-/// key their interners with this.
-std::string_view ComposeTagKey(std::string_view first,
-                               std::string_view second);
+/// key their interners with this. Routing through an explicit buffer
+/// keeps the view's lifetime in the caller's hands: no hidden
+/// thread-local state, so an unrelated call on the same thread can
+/// never invalidate a live view.
+std::string_view ComposeTagKey(std::string_view first, std::string_view second,
+                               std::string* scratch);
 
 /// True iff `s` starts with / ends with the given affix.
 bool StartsWith(std::string_view s, std::string_view prefix);

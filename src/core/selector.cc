@@ -46,6 +46,13 @@ std::unique_ptr<DfsSelector> MakeSelector(SelectorKind kind) {
   return nullptr;
 }
 
+const DfsSelector& SelectorSet::Get(SelectorKind kind) {
+  const size_t slot = static_cast<size_t>(kind);
+  XSACT_CHECK(slot < kNumSelectorKinds);
+  if (selectors_[slot] == nullptr) selectors_[slot] = MakeSelector(kind);
+  return *selectors_[slot];
+}
+
 void FillToBound(const ComparisonInstance& instance, int size_bound,
                  std::vector<Dfs>* dfss) {
   for (int i = 0; i < instance.num_results(); ++i) {

@@ -7,6 +7,7 @@
 #ifndef XSACT_CORE_SELECTOR_H_
 #define XSACT_CORE_SELECTOR_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -60,6 +61,24 @@ std::string_view SelectorKindName(SelectorKind kind);
 
 /// Instantiates a selector.
 std::unique_ptr<DfsSelector> MakeSelector(SelectorKind kind);
+
+/// Number of SelectorKind values (array sizing).
+inline constexpr size_t kNumSelectorKinds = 6;
+
+/// Pooled selector instances, one per kind, constructed lazily and reused
+/// across queries. Select() is const and keeps its working state (DP
+/// tables, gain caches) in per-call locals, so a pooled instance returns
+/// identical output to a fresh one; pooling only avoids the per-query
+/// factory allocation. Not thread-safe: a SelectorSet belongs to one
+/// query session.
+class SelectorSet {
+ public:
+  /// The pooled selector for `kind`, constructing it on first use.
+  const DfsSelector& Get(SelectorKind kind);
+
+ private:
+  std::array<std::unique_ptr<DfsSelector>, kNumSelectorKinds> selectors_;
+};
 
 /// Greedily extends every DFS to the size bound with the most significant
 /// unselected valid entries (used by `fill_to_bound`; DoD never drops

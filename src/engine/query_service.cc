@@ -1,0 +1,206 @@
+#include "engine/query_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+namespace xsact::engine {
+
+namespace {
+
+/// 64-bit FNV-1a over the key bytes; cheap, stable, and good enough for
+/// shard striping (shard count is small).
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string QueryService::NormalizeQuery(std::string_view query) {
+  std::string out;
+  for (const search::QueryTerm& qt : search::ParseQuery(query)) {
+    if (!out.empty()) out.push_back(' ');
+    if (!qt.field.empty()) {
+      out.append(qt.field);
+      out.push_back(':');
+    }
+    out.append(qt.term);
+  }
+  return out;
+}
+
+std::string QueryService::OptionsFingerprint(const CompareOptions& options) {
+  // %a renders doubles as exact hex floats: two fingerprints are equal
+  // iff every numeric field is bit-for-bit equal.
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "a%d|b%d|r%d|f%d|t%a|vc%d|vl%zu|ve%d|m%zu|",
+                static_cast<int>(options.algorithm),
+                options.selector.size_bound, options.selector.max_rounds,
+                options.selector.fill_to_bound ? 1 : 0, options.diff_threshold,
+                options.extractor.fold_value_case ? 1 : 0,
+                options.extractor.max_value_length,
+                options.extractor.skip_empty_values ? 1 : 0,
+                options.max_compared);
+  std::string out(buf);
+  out.append(options.lift_results_to);  // last field: free-form, no escaping
+  return out;
+}
+
+QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  if (options_.cache_shards == 0) options_.cache_shards = 1;
+  if (options_.enable_cache) {
+    per_shard_capacity_ = std::max<size_t>(
+        1, options_.cache_capacity / options_.cache_shards);
+    shards_.reserve(options_.cache_shards);
+    for (size_t s = 0; s < options_.cache_shards; ++s) {
+      shards_.push_back(std::make_unique<CacheShard>());
+    }
+  }
+
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  worker_sessions_.reserve(static_cast<size_t>(threads));
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    worker_sessions_.push_back(std::make_unique<QuerySession>());
+    workers_.emplace_back(&QueryService::WorkerLoop, this,
+                          worker_sessions_.back().get());
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<StatusOr<OutcomePtr>> QueryService::Submit(
+    std::string query, const CompareOptions& options, size_t max_results) {
+  // Fold max_results into the options so equivalent requests share a
+  // cache entry regardless of which parameter carried the cap.
+  CompareOptions effective = options;
+  if (max_results > 0) effective.max_compared = max_results;
+
+  std::string cache_key;
+  if (options_.enable_cache) {
+    cache_key = NormalizeQuery(query);
+    cache_key.push_back('\x1e');
+    cache_key.append(OptionsFingerprint(effective));
+    if (OutcomePtr cached = CacheLookup(cache_key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<StatusOr<OutcomePtr>> ready;
+      ready.set_value(std::move(cached));
+      return ready.get_future();
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Task task;
+  task.query = std::move(query);
+  task.options = std::move(effective);
+  task.cache_key = std::move(cache_key);
+  std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<StatusOr<OutcomePtr>>> QueryService::SubmitBatch(
+    const std::vector<std::string>& queries, const CompareOptions& options,
+    size_t max_results) {
+  std::vector<std::future<StatusOr<OutcomePtr>>> futures;
+  futures.reserve(queries.size());
+  for (const std::string& query : queries) {
+    futures.push_back(Submit(query, options, max_results));
+  }
+  return futures;
+}
+
+CacheStats QueryService::cache_stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void QueryService::WorkerLoop(QuerySession* session) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    StatusOr<ComparisonOutcome> outcome =
+        SearchAndCompare(*snapshot_, session, task.query, 0, task.options);
+    if (!outcome.ok()) {
+      task.promise.set_value(outcome.status());  // errors are not cached
+      continue;
+    }
+    OutcomePtr shared =
+        std::make_shared<const ComparisonOutcome>(std::move(outcome).value());
+    if (!task.cache_key.empty()) CacheInsert(task.cache_key, shared);
+    task.promise.set_value(std::move(shared));
+  }
+}
+
+QueryService::CacheShard& QueryService::ShardFor(std::string_view key) {
+  return *shards_[HashKey(key) % shards_.size()];
+}
+
+OutcomePtr QueryService::CacheLookup(std::string_view key) {
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  // Refresh recency: move the entry to the front of the LRU list (the
+  // map's iterator stays valid across splice).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void QueryService::CacheInsert(const std::string& key, OutcomePtr outcome) {
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A concurrent worker computed the same key; keep the newer value and
+    // refresh recency.
+    it->second->second = std::move(outcome);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(outcome));
+  shard.map.emplace(std::string_view(shard.lru.front().first),
+                    shard.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(std::string_view(shard.lru.back().first));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace xsact::engine

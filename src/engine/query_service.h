@@ -1,0 +1,157 @@
+// QueryService: multi-threaded serving executor for XSACT comparisons.
+//
+// A fixed pool of worker threads serves Submit()/SubmitBatch() requests
+// against one immutable CorpusSnapshot. Each worker owns a private
+// QuerySession, so queries run with zero shared mutable state beyond the
+// task queue itself; outcomes are byte-identical to single-threaded
+// serving (gated by tests/concurrent_serve_test.cc and
+// bench/bench_concurrent_serve.cc).
+//
+// On top sits a sharded LRU result cache keyed on (normalized query,
+// options fingerprint):
+//   * normalization canonicalizes whitespace/case/punctuation through
+//     the query parser, so "  GPS " and "gps" share an entry;
+//   * the fingerprint covers every CompareOptions field that can change
+//     the outcome, so two requests share an entry only when their
+//     results are provably identical;
+//   * cached values are shared_ptr<const ComparisonOutcome> — immutable
+//     after construction, safe to hand to any number of reader threads;
+//   * each shard evicts least-recently-used entries under its own lock;
+//     hit/miss/eviction counters are exposed via cache_stats().
+// Error outcomes are never cached. Two identical queries in flight at
+// once may both compute (the cache is populated on completion, not on
+// admission); the second insert wins harmlessly.
+
+#ifndef XSACT_ENGINE_QUERY_SERVICE_H_
+#define XSACT_ENGINE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+
+namespace xsact::engine {
+
+/// Shared, immutable comparison outcome (the cache's unit of storage).
+using OutcomePtr = std::shared_ptr<const ComparisonOutcome>;
+
+/// Tuning knobs for a QueryService.
+struct QueryServiceOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  int num_threads = 0;
+  /// Result cache on/off.
+  bool enable_cache = true;
+  /// Number of independent LRU shards (lock striping).
+  size_t cache_shards = 8;
+  /// Total cached outcomes across all shards.
+  size_t cache_capacity = 512;
+};
+
+/// Monotonic cache counters (totals since construction) plus the current
+/// entry count.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+};
+
+/// Multi-threaded query executor over one snapshot. See file comment.
+/// Thread-safe: Submit/SubmitBatch/cache_stats may be called from any
+/// thread. The destructor finishes all accepted work before returning,
+/// so every future obtained from Submit becomes ready.
+class QueryService {
+ public:
+  explicit QueryService(SnapshotPtr snapshot,
+                        QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one SearchAndCompare; the future resolves to the outcome
+  /// (or the error status). Cache hits resolve immediately.
+  std::future<StatusOr<OutcomePtr>> Submit(std::string query,
+                                           const CompareOptions& options = {},
+                                           size_t max_results = 0);
+
+  /// Enqueues a batch; futures are in input order.
+  std::vector<std::future<StatusOr<OutcomePtr>>> SubmitBatch(
+      const std::vector<std::string>& queries,
+      const CompareOptions& options = {}, size_t max_results = 0);
+
+  /// Aggregate cache counters across shards.
+  CacheStats cache_stats() const;
+
+  /// Resolved worker count.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+
+  /// Canonical form of a query for cache keying: the parsed conjuncts
+  /// ("term" / "field:term") joined by single spaces — whitespace, case
+  /// and punctuation variants of the same query collapse onto one key.
+  static std::string NormalizeQuery(std::string_view query);
+
+  /// Stable textual encoding of every outcome-relevant CompareOptions
+  /// field (doubles rendered as exact hex floats).
+  static std::string OptionsFingerprint(const CompareOptions& options);
+
+ private:
+  struct Task {
+    std::string query;
+    CompareOptions options;
+    std::string cache_key;  // empty = uncacheable (cache disabled)
+    std::promise<StatusOr<OutcomePtr>> promise;
+  };
+
+  /// One LRU shard: entries in recency order (front = most recent).
+  struct CacheShard {
+    std::mutex mu;
+    std::list<std::pair<std::string, OutcomePtr>> lru;
+    std::unordered_map<std::string_view,
+                       std::list<std::pair<std::string, OutcomePtr>>::iterator>
+        map;  // keys view the list nodes' strings (stable addresses)
+  };
+
+  void WorkerLoop(QuerySession* session);
+  CacheShard& ShardFor(std::string_view key);
+  OutcomePtr CacheLookup(std::string_view key);
+  void CacheInsert(const std::string& key, OutcomePtr outcome);
+
+  SnapshotPtr snapshot_;
+  QueryServiceOptions options_;
+  size_t per_shard_capacity_ = 0;
+
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+
+  /// One private session per worker (index-aligned with workers_).
+  std::vector<std::unique_ptr<QuerySession>> worker_sessions_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xsact::engine
+
+#endif  // XSACT_ENGINE_QUERY_SERVICE_H_

@@ -1,0 +1,30 @@
+#include "engine/snapshot.h"
+
+#include "common/macros.h"
+#include "xml/io.h"
+#include "xml/parser.h"
+
+namespace xsact::engine {
+
+CorpusSnapshot::CorpusSnapshot(xml::Document doc,
+                               search::SlcaAlgorithm algorithm)
+    : engine_(std::move(doc), algorithm) {}
+
+SnapshotPtr CorpusSnapshot::Build(xml::Document doc,
+                                  search::SlcaAlgorithm algorithm) {
+  return std::make_shared<const CorpusSnapshot>(std::move(doc), algorithm);
+}
+
+StatusOr<SnapshotPtr> CorpusSnapshot::FromXml(
+    std::string_view xml_text, search::SlcaAlgorithm algorithm) {
+  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
+  return Build(std::move(doc), algorithm);
+}
+
+StatusOr<SnapshotPtr> CorpusSnapshot::FromFile(
+    const std::string& path, search::SlcaAlgorithm algorithm) {
+  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseFile(path));
+  return Build(std::move(doc), algorithm);
+}
+
+}  // namespace xsact::engine

@@ -1,0 +1,74 @@
+// CorpusSnapshot: the immutable tier of the XSACT serving stack.
+//
+// A snapshot bundles one corpus document with every read-only structure
+// derived from it — node table, interner-backed inverted index, inferred
+// entity schema, per-node category index — behind a shared_ptr<const>.
+// After construction nothing in a snapshot ever mutates, so any number
+// of concurrent queries (QuerySession, QueryService workers, plain
+// threads) may evaluate against one snapshot simultaneously with no
+// locking. Per-query mutable state lives in engine::QuerySession
+// (session.h); the thread-pool executor on top is engine::QueryService
+// (query_service.h).
+
+#ifndef XSACT_ENGINE_SNAPSHOT_H_
+#define XSACT_ENGINE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "search/search_engine.h"
+#include "xml/document.h"
+
+namespace xsact::engine {
+
+class CorpusSnapshot;
+
+/// How snapshots are shared: the snapshot is owned jointly by every
+/// component serving queries over it (Xsact facade, QueryService,
+/// in-flight sessions) and dies with the last of them.
+using SnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
+
+/// Immutable, thread-safe corpus bundle. See file comment.
+class CorpusSnapshot {
+ public:
+  /// Builds every derived structure for `doc`. O(document size).
+  explicit CorpusSnapshot(
+      xml::Document doc,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Builds a shared snapshot from an already-parsed document.
+  static SnapshotPtr Build(
+      xml::Document doc,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Parses `xml_text` and builds a shared snapshot.
+  static StatusOr<SnapshotPtr> FromXml(
+      std::string_view xml_text,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Loads and parses an XML corpus file (single pre-sized read).
+  static StatusOr<SnapshotPtr> FromFile(
+      const std::string& path,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// The immutable search tier (document, table, schema, indexes).
+  const search::SearchEngine& engine() const { return engine_; }
+  const search::CorpusIndex& corpus() const { return engine_.corpus(); }
+
+  const xml::Document& document() const { return engine_.document(); }
+  const xml::NodeTable& table() const { return engine_.table(); }
+  const entity::EntitySchema& schema() const { return engine_.schema(); }
+  const search::InvertedIndex& index() const { return engine_.index(); }
+  const entity::DocumentCategoryIndex& category_index() const {
+    return engine_.category_index();
+  }
+
+ private:
+  search::SearchEngine engine_;
+};
+
+}  // namespace xsact::engine
+
+#endif  // XSACT_ENGINE_SNAPSHOT_H_

@@ -1,8 +1,5 @@
 #include "engine/xsact.h"
 
-#include <unordered_set>
-
-#include "common/timer.h"
 #include "xml/io.h"
 #include "xml/parser.h"
 
@@ -10,113 +7,50 @@ namespace xsact::engine {
 
 StatusOr<Xsact> Xsact::FromXml(std::string_view xml_text,
                                search::SlcaAlgorithm algorithm) {
-  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
-  return Xsact(std::move(doc), algorithm);
+  XSACT_ASSIGN_OR_RETURN(SnapshotPtr snapshot,
+                         CorpusSnapshot::FromXml(xml_text, algorithm));
+  return Xsact(std::move(snapshot));
 }
 
 StatusOr<Xsact> Xsact::FromFile(const std::string& path,
                                 search::SlcaAlgorithm algorithm) {
-  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseFile(path));
-  return Xsact(std::move(doc), algorithm);
+  XSACT_ASSIGN_OR_RETURN(SnapshotPtr snapshot,
+                         CorpusSnapshot::FromFile(path, algorithm));
+  return Xsact(std::move(snapshot));
 }
 
 Xsact::Xsact(xml::Document doc, search::SlcaAlgorithm algorithm)
-    : engine_(std::move(doc), algorithm) {}
+    : Xsact(CorpusSnapshot::Build(std::move(doc), algorithm)) {}
+
+Xsact::Xsact(SnapshotPtr snapshot)
+    : snapshot_(std::move(snapshot)),
+      sessions_(std::make_shared<SessionPool>()) {}
 
 StatusOr<std::vector<search::SearchResult>> Xsact::Search(
     std::string_view query) const {
-  return engine_.Search(query);
+  SessionPool::Lease session = sessions_->Acquire();
+  return engine::Search(*snapshot_, session.get(), query);
 }
 
 StatusOr<std::vector<search::SearchResult>> Xsact::SearchRanked(
     std::string_view query) const {
-  return engine_.SearchRanked(query);
+  return snapshot_->engine().SearchRanked(query);
 }
 
 StatusOr<ComparisonOutcome> Xsact::CompareResults(
     const std::vector<const xml::Node*>& result_roots,
     const CompareOptions& options) const {
-  if (result_roots.size() < 2) {
-    return Status::InvalidArgument(
-        "a comparison needs at least two results, got " +
-        std::to_string(result_roots.size()));
-  }
-
-  // Optionally lift results to an enclosing entity (e.g. brand), then
-  // deduplicate while preserving order.
-  std::vector<const xml::Node*> roots;
-  std::unordered_set<const xml::Node*> seen;
-  for (const xml::Node* node : result_roots) {
-    if (node == nullptr) {
-      return Status::InvalidArgument("null result root");
-    }
-    const xml::Node* lifted = node;
-    if (!options.lift_results_to.empty()) {
-      for (const xml::Node* cur = node; cur != nullptr; cur = cur->parent()) {
-        if (cur->is_element() && cur->tag() == options.lift_results_to) {
-          lifted = cur;
-          break;
-        }
-      }
-    }
-    if (seen.insert(lifted).second) roots.push_back(lifted);
-  }
-  if (options.max_compared > 0 && roots.size() > options.max_compared) {
-    roots.resize(options.max_compared);
-  }
-  if (roots.size() < 2) {
-    return Status::InvalidArgument(
-        "fewer than two distinct results after lifting");
-  }
-
-  // Result processor: entity identification + feature extraction.
-  ComparisonOutcome outcome;
-  outcome.catalog = std::make_unique<feature::FeatureCatalog>();
-  feature::FeatureExtractor extractor(options.extractor);
-  std::vector<feature::ResultFeatures> features;
-  features.reserve(roots.size());
-  for (const xml::Node* root : roots) {
-    // Serve-path fast extraction over the node's pre-order id range; the
-    // node-walk fallback covers roots from outside the engine's document.
-    const xml::NodeId root_id = engine_.table().IdOf(root);
-    if (root_id != xml::kInvalidNodeId) {
-      features.push_back(extractor.Extract(engine_.table(),
-                                           engine_.category_index(), root_id,
-                                           outcome.catalog.get()));
-    } else {
-      features.push_back(
-          extractor.Extract(*root, engine_.schema(), outcome.catalog.get()));
-    }
-  }
-  outcome.instance = core::ComparisonInstance::Build(
-      std::move(features), outcome.catalog.get(), options.diff_threshold);
-
-  // DFS generation.
-  std::unique_ptr<core::DfsSelector> selector =
-      core::MakeSelector(options.algorithm);
-  Timer timer;
-  outcome.dfss = selector->Select(outcome.instance, options.selector);
-  outcome.select_seconds = timer.ElapsedSeconds();
-
-  outcome.table = table::BuildComparisonTable(outcome.instance, outcome.dfss);
-  outcome.total_dod = outcome.table.total_dod;
-  return outcome;
+  SessionPool::Lease session = sessions_->Acquire();
+  return engine::CompareResults(*snapshot_, session.get(), result_roots,
+                                options);
 }
 
 StatusOr<ComparisonOutcome> Xsact::SearchAndCompare(
     std::string_view query, size_t max_results,
     const CompareOptions& options) const {
-  XSACT_ASSIGN_OR_RETURN(std::vector<search::SearchResult> results,
-                         Search(query));
-  std::vector<const xml::Node*> roots;
-  roots.reserve(results.size());
-  for (const search::SearchResult& r : results) roots.push_back(r.root);
-  // The cap is applied after lifting/deduplication inside CompareResults,
-  // so "first 4 results" means four DISTINCT compared entities even when
-  // several raw results lift into the same ancestor.
-  CompareOptions effective = options;
-  if (max_results > 0) effective.max_compared = max_results;
-  return CompareResults(roots, effective);
+  SessionPool::Lease session = sessions_->Acquire();
+  return engine::SearchAndCompare(*snapshot_, session.get(), query,
+                                  max_results, options);
 }
 
 }  // namespace xsact::engine

@@ -7,6 +7,17 @@
 //
 // This is the class a downstream application embeds; the examples/ and
 // bench/ binaries are all built on it.
+//
+// Concurrency: Xsact is a thin adapter over the two-tier serving core —
+// an immutable, thread-safe CorpusSnapshot (snapshot.h) plus a pool of
+// per-query QuerySessions (session.h). Every method below is const and
+// safe to call from any number of threads simultaneously: each call
+// leases a session from the internal pool (reusing warmed-up workspaces)
+// and runs against the shared snapshot, so concurrent callers never
+// contend beyond the pool's pop/push. Outputs are byte-identical to
+// single-threaded serving. For sustained multi-threaded load with
+// batching and caching, use engine::QueryService (query_service.h),
+// which shares the same snapshot.
 
 #ifndef XSACT_ENGINE_XSACT_H_
 #define XSACT_ENGINE_XSACT_H_
@@ -17,48 +28,13 @@
 #include <vector>
 
 #include "common/statusor.h"
-#include "core/selector.h"
-#include "feature/extractor.h"
-#include "search/search_engine.h"
-#include "table/comparison_table.h"
-#include "xml/document.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
 
 namespace xsact::engine {
 
-/// Options for a comparison request.
-struct CompareOptions {
-  /// DFS generation algorithm; the paper's default is multi-swap.
-  core::SelectorKind algorithm = core::SelectorKind::kMultiSwap;
-  /// Size bound L and iteration limits.
-  core::SelectorOptions selector;
-  /// Differentiability threshold x (paper: empirically 10%).
-  double diff_threshold = 0.10;
-  /// Feature extraction knobs.
-  feature::ExtractorOptions extractor;
-  /// When non-empty, lift every search result to its nearest ancestor
-  /// with this tag before comparing (e.g. compare the BRANDS owning the
-  /// matched products — the paper's Outdoor Retailer scenario).
-  std::string lift_results_to;
-  /// Cap on the number of compared results, applied AFTER lifting and
-  /// deduplication (0 = compare all distinct results). SearchAndCompare's
-  /// max_results parameter populates this field.
-  size_t max_compared = 0;
-};
-
-/// The outcome of one comparison: the problem instance, the chosen DFSs,
-/// and the rendered table model. Owns the feature catalog the instance
-/// points into, so it is self-contained and movable.
-struct ComparisonOutcome {
-  std::unique_ptr<feature::FeatureCatalog> catalog;
-  core::ComparisonInstance instance;
-  std::vector<core::Dfs> dfss;
-  table::ComparisonTable table;
-  int64_t total_dod = 0;
-  /// Wall time spent inside the DFS selection algorithm only.
-  double select_seconds = 0;
-};
-
-/// End-to-end XSACT system over one XML corpus.
+/// End-to-end XSACT system over one XML corpus. See the concurrency note
+/// in the file comment.
 class Xsact {
  public:
   /// Parses `xml_text` and builds the search engine (index + schema).
@@ -66,7 +42,7 @@ class Xsact {
       std::string_view xml_text,
       search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
 
-  /// Loads and parses an XML corpus file.
+  /// Loads and parses an XML corpus file (single pre-sized read).
   static StatusOr<Xsact> FromFile(
       const std::string& path,
       search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
@@ -76,6 +52,9 @@ class Xsact {
   explicit Xsact(
       xml::Document doc,
       search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Wraps an existing snapshot (shared with other serving components).
+  explicit Xsact(SnapshotPtr snapshot);
 
   /// Keyword search (document-order results; see SearchEngine::Search).
   StatusOr<std::vector<search::SearchResult>> Search(
@@ -96,10 +75,16 @@ class Xsact {
       std::string_view query, size_t max_results = 0,
       const CompareOptions& options = {}) const;
 
-  const search::SearchEngine& engine() const { return engine_; }
+  const search::SearchEngine& engine() const { return snapshot_->engine(); }
+
+  /// The shared immutable snapshot this facade serves from.
+  const SnapshotPtr& snapshot() const { return snapshot_; }
 
  private:
-  search::SearchEngine engine_;
+  SnapshotPtr snapshot_;
+  /// Shared (not unique) so Xsact stays movable/copyable; copies serve
+  /// from the same snapshot and session pool.
+  std::shared_ptr<SessionPool> sessions_;
 };
 
 }  // namespace xsact::engine

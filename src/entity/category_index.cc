@@ -21,10 +21,11 @@ DocumentCategoryIndex::DocumentCategoryIndex(const xml::NodeTable& table,
   // subtree ends where its last descendant's does).
   std::string text_scratch;
   std::string attr_scratch;
+  std::string key_scratch;
   for (size_t i = 0; i < n; ++i) {
     const xml::NodeId id = static_cast<xml::NodeId>(i);
     const xml::Node* node = table.node(id);
-    categories_[i] = schema.CategoryOf(*node);
+    categories_[i] = schema.CategoryOf(*node, &key_scratch);
     leaf_[i] = node->IsLeafElement() ? 1 : 0;
     if (node->is_element()) {
       tag_ids_[i] = tags_.Intern(node->tag());

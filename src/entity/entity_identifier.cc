@@ -53,18 +53,32 @@ EntitySchema SchemaFromStats(const StatsMap& stats) {
 }  // namespace
 
 int32_t EntitySchema::FindKey(std::string_view parent_tag,
-                              std::string_view tag) const {
-  return keys_.Find(ComposeTagKey(parent_tag, tag));
+                              std::string_view tag,
+                              std::string* scratch) const {
+  return keys_.Find(ComposeTagKey(parent_tag, tag, scratch));
 }
 
 NodeCategory EntitySchema::CategoryOf(std::string_view parent_tag,
                                       std::string_view tag) const {
-  const int32_t key = FindKey(parent_tag, tag);
+  std::string scratch;
+  return CategoryOf(parent_tag, tag, &scratch);
+}
+
+NodeCategory EntitySchema::CategoryOf(std::string_view parent_tag,
+                                      std::string_view tag,
+                                      std::string* scratch) const {
+  const int32_t key = FindKey(parent_tag, tag, scratch);
   if (key >= 0) return by_key_[static_cast<size_t>(key)];
   return NodeCategory::kAttribute;
 }
 
 NodeCategory EntitySchema::CategoryOf(const xml::Node& node) const {
+  std::string scratch;
+  return CategoryOf(node, &scratch);
+}
+
+NodeCategory EntitySchema::CategoryOf(const xml::Node& node,
+                                      std::string* scratch) const {
   if (node.is_text()) return NodeCategory::kValue;
   const xml::Node* parent = node.parent();
   if (parent == nullptr) {
@@ -72,7 +86,7 @@ NodeCategory EntitySchema::CategoryOf(const xml::Node& node) const {
     return node.IsLeafElement() ? NodeCategory::kAttribute
                                 : NodeCategory::kConnection;
   }
-  const int32_t key = FindKey(parent->tag(), node.tag());
+  const int32_t key = FindKey(parent->tag(), node.tag(), scratch);
   if (key >= 0) return by_key_[static_cast<size_t>(key)];
   return node.IsLeafElement() ? NodeCategory::kAttribute
                               : NodeCategory::kConnection;
@@ -80,10 +94,12 @@ NodeCategory EntitySchema::CategoryOf(const xml::Node& node) const {
 
 const xml::Node* EntitySchema::OwningEntity(const xml::Node& node,
                                             const xml::Node& within) const {
+  std::string scratch;
   const xml::Node* cur = &node;
   while (cur != nullptr) {
     if (cur == &within) return cur;  // result root acts as its own entity
-    if (cur->is_element() && CategoryOf(*cur) == NodeCategory::kEntity) {
+    if (cur->is_element() &&
+        CategoryOf(*cur, &scratch) == NodeCategory::kEntity) {
       return cur;
     }
     cur = cur->parent();
@@ -98,12 +114,14 @@ EntitySchema::Entries() const {
 
 bool EntitySchema::Contains(std::string_view parent_tag,
                             std::string_view tag) const {
-  return FindKey(parent_tag, tag) >= 0;
+  std::string scratch;
+  return FindKey(parent_tag, tag, &scratch) >= 0;
 }
 
 void EntitySchema::Set(std::string parent_tag, std::string tag,
                        NodeCategory category) {
-  const int32_t key = keys_.Intern(ComposeTagKey(parent_tag, tag));
+  std::string scratch;
+  const int32_t key = keys_.Intern(ComposeTagKey(parent_tag, tag, &scratch));
   if (static_cast<size_t>(key) == by_key_.size()) {
     by_key_.push_back(category);
   } else {

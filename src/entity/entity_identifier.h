@@ -33,6 +33,15 @@ class EntitySchema {
   /// Category of a concrete node (kValue for text nodes).
   NodeCategory CategoryOf(const xml::Node& node) const;
 
+  /// Reentrant probe variants for hot paths: the key composition runs
+  /// through the caller-supplied `*scratch` (no hidden shared state), so
+  /// any number of threads may probe one const schema concurrently, each
+  /// with its own buffer. The scratch-free overloads above use a local
+  /// buffer per call (correct but allocation-prone on long tags).
+  NodeCategory CategoryOf(std::string_view parent_tag, std::string_view tag,
+                          std::string* scratch) const;
+  NodeCategory CategoryOf(const xml::Node& node, std::string* scratch) const;
+
   /// Nearest ancestor-or-self element categorized as an entity. Falls back
   /// to the subtree root `within` when no entity is found on the path.
   /// `within` bounds the walk (the result root during extraction).
@@ -50,10 +59,11 @@ class EntitySchema {
   void Set(std::string parent_tag, std::string tag, NodeCategory category);
 
  private:
-  /// Composes "parent\x1ftag" into a thread-local scratch (no allocation
-  /// after warmup, reentrant for concurrent const queries) and returns
-  /// the dense key id, or -1 when never registered.
-  int32_t FindKey(std::string_view parent_tag, std::string_view tag) const;
+  /// Composes "parent\x1ftag" into `*scratch` (reentrant: concurrent
+  /// const queries each bring their own buffer) and returns the dense
+  /// key id, or -1 when never registered.
+  int32_t FindKey(std::string_view parent_tag, std::string_view tag,
+                  std::string* scratch) const;
 
   /// Sorted view kept for Entries(); the hot path probes the interner.
   std::map<std::pair<std::string, std::string>, NodeCategory> categories_;

@@ -7,7 +7,7 @@ namespace xsact::feature {
 
 TypeId FeatureCatalog::InternType(std::string_view entity,
                                   std::string_view attribute) {
-  const std::string_view key = ComposeTagKey(entity, attribute);
+  const std::string_view key = ComposeTagKey(entity, attribute, &key_scratch_);
   const int32_t existing = keys_.Find(key);
   if (existing >= 0) return existing;
   const TypeId id = keys_.Intern(key);
@@ -19,7 +19,10 @@ TypeId FeatureCatalog::InternType(std::string_view entity,
 
 TypeId FeatureCatalog::FindType(std::string_view entity,
                                 std::string_view attribute) const {
-  return keys_.Find(ComposeTagKey(entity, attribute));
+  // Local buffer: FindType stays const-reentrant (a sealed catalog inside
+  // a cached outcome may be probed by any number of threads).
+  std::string scratch;
+  return keys_.Find(ComposeTagKey(entity, attribute, &scratch));
 }
 
 const std::string& FeatureCatalog::EntityOf(TypeId id) const {

@@ -46,6 +46,10 @@ class FeatureCatalog {
   std::vector<std::string> entities_;   // TypeId -> entity
   std::vector<std::string> attributes_; // TypeId -> attribute
   StringInterner values_;
+  /// Key-composition buffer for the mutating InternType path. A catalog
+  /// is per-comparison state (one writer during extraction; read-only —
+  /// and then safely shared — once the outcome is built).
+  std::string key_scratch_;
 };
 
 }  // namespace xsact::feature

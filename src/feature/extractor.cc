@@ -60,6 +60,7 @@ struct ExtractionWorkspace {
 
   std::string text_scratch;  // reused InnerText buffer
   std::string attr_scratch;  // reused "tag: value" composition buffer
+  std::string key_scratch;   // reused schema-probe composition buffer
   std::vector<int32_t> order;  // reused flush ordering buffer
 
   // Epoch-stamped memos over the document-level ids of a
@@ -203,19 +204,35 @@ ResultFeatures Flush(ExtractionWorkspace& state, const xml::Node& result_root,
 
 }  // namespace
 
-FeatureExtractor::FeatureExtractor(ExtractorOptions options)
-    : options_(options),
-      workspace_(std::make_unique<internal::ExtractionWorkspace>()) {}
-
-FeatureExtractor::~FeatureExtractor() = default;
-FeatureExtractor::FeatureExtractor(FeatureExtractor&&) noexcept = default;
-FeatureExtractor& FeatureExtractor::operator=(FeatureExtractor&&) noexcept =
+ExtractionScratch::ExtractionScratch()
+    : impl_(std::make_unique<internal::ExtractionWorkspace>()) {}
+ExtractionScratch::~ExtractionScratch() = default;
+ExtractionScratch::ExtractionScratch(ExtractionScratch&&) noexcept = default;
+ExtractionScratch& ExtractionScratch::operator=(ExtractionScratch&&) noexcept =
     default;
+
+FeatureExtractor::FeatureExtractor(ExtractorOptions options)
+    : options_(options) {}
 
 ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
                                          const entity::EntitySchema& schema,
                                          FeatureCatalog* catalog) const {
-  ExtractionWorkspace& state = *workspace_;
+  ExtractionScratch scratch;
+  return Extract(result_root, schema, catalog, &scratch);
+}
+
+ResultFeatures FeatureExtractor::Extract(
+    const xml::NodeTable& table, const entity::DocumentCategoryIndex& index,
+    xml::NodeId root_id, FeatureCatalog* catalog) const {
+  ExtractionScratch scratch;
+  return Extract(table, index, root_id, catalog, &scratch);
+}
+
+ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
+                                         const entity::EntitySchema& schema,
+                                         FeatureCatalog* catalog,
+                                         ExtractionScratch* scratch) const {
+  ExtractionWorkspace& state = *scratch->impl_;
   state.Reset();
 
   // One non-recursive walk that does everything the seed spread over two
@@ -239,7 +256,7 @@ ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
     if (node == &result_root) {
       state.CountEntity(node->tag());
     } else {
-      category = schema.CategoryOf(*node);
+      category = schema.CategoryOf(*node, &state.key_scratch);
       if (category == entity::NodeCategory::kEntity) {
         owner = node;
         state.CountEntity(node->tag());
@@ -271,8 +288,9 @@ ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
 
 ResultFeatures FeatureExtractor::Extract(
     const xml::NodeTable& table, const entity::DocumentCategoryIndex& index,
-    xml::NodeId root_id, FeatureCatalog* catalog) const {
-  ExtractionWorkspace& state = *workspace_;
+    xml::NodeId root_id, FeatureCatalog* catalog,
+    ExtractionScratch* scratch) const {
+  ExtractionWorkspace& state = *scratch->impl_;
   state.Reset();
   state.entity_epoch.resize(index.num_tags(), 0);
   state.entity_local.resize(index.num_tags(), -1);

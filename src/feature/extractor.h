@@ -47,23 +47,41 @@ namespace internal {
 struct ExtractionWorkspace;
 }  // namespace internal
 
+/// Owning handle to a reusable extraction workspace (local interners,
+/// aggregation tables, text scratch). ALL mutable extraction state lives
+/// here — a FeatureExtractor itself holds only options — so concurrency
+/// is explicit: any number of threads may extract through one shared
+/// const extractor as long as each brings its own scratch. Reusing one
+/// scratch across sequential Extract calls keeps its hash tables and
+/// buffers warm (cleared, capacity kept); reuse never changes output.
+class ExtractionScratch {
+ public:
+  ExtractionScratch();
+  ~ExtractionScratch();
+  ExtractionScratch(ExtractionScratch&&) noexcept;
+  ExtractionScratch& operator=(ExtractionScratch&&) noexcept;
+
+ private:
+  friend class FeatureExtractor;
+  std::unique_ptr<internal::ExtractionWorkspace> impl_;
+};
+
 /// Extractor; the catalog accumulates interned types/values across all
-/// results of a comparison. The extractor reuses an internal workspace
-/// (local interners, aggregation tables, text scratch) across Extract
-/// calls, so one instance must not run concurrent extractions.
+/// results of a comparison. Stateless apart from its options: the
+/// scratch-taking overloads are reentrant, and the convenience overloads
+/// allocate a fresh scratch per call (prefer passing a pooled scratch on
+/// hot paths — QuerySession owns one per serve session).
 class FeatureExtractor {
  public:
   explicit FeatureExtractor(ExtractorOptions options = {});
-  ~FeatureExtractor();
-  FeatureExtractor(FeatureExtractor&&) noexcept;
-  FeatureExtractor& operator=(FeatureExtractor&&) noexcept;
 
   /// Extracts the features of the subtree rooted at `result_root`.
   /// `schema` must have been inferred from the corpus (or the result set),
   /// and `catalog` is shared across the results being compared.
   ResultFeatures Extract(const xml::Node& result_root,
                          const entity::EntitySchema& schema,
-                         FeatureCatalog* catalog) const;
+                         FeatureCatalog* catalog,
+                         ExtractionScratch* scratch) const;
 
   /// Serve-path fast variant: extracts the subtree rooted at `root_id` as
   /// one linear sweep of its pre-order id range, reading the per-document
@@ -72,12 +90,19 @@ class FeatureExtractor {
   /// node-walk overload.
   ResultFeatures Extract(const xml::NodeTable& table,
                          const entity::DocumentCategoryIndex& index,
+                         xml::NodeId root_id, FeatureCatalog* catalog,
+                         ExtractionScratch* scratch) const;
+
+  /// Convenience overloads: one fresh workspace per call.
+  ResultFeatures Extract(const xml::Node& result_root,
+                         const entity::EntitySchema& schema,
+                         FeatureCatalog* catalog) const;
+  ResultFeatures Extract(const xml::NodeTable& table,
+                         const entity::DocumentCategoryIndex& index,
                          xml::NodeId root_id, FeatureCatalog* catalog) const;
 
  private:
   ExtractorOptions options_;
-  /// Reused per-extraction state; cleared (capacity kept) on every call.
-  mutable std::unique_ptr<internal::ExtractionWorkspace> workspace_;
 };
 
 }  // namespace xsact::feature

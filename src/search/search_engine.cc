@@ -9,13 +9,16 @@
 
 namespace xsact::search {
 
+CorpusIndex::CorpusIndex(xml::Document document, SlcaAlgorithm slca)
+    : doc(std::move(document)),
+      table(xml::NodeTable::Build(doc)),
+      schema(entity::InferSchema(doc)),
+      index(InvertedIndex::Build(table)),
+      category_index(table, schema),
+      algorithm(slca) {}
+
 SearchEngine::SearchEngine(xml::Document doc, SlcaAlgorithm algorithm)
-    : doc_(std::move(doc)),
-      table_(xml::NodeTable::Build(doc_)),
-      schema_(entity::InferSchema(doc_)),
-      index_(InvertedIndex::Build(table_)),
-      category_index_(table_, schema_),
-      algorithm_(algorithm) {}
+    : corpus_(std::move(doc), algorithm) {}
 
 std::vector<QueryTerm> ParseQuery(std::string_view query) {
   std::vector<QueryTerm> out;
@@ -53,18 +56,27 @@ std::vector<QueryTerm> ParseQuery(std::string_view query) {
 
 StatusOr<std::vector<SearchResult>> SearchEngine::Search(
     std::string_view query) const {
+  SearchWorkspace ws;
+  return Search(query, &ws);
+}
+
+StatusOr<std::vector<SearchResult>> SearchEngine::Search(
+    std::string_view query, SearchWorkspace* ws) const {
+  const xml::NodeTable& table = corpus_.table;
   const std::vector<QueryTerm> terms = ParseQuery(query);
   if (terms.empty()) {
     return Status::InvalidArgument("query contains no searchable tokens");
   }
-  MatchLists lists;
+  ws->Reset();
+  MatchLists& lists = ws->lists;
   lists.reserve(terms.size());
   // Backing storage for fielded terms only; unrestricted terms view the
   // index's posting array directly.
-  std::vector<std::vector<xml::NodeId>> filtered_storage;
+  std::vector<std::vector<xml::NodeId>>& filtered_storage =
+      ws->filtered_storage;
   filtered_storage.reserve(terms.size());
   for (const QueryTerm& qt : terms) {
-    const PostingList postings = index_.Postings(qt.term);
+    const PostingList postings = corpus_.index.Postings(qt.term);
     if (qt.field.empty()) {
       lists.push_back(postings);
     } else {
@@ -72,7 +84,7 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
       // requested tag.
       std::vector<xml::NodeId>& filtered = filtered_storage.emplace_back();
       for (xml::NodeId id : postings) {
-        if (table_.node(id)->tag() == qt.field) filtered.push_back(id);
+        if (table.node(id)->tag() == qt.field) filtered.push_back(id);
       }
       lists.push_back(PostingList(filtered.data(), filtered.size()));
     }
@@ -81,28 +93,29 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
     }
   }
   std::vector<xml::NodeId> slcas;
-  switch (algorithm_) {
+  switch (corpus_.algorithm) {
     case SlcaAlgorithm::kScan:
-      slcas = ComputeSlcaByScan(table_, lists);
+      slcas = ComputeSlcaByScan(table, lists);
       break;
     case SlcaAlgorithm::kIndexed:
-      slcas = ComputeSlcaIndexed(table_, lists);
+      slcas = ComputeSlcaIndexed(table, lists);
       break;
     case SlcaAlgorithm::kElca:
-      slcas = ComputeElcaByScan(table_, lists);
+      slcas = ComputeElcaByScan(table, lists);
       break;
   }
 
   std::vector<SearchResult> results;
-  std::unordered_set<const xml::Node*> seen;
+  std::unordered_set<const xml::Node*>& seen = ws->seen;
   for (xml::NodeId slca_id : slcas) {
-    const xml::Node* slca = table_.node(slca_id);
+    const xml::Node* slca = table.node(slca_id);
     // Return-node inference: nearest entity ancestor-or-self. The document
     // root bounds the walk: if no entity exists on the path we fall back to
     // the SLCA itself rather than returning the entire corpus.
     const xml::Node* ret = slca;
     for (const xml::Node* cur = slca; cur != nullptr; cur = cur->parent()) {
-      if (schema_.CategoryOf(*cur) == entity::NodeCategory::kEntity) {
+      if (corpus_.schema.CategoryOf(*cur, &ws->key_scratch) ==
+          entity::NodeCategory::kEntity) {
         ret = cur;
         break;
       }
@@ -110,7 +123,7 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
     if (!seen.insert(ret).second) continue;  // several SLCAs, one entity
     SearchResult r;
     r.root = ret;
-    r.root_id = table_.IdOf(ret);
+    r.root_id = table.IdOf(ret);
     r.slca = slca;
     r.title = InferTitle(*ret);
     results.push_back(std::move(r));
@@ -123,7 +136,7 @@ StatusOr<std::vector<SearchResult>> SearchEngine::SearchRanked(
   XSACT_ASSIGN_OR_RETURN(std::vector<SearchResult> results, Search(query));
   std::vector<std::string> terms;
   for (QueryTerm& qt : ParseQuery(query)) terms.push_back(std::move(qt.term));
-  return RankResults(table_, index_, terms, std::move(results));
+  return RankResults(corpus_.table, corpus_.index, terms, std::move(results));
 }
 
 std::string InferTitle(const xml::Node& result_root) {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/statusor.h"
@@ -59,8 +60,44 @@ struct QueryTerm {
 /// each chunk tokenizes into one or more terms sharing the restriction.
 std::vector<QueryTerm> ParseQuery(std::string_view query);
 
+/// Immutable index tier of the search engine: the corpus document plus
+/// every structure derived from it (node table, inferred schema,
+/// inverted index, per-node category index). Built once, never mutated
+/// afterwards — safe to share by const reference across any number of
+/// concurrent query evaluations.
+struct CorpusIndex {
+  explicit CorpusIndex(xml::Document document,
+                       SlcaAlgorithm slca = SlcaAlgorithm::kIndexed);
+
+  xml::Document doc;
+  xml::NodeTable table;
+  entity::EntitySchema schema;
+  InvertedIndex index;
+  entity::DocumentCategoryIndex category_index;
+  SlcaAlgorithm algorithm;
+};
+
+/// Query-time evaluation scratch: every container Search mutates lives
+/// here, so evaluation against a const CorpusIndex is reentrant. Reused
+/// across queries (cleared, capacity kept).
+struct SearchWorkspace {
+  MatchLists lists;
+  std::vector<std::vector<xml::NodeId>> filtered_storage;
+  std::unordered_set<const xml::Node*> seen;
+  std::string key_scratch;  // schema-probe composition buffer
+
+  void Reset() {
+    lists.clear();
+    filtered_storage.clear();
+    seen.clear();
+  }
+};
+
 /// Search engine owning the corpus document, its node table, inferred
-/// schema and inverted index.
+/// schema and inverted index. The engine itself is the immutable tier:
+/// every Search overload is const and reentrant — per-query state lives
+/// in a SearchWorkspace (an internal one is created per call when the
+/// caller does not supply one).
 class SearchEngine {
  public:
   /// Builds all derived structures for `doc`. O(document size).
@@ -72,28 +109,29 @@ class SearchEngine {
   /// Fails with kInvalidArgument when the query has no tokens.
   StatusOr<std::vector<SearchResult>> Search(std::string_view query) const;
 
+  /// Reentrant variant: all mutable evaluation state lives in `*ws`
+  /// (reused across calls; prefer this on hot / concurrent paths).
+  StatusOr<std::vector<SearchResult>> Search(std::string_view query,
+                                             SearchWorkspace* ws) const;
+
   /// Like Search, but orders results by relevance (see ranking.h).
   StatusOr<std::vector<SearchResult>> SearchRanked(
       std::string_view query) const;
 
-  const xml::Document& document() const { return doc_; }
-  const xml::NodeTable& table() const { return table_; }
-  const entity::EntitySchema& schema() const { return schema_; }
-  const InvertedIndex& index() const { return index_; }
+  const CorpusIndex& corpus() const { return corpus_; }
+  const xml::Document& document() const { return corpus_.doc; }
+  const xml::NodeTable& table() const { return corpus_.table; }
+  const entity::EntitySchema& schema() const { return corpus_.schema; }
+  const InvertedIndex& index() const { return corpus_.index; }
 
   /// Per-node schema facts (categories, owners, subtree extents),
   /// precomputed once so the serve path reads flat arrays.
   const entity::DocumentCategoryIndex& category_index() const {
-    return category_index_;
+    return corpus_.category_index;
   }
 
  private:
-  xml::Document doc_;
-  xml::NodeTable table_;
-  entity::EntitySchema schema_;
-  InvertedIndex index_;
-  entity::DocumentCategoryIndex category_index_;
-  SlcaAlgorithm algorithm_;
+  CorpusIndex corpus_;
 };
 
 /// Picks a human-readable title for a result subtree: the text of its

@@ -14,7 +14,29 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   if (file == nullptr) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
+  // Pre-size from the file length and read in one call: corpus load is on
+  // the startup path, and streaming 64 KiB appends re-copied the buffer
+  // on every growth. Seekable files (the normal case) take the fast path;
+  // pipes and other non-seekable streams fall back to chunked appends.
   std::string content;
+  if (std::fseek(file.get(), 0, SEEK_END) == 0) {
+    const long size = std::ftell(file.get());
+    if (size > 0 && std::fseek(file.get(), 0, SEEK_SET) == 0) {
+      content.resize(static_cast<size_t>(size));
+      const size_t read = std::fread(&content[0], 1, content.size(),
+                                     file.get());
+      if (std::ferror(file.get())) {
+        return Status::IoError("read error on '" + path + "'");
+      }
+      content.resize(read);  // shorter than stat'd (e.g. raced truncate)
+      return content;
+    }
+    if (std::fseek(file.get(), 0, SEEK_SET) != 0) {
+      return Status::IoError("seek error on '" + path + "'");
+    }
+  } else {
+    std::clearerr(file.get());
+  }
   char buffer[1 << 16];
   size_t n;
   while ((n = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
