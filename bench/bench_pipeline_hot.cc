@@ -169,7 +169,8 @@ struct Schema {
       return node.IsLeafElement() ? entity::NodeCategory::kAttribute
                                   : entity::NodeCategory::kConnection;
     }
-    auto it = categories.find({parent->tag(), node.tag()});
+    auto it = categories.find(
+        {std::string(parent->tag()), std::string(node.tag())});
     if (it != categories.end()) return it->second;
     return node.IsLeafElement() ? entity::NodeCategory::kAttribute
                                 : entity::NodeCategory::kConnection;
@@ -202,9 +203,9 @@ void CountEntities(const xml::Node& node, const xml::Node& root,
   if (node.is_element() &&
       (&node == &root ||
        schema.CategoryOf(node) == entity::NodeCategory::kEntity)) {
-    state->cardinality[node.tag()] += 1;
+    state->cardinality[std::string(node.tag())] += 1;
   }
-  for (const auto& child : node.children()) {
+  for (const xml::Node* child : node.children()) {
     CountEntities(*child, root, schema, state);
   }
 }
@@ -220,8 +221,8 @@ feature::ResultFeatures Extract(const xml::Node& result_root,
   while (!stack.empty()) {
     const xml::Node* node = stack.back();
     stack.pop_back();
-    for (const auto& child : node->children()) {
-      if (child->is_element()) stack.push_back(child.get());
+    for (const xml::Node* child : node->children()) {
+      if (child->is_element()) stack.push_back(child);
     }
     if (!node->is_element() || !node->IsLeafElement()) continue;
     if (node == &result_root) continue;
@@ -235,12 +236,12 @@ feature::ResultFeatures Extract(const xml::Node& result_root,
 
     const entity::NodeCategory category = schema.CategoryOf(*node);
     const xml::Node* owner = schema.OwningEntity(*node, result_root);
-    const std::string& entity_tag = owner->tag();
+    const std::string entity_tag(owner->tag());
 
     if (category == entity::NodeCategory::kMultiAttribute) {
-      state.obs[{entity_tag, node->tag() + ": " + value, "yes"}] += 1;
+      state.obs[{entity_tag, std::string(node->tag()) + ": " + value, "yes"}] += 1;
     } else {
-      state.obs[{entity_tag, node->tag(), value}] += 1;
+      state.obs[{entity_tag, std::string(node->tag()), value}] += 1;
     }
   }
 

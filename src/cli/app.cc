@@ -1,5 +1,9 @@
 #include "cli/app.h"
 
+#include <sys/stat.h>
+
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -112,6 +116,83 @@ int RunLoadGen(const CliOptions& options, const engine::Xsact& xsact,
   return 0;
 }
 
+/// Serves one query through the service and renders the outcome (the
+/// --watch loop's unit of work). Returns false on serve failure.
+bool ServeAndRender(engine::QueryService& service, const CliOptions& options,
+                    const engine::CompareOptions& compare, std::ostream& out,
+                    std::ostream& err) {
+  StatusOr<engine::OutcomePtr> outcome =
+      service.Submit(options.query, compare).get();
+  if (!outcome.ok()) {
+    err << outcome.status() << "\n";
+    return false;
+  }
+  out << Render((*outcome)->table, options.format);
+  if (options.explain) {
+    const auto explanations =
+        table::ExplainDifferences((*outcome)->instance, (*outcome)->dfss);
+    out << "\nkey differences:\n"
+        << table::RenderExplanations(explanations);
+  }
+  return true;
+}
+
+/// --watch: serve once, then poll the corpus file's mtime and hot-swap
+/// the snapshot (QueryService::ReloadCorpus) whenever it changes.
+/// In-flight queries finish on their admitted snapshot; new submissions
+/// see the fresh corpus. Exits after --max-reloads reloads (0 = forever)
+/// or when the file disappears.
+int RunWatch(const CliOptions& options, const engine::Xsact& xsact,
+             const engine::CompareOptions& compare, std::ostream& out,
+             std::ostream& err) {
+  engine::QueryServiceOptions service_options;
+  service_options.num_threads = options.threads > 0 ? options.threads : 1;
+  service_options.enable_cache = options.cache;
+  engine::QueryService service(xsact.snapshot(), service_options);
+
+  out << "serving (epoch " << service.snapshot_epoch() << "):\n";
+  if (!ServeAndRender(service, options, compare, out, err)) return 1;
+
+  // Nanosecond mtime: whole-second st_mtime would miss a rewrite landing
+  // in the same second as the previous one.
+  const auto mtime_of = [](const struct stat& st) {
+    return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+           st.st_mtim.tv_nsec;
+  };
+  struct stat st;
+  if (::stat(options.dataset.c_str(), &st) != 0) {
+    err << "cannot stat '" << options.dataset << "'\n";
+    return 1;
+  }
+  int64_t last_mtime = mtime_of(st);
+  int reloads = 0;
+  out << "watching " << options.dataset << " for changes"
+      << (options.max_reloads > 0
+              ? " (" + std::to_string(options.max_reloads) + " reloads max)"
+              : std::string())
+      << "...\n";
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (::stat(options.dataset.c_str(), &st) != 0) {
+      err << "corpus file disappeared; stopping watch\n";
+      return 1;
+    }
+    if (mtime_of(st) == last_mtime) continue;
+    last_mtime = mtime_of(st);
+    const Status reloaded = service.ReloadCorpus(options.dataset).get();
+    if (!reloaded.ok()) {
+      err << "reload failed (still serving previous snapshot): " << reloaded
+          << "\n";
+      continue;
+    }
+    ++reloads;
+    out << "reloaded (epoch " << service.snapshot_epoch() << "):\n";
+    if (!ServeAndRender(service, options, compare, out, err)) return 1;
+    if (options.max_reloads > 0 && reloads >= options.max_reloads) break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 StatusOr<engine::Xsact> BuildEngine(const CliOptions& options) {
@@ -148,6 +229,16 @@ int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err) {
   if (!xsact.ok()) {
     err << xsact.status() << "\n";
     return 1;
+  }
+
+  if (options.watch) {
+    engine::CompareOptions compare;
+    compare.algorithm = options.algorithm;
+    compare.selector.size_bound = options.bound;
+    compare.diff_threshold = options.threshold;
+    compare.lift_results_to = options.lift;
+    compare.max_compared = options.max_results;
+    return RunWatch(options, *xsact, compare, out, err);
   }
 
   auto results = options.ranked ? xsact->SearchRanked(options.query)

@@ -150,6 +150,15 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
       options.seed = static_cast<uint64_t>(seed);
     } else if (arg == "--cache") {
       options.cache = true;
+    } else if (arg == "--watch") {
+      options.watch = true;
+    } else if (MatchFlag(arg, "max-reloads", &value, &has_value)) {
+      if (!has_value) return NeedValue("max-reloads");
+      XSACT_ASSIGN_OR_RETURN(const int n, ParseInt("max-reloads", value));
+      if (n < 0) {
+        return Status::InvalidArgument("--max-reloads must be >= 0");
+      }
+      options.max_reloads = n;
     } else if (MatchFlag(arg, "threads", &value, &has_value)) {
       if (!has_value) return NeedValue("threads");
       XSACT_ASSIGN_OR_RETURN(const int threads, ParseInt("threads", value));
@@ -171,6 +180,11 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
   }
   if (!options.help && options.query.empty()) {
     return Status::InvalidArgument("--query is required; see --help");
+  }
+  if (options.watch && !EndsWith(options.dataset, ".xml") &&
+      options.dataset.find('/') == std::string::npos) {
+    return Status::InvalidArgument(
+        "--watch requires a file dataset (path/to/file.xml)");
   }
   return options;
 }
@@ -201,6 +215,10 @@ std::string CliUsage() {
       "                       --threads prints aggregate throughput\n"
       "  --cache              enable the QueryService result cache and\n"
       "                       print hit/miss counters\n"
+      "  --watch              serve, then watch the XML file and hot-swap\n"
+      "                       the corpus snapshot whenever it changes\n"
+      "                       (file datasets only; re-prints the table)\n"
+      "  --max-reloads=N      exit --watch after N reloads (0 = forever)\n"
       "  --ranked             order results by relevance\n"
       "  --list               only list results (with snippets)\n"
       "  --show-dfs           also print the selected DFS per result\n"

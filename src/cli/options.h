@@ -34,6 +34,8 @@ struct CliOptions {
   int threads = 0;           ///< >0: serve through a QueryService pool
   int repeat = 1;            ///< submit the query N times (load generation)
   bool cache = false;        ///< enable the QueryService result cache
+  bool watch = false;        ///< watch a file dataset, hot-swap on change
+  int max_reloads = 0;       ///< stop --watch after N reloads (0 = forever)
   bool list_only = false;    ///< print the result list, no comparison
   bool ranked = false;       ///< order results by relevance
   bool show_dfs = false;     ///< also print each DFS

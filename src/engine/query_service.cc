@@ -53,7 +53,9 @@ std::string QueryService::OptionsFingerprint(const CompareOptions& options) {
 }
 
 QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
-    : snapshot_(std::move(snapshot)), options_(options) {
+    : serving_(std::make_shared<const ServingState>(
+          ServingState{std::move(snapshot), 0})),
+      options_(options) {
   if (options_.cache_shards == 0) options_.cache_shards = 1;
   if (options_.enable_cache) {
     per_shard_capacity_ = std::max<size_t>(
@@ -80,11 +82,44 @@ QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
 
 QueryService::~QueryService() {
   {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    if (reload_thread_.joinable()) reload_thread_.join();
+  }
+  {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryService::SwapSnapshot(SnapshotPtr fresh) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  auto next = std::make_shared<const ServingState>(
+      ServingState{std::move(fresh), Current()->epoch + 1});
+  std::atomic_store_explicit(&serving_, std::move(next),
+                             std::memory_order_release);
+  // Stale-epoch keys can never be looked up again; clear eagerly so the
+  // dead entries don't occupy LRU capacity until natural eviction.
+  ClearCache();
+}
+
+std::future<Status> QueryService::ReloadCorpus(std::string path) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  if (reload_thread_.joinable()) reload_thread_.join();
+  reload_thread_ = std::thread([this, path = std::move(path), promise] {
+    const search::SlcaAlgorithm algorithm = Current()->snapshot->corpus().algorithm;
+    StatusOr<SnapshotPtr> fresh = CorpusSnapshot::FromFile(path, algorithm);
+    if (!fresh.ok()) {
+      promise->set_value(fresh.status());
+      return;
+    }
+    SwapSnapshot(std::move(fresh).value());
+    promise->set_value(Status::Ok());
+  });
+  return future;
 }
 
 std::future<StatusOr<OutcomePtr>> QueryService::Submit(
@@ -94,9 +129,17 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   CompareOptions effective = options;
   if (max_results > 0) effective.max_compared = max_results;
 
+  // Pin the task to the serving state current at submission: the worker
+  // evaluates against exactly this snapshot, and the cache key carries
+  // its epoch, so a hot swap can neither mix snapshots within a query
+  // nor serve an outcome across generations.
+  const std::shared_ptr<const ServingState> serving = Current();
+
   std::string cache_key;
   if (options_.enable_cache) {
-    cache_key = NormalizeQuery(query);
+    cache_key = std::to_string(serving->epoch);
+    cache_key.push_back('\x1e');
+    cache_key.append(NormalizeQuery(query));
     cache_key.push_back('\x1e');
     cache_key.append(OptionsFingerprint(effective));
     if (OutcomePtr cached = CacheLookup(cache_key)) {
@@ -112,6 +155,8 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   task.query = std::move(query);
   task.options = std::move(effective);
   task.cache_key = std::move(cache_key);
+  task.snapshot = serving->snapshot;
+  task.epoch = serving->epoch;
   std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -153,15 +198,29 @@ void QueryService::WorkerLoop(QuerySession* session) {
     }
 
     StatusOr<ComparisonOutcome> outcome =
-        SearchAndCompare(*snapshot_, session, task.query, 0, task.options);
+        SearchAndCompare(*task.snapshot, session, task.query, 0,
+                         task.options);
     if (!outcome.ok()) {
       task.promise.set_value(outcome.status());  // errors are not cached
       continue;
     }
     OutcomePtr shared =
         std::make_shared<const ComparisonOutcome>(std::move(outcome).value());
-    if (!task.cache_key.empty()) CacheInsert(task.cache_key, shared);
+    if (!task.cache_key.empty()) {
+      CacheInsert(task.cache_key, task.epoch, shared);
+    }
     task.promise.set_value(std::move(shared));
+  }
+}
+
+void QueryService::ClearCache() {
+  for (const std::unique_ptr<CacheShard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const size_t dropped = shard->lru.size();
+    shard->map.clear();
+    shard->lru.clear();
+    entries_.fetch_sub(dropped, std::memory_order_relaxed);
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
   }
 }
 
@@ -180,9 +239,17 @@ OutcomePtr QueryService::CacheLookup(std::string_view key) {
   return it->second->second;
 }
 
-void QueryService::CacheInsert(const std::string& key, OutcomePtr outcome) {
+void QueryService::CacheInsert(const std::string& key, uint64_t epoch,
+                               OutcomePtr outcome) {
   CacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // A task finishing after a swap must not refill the shard with a
+  // stale-epoch key (unreachable by lookups, yet squatting on LRU
+  // capacity). SwapSnapshot publishes the new epoch BEFORE clearing the
+  // shards, so under the shard lock: either this insert precedes the
+  // clear (which then removes it), or the epoch check below sees the
+  // new epoch and skips the insert. Either way no stale entry survives.
+  if (Current()->epoch != epoch) return;
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // A concurrent worker computed the same key; keep the newer value and

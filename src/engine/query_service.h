@@ -21,6 +21,20 @@
 // Error outcomes are never cached. Two identical queries in flight at
 // once may both compute (the cache is populated on completion, not on
 // admission); the second insert wins harmlessly.
+//
+// Live corpus updates (snapshot hot swap): the service publishes its
+// snapshot as an atomically swappable {snapshot, epoch} pair.
+//   * Submit pins the task to the snapshot current at submission time,
+//     so a query NEVER observes two snapshots — in-flight and queued
+//     work finishes on the snapshot it was admitted under while new
+//     submissions see the fresh corpus immediately;
+//   * cache keys carry the epoch, so an outcome computed against one
+//     snapshot can never serve a query admitted under another
+//     (epoch-based invalidation); the swap also eagerly clears the
+//     shards so stale entries don't squat in the LRU;
+//   * ReloadCorpus parses + indexes the new corpus on a background
+//     thread and publishes it via SwapSnapshot on success — a failed
+//     load leaves the serving snapshot untouched.
 
 #ifndef XSACT_ENGINE_QUERY_SERVICE_H_
 #define XSACT_ENGINE_QUERY_SERVICE_H_
@@ -99,7 +113,23 @@ class QueryService {
   /// Resolved worker count.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  const SnapshotPtr& snapshot() const { return snapshot_; }
+  /// The snapshot new submissions are currently served from.
+  SnapshotPtr snapshot() const { return Current()->snapshot; }
+
+  /// Monotonic snapshot generation (bumped by every swap).
+  uint64_t snapshot_epoch() const { return Current()->epoch; }
+
+  /// Atomically publishes `fresh` as the serving snapshot. In-flight and
+  /// already-queued queries finish on the snapshot they were admitted
+  /// under; the result cache is epoch-invalidated. Thread-safe.
+  void SwapSnapshot(SnapshotPtr fresh);
+
+  /// Loads `path` (fused zero-copy parse + index build) on a background
+  /// thread and SwapSnapshot()s the result. The future resolves after
+  /// publication — ok, or the load error (serving state untouched).
+  /// Concurrent reloads serialize; the SLCA algorithm is inherited from
+  /// the current snapshot.
+  std::future<Status> ReloadCorpus(std::string path);
 
   /// Canonical form of a query for cache keying: the parsed conjuncts
   /// ("term" / "field:term") joined by single spaces — whitespace, case
@@ -111,10 +141,22 @@ class QueryService {
   static std::string OptionsFingerprint(const CompareOptions& options);
 
  private:
+  /// One published serving generation. Immutable after construction;
+  /// replaced wholesale by SwapSnapshot so readers always see a
+  /// coherent (snapshot, epoch) pair.
+  struct ServingState {
+    SnapshotPtr snapshot;
+    uint64_t epoch = 0;
+  };
+
   struct Task {
     std::string query;
     CompareOptions options;
     std::string cache_key;  // empty = uncacheable (cache disabled)
+    /// The snapshot (and its epoch) this task was admitted under: the
+    /// worker evaluates against exactly this corpus, swap or no swap.
+    SnapshotPtr snapshot;
+    uint64_t epoch = 0;
     std::promise<StatusOr<OutcomePtr>> promise;
   };
 
@@ -130,9 +172,22 @@ class QueryService {
   void WorkerLoop(QuerySession* session);
   CacheShard& ShardFor(std::string_view key);
   OutcomePtr CacheLookup(std::string_view key);
-  void CacheInsert(const std::string& key, OutcomePtr outcome);
+  void CacheInsert(const std::string& key, uint64_t epoch,
+                   OutcomePtr outcome);
+  void ClearCache();
 
-  SnapshotPtr snapshot_;
+  /// Atomic read of the published serving state.
+  std::shared_ptr<const ServingState> Current() const {
+    return std::atomic_load_explicit(&serving_, std::memory_order_acquire);
+  }
+
+  /// Published {snapshot, epoch}; swapped atomically by SwapSnapshot.
+  std::shared_ptr<const ServingState> serving_;
+  std::mutex swap_mu_;  // serializes swappers (epoch monotonicity)
+
+  std::mutex reload_mu_;  // guards reload_thread_
+  std::thread reload_thread_;
+
   QueryServiceOptions options_;
   size_t per_shard_capacity_ = 0;
 

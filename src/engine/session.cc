@@ -10,6 +10,12 @@ StatusOr<std::vector<search::SearchResult>> Search(
   return snapshot.engine().Search(query, &session->search);
 }
 
+StatusOr<std::vector<search::SearchResult>> SearchRanked(
+    const CorpusSnapshot& snapshot, QuerySession* session,
+    std::string_view query) {
+  return snapshot.engine().SearchRanked(query, &session->search);
+}
+
 StatusOr<ComparisonOutcome> CompareResults(
     const CorpusSnapshot& snapshot, QuerySession* session,
     const std::vector<const xml::Node*>& result_roots,

@@ -89,6 +89,12 @@ StatusOr<std::vector<search::SearchResult>> Search(
     const CorpusSnapshot& snapshot, QuerySession* session,
     std::string_view query);
 
+/// Ranked keyword search; the query is parsed once into the session's
+/// workspace and ranking reads the terms as string_views in place.
+StatusOr<std::vector<search::SearchResult>> SearchRanked(
+    const CorpusSnapshot& snapshot, QuerySession* session,
+    std::string_view query);
+
 /// Compares explicit result subtrees (the user's checkbox selection).
 /// Reentrant across (snapshot, session) pairs; byte-identical output to
 /// the single-threaded path for any session, fresh or reused.

@@ -10,6 +10,10 @@ CorpusSnapshot::CorpusSnapshot(xml::Document doc,
                                search::SlcaAlgorithm algorithm)
     : engine_(std::move(doc), algorithm) {}
 
+CorpusSnapshot::CorpusSnapshot(xml::ParsedCorpus corpus,
+                               search::SlcaAlgorithm algorithm)
+    : engine_(std::move(corpus.doc), std::move(corpus.table), algorithm) {}
+
 SnapshotPtr CorpusSnapshot::Build(xml::Document doc,
                                   search::SlcaAlgorithm algorithm) {
   return std::make_shared<const CorpusSnapshot>(std::move(doc), algorithm);
@@ -17,14 +21,18 @@ SnapshotPtr CorpusSnapshot::Build(xml::Document doc,
 
 StatusOr<SnapshotPtr> CorpusSnapshot::FromXml(
     std::string_view xml_text, search::SlcaAlgorithm algorithm) {
-  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
-  return Build(std::move(doc), algorithm);
+  // Fused zero-copy load: one pass emits the arena document AND its node
+  // table; the snapshot retains the text as the view backing buffer.
+  XSACT_ASSIGN_OR_RETURN(xml::ParsedCorpus corpus,
+                         xml::ParseCorpus(std::string(xml_text)));
+  return std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
 }
 
 StatusOr<SnapshotPtr> CorpusSnapshot::FromFile(
     const std::string& path, search::SlcaAlgorithm algorithm) {
-  XSACT_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseFile(path));
-  return Build(std::move(doc), algorithm);
+  XSACT_ASSIGN_OR_RETURN(xml::ParsedCorpus corpus,
+                         xml::ParseCorpusFile(path));
+  return std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
 }
 
 }  // namespace xsact::engine

@@ -20,6 +20,7 @@
 #include "common/statusor.h"
 #include "search/search_engine.h"
 #include "xml/document.h"
+#include "xml/parser.h"
 
 namespace xsact::engine {
 
@@ -36,6 +37,12 @@ class CorpusSnapshot {
   /// Builds every derived structure for `doc`. O(document size).
   explicit CorpusSnapshot(
       xml::Document doc,
+      search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
+
+  /// Builds from a fused-parse corpus (document + node table from one
+  /// zero-copy pass; see xml::ParseCorpus).
+  explicit CorpusSnapshot(
+      xml::ParsedCorpus corpus,
       search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
 
   /// Builds a shared snapshot from an already-parsed document.

@@ -34,7 +34,8 @@ StatusOr<std::vector<search::SearchResult>> Xsact::Search(
 
 StatusOr<std::vector<search::SearchResult>> Xsact::SearchRanked(
     std::string_view query) const {
-  return snapshot_->engine().SearchRanked(query);
+  SessionPool::Lease session = sessions_->Acquire();
+  return engine::SearchRanked(*snapshot_, session.get(), query);
 }
 
 StatusOr<ComparisonOutcome> Xsact::CompareResults(

@@ -19,13 +19,14 @@ void CollectStats(const xml::Node& node, StatsMap* stats) {
   if (!node.is_element()) return;
   // Count children per tag within THIS parent instance.
   std::unordered_map<std::string_view, int> counts;
-  for (const auto& child : node.children()) {
+  for (const xml::Node* child : node.children()) {
     if (!child->is_element()) continue;
     ++counts[child->tag()];
   }
-  for (const auto& child : node.children()) {
+  for (const xml::Node* child : node.children()) {
     if (!child->is_element()) continue;
-    TagStats& ts = (*stats)[{node.tag(), child->tag()}];
+    TagStats& ts =
+        (*stats)[{std::string(node.tag()), std::string(child->tag())}];
     if (counts[child->tag()] > 1) ts.repeated = true;
     if (!child->IsLeafElement()) ts.internal = true;
     CollectStats(*child, stats);

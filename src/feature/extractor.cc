@@ -266,9 +266,9 @@ ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
     }
 
     bool has_element_child = false;
-    for (const auto& child : node->children()) {
+    for (const xml::Node* child : node->children()) {
       if (child->is_element()) {
-        stack.push_back(Item{child.get(), owner});
+        stack.push_back(Item{child, owner});
         has_element_child = true;
       }
     }

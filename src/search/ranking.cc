@@ -7,23 +7,23 @@ namespace xsact::search {
 
 size_t TermFrequencyInSubtree(const xml::NodeTable& table,
                               const InvertedIndex& index,
-                              const std::string& term, xml::NodeId root_id) {
+                              std::string_view term, xml::NodeId root_id) {
   const PostingList postings = index.Postings(term);
-  const xml::NodeId end = static_cast<xml::NodeId>(
-      root_id +
-      static_cast<xml::NodeId>(table.node(root_id)->SubtreeSize()));
+  // Subtrees are contiguous pre-order id ranges; the table's precomputed
+  // extent replaces the recursive SubtreeSize walk.
+  const xml::NodeId end = table.subtree_end(root_id);
   const auto lo = std::lower_bound(postings.begin(), postings.end(), root_id);
   const auto hi = std::lower_bound(postings.begin(), postings.end(), end);
   return static_cast<size_t>(hi - lo);
 }
 
 double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
-                   const std::vector<std::string>& terms,
+                   const std::vector<std::string_view>& terms,
                    const SearchResult& result) {
   if (result.root_id == xml::kInvalidNodeId) return 0.0;
   const double corpus_elements = static_cast<double>(table.size());
   double score = 0.0;
-  for (const std::string& term : terms) {
+  for (const std::string_view term : terms) {
     const size_t tf =
         TermFrequencyInSubtree(table, index, term, result.root_id);
     if (tf == 0) continue;
@@ -33,14 +33,14 @@ double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
   }
   // Specificity: damp by the subtree size so the tightest match wins.
   const double size =
-      static_cast<double>(table.node(result.root_id)->SubtreeSize());
+      static_cast<double>(table.subtree_end(result.root_id) - result.root_id);
   return score / std::log(2.0 + size);
 }
 
-std::vector<SearchResult> RankResults(const xml::NodeTable& table,
-                                      const InvertedIndex& index,
-                                      const std::vector<std::string>& terms,
-                                      std::vector<SearchResult> results) {
+std::vector<SearchResult> RankResults(
+    const xml::NodeTable& table, const InvertedIndex& index,
+    const std::vector<std::string_view>& terms,
+    std::vector<SearchResult> results) {
   std::vector<std::pair<double, size_t>> keyed;
   keyed.reserve(results.size());
   for (size_t i = 0; i < results.size(); ++i) {

@@ -7,11 +7,16 @@
 //   * inverse document frequency of each term over the corpus elements,
 //   * specificity: tighter (smaller) result subtrees outrank sprawling
 //     ones that merely happen to contain all keywords somewhere.
+//
+// Terms are passed as string_views (typically views into the
+// SearchWorkspace's parsed query terms) — ranking allocates nothing per
+// term, and subtree sizes come from the node table's precomputed extents
+// rather than a recursive walk.
 
 #ifndef XSACT_SEARCH_RANKING_H_
 #define XSACT_SEARCH_RANKING_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "search/inverted_index.h"
@@ -23,22 +28,22 @@ namespace xsact::search {
 /// Relevance score of one result subtree for a tokenized query.
 /// Monotone in term frequency, anti-monotone in subtree size.
 double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
-                   const std::vector<std::string>& terms,
+                   const std::vector<std::string_view>& terms,
                    const SearchResult& result);
 
 /// Returns `results` sorted by descending score; ties keep document
 /// order (stable), so ranking is deterministic.
-std::vector<SearchResult> RankResults(const xml::NodeTable& table,
-                                      const InvertedIndex& index,
-                                      const std::vector<std::string>& terms,
-                                      std::vector<SearchResult> results);
+std::vector<SearchResult> RankResults(
+    const xml::NodeTable& table, const InvertedIndex& index,
+    const std::vector<std::string_view>& terms,
+    std::vector<SearchResult> results);
 
 /// Number of postings of `term` that fall inside the subtree rooted at
 /// `root_id` (subtrees are contiguous pre-order id ranges, so this is
 /// two binary searches).
 size_t TermFrequencyInSubtree(const xml::NodeTable& table,
                               const InvertedIndex& index,
-                              const std::string& term, xml::NodeId root_id);
+                              std::string_view term, xml::NodeId root_id);
 
 }  // namespace xsact::search
 

@@ -10,8 +10,13 @@
 namespace xsact::search {
 
 CorpusIndex::CorpusIndex(xml::Document document, SlcaAlgorithm slca)
+    : CorpusIndex(std::move(document), xml::NodeTable(), slca) {}
+
+CorpusIndex::CorpusIndex(xml::Document document, xml::NodeTable node_table,
+                         SlcaAlgorithm slca)
     : doc(std::move(document)),
-      table(xml::NodeTable::Build(doc)),
+      table(node_table.size() > 0 ? std::move(node_table)
+                                  : xml::NodeTable::Build(doc)),
       schema(entity::InferSchema(doc)),
       index(InvertedIndex::Build(table)),
       category_index(table, schema),
@@ -20,8 +25,19 @@ CorpusIndex::CorpusIndex(xml::Document document, SlcaAlgorithm slca)
 SearchEngine::SearchEngine(xml::Document doc, SlcaAlgorithm algorithm)
     : corpus_(std::move(doc), algorithm) {}
 
+SearchEngine::SearchEngine(xml::Document doc, xml::NodeTable table,
+                           SlcaAlgorithm algorithm)
+    : corpus_(std::move(doc), std::move(table), algorithm) {}
+
 std::vector<QueryTerm> ParseQuery(std::string_view query) {
   std::vector<QueryTerm> out;
+  ParseQueryInto(query, &out);
+  return out;
+}
+
+void ParseQueryInto(std::string_view query, std::vector<QueryTerm>* out_ptr) {
+  std::vector<QueryTerm>& out = *out_ptr;
+  out.clear();
   // Whitespace-separated chunks; a chunk may carry a "tag:" restriction.
   size_t pos = 0;
   while (pos < query.size()) {
@@ -51,7 +67,6 @@ std::vector<QueryTerm> ParseQuery(std::string_view query) {
       out.push_back(QueryTerm{std::move(term), field});
     }
   }
-  return out;
 }
 
 StatusOr<std::vector<SearchResult>> SearchEngine::Search(
@@ -63,11 +78,12 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
 StatusOr<std::vector<SearchResult>> SearchEngine::Search(
     std::string_view query, SearchWorkspace* ws) const {
   const xml::NodeTable& table = corpus_.table;
-  const std::vector<QueryTerm> terms = ParseQuery(query);
+  ws->Reset();
+  ParseQueryInto(query, &ws->terms);
+  const std::vector<QueryTerm>& terms = ws->terms;
   if (terms.empty()) {
     return Status::InvalidArgument("query contains no searchable tokens");
   }
-  ws->Reset();
   MatchLists& lists = ws->lists;
   lists.reserve(terms.size());
   // Backing storage for fielded terms only; unrestricted terms view the
@@ -133,10 +149,20 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
 
 StatusOr<std::vector<SearchResult>> SearchEngine::SearchRanked(
     std::string_view query) const {
-  XSACT_ASSIGN_OR_RETURN(std::vector<SearchResult> results, Search(query));
-  std::vector<std::string> terms;
-  for (QueryTerm& qt : ParseQuery(query)) terms.push_back(std::move(qt.term));
-  return RankResults(corpus_.table, corpus_.index, terms, std::move(results));
+  SearchWorkspace ws;
+  return SearchRanked(query, &ws);
+}
+
+StatusOr<std::vector<SearchResult>> SearchEngine::SearchRanked(
+    std::string_view query, SearchWorkspace* ws) const {
+  // Search leaves the parsed conjuncts in the workspace; ranking views
+  // them in place — the query is parsed once and no term is copied.
+  XSACT_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
+                         Search(query, ws));
+  ws->term_views.reserve(ws->terms.size());
+  for (const QueryTerm& qt : ws->terms) ws->term_views.push_back(qt.term);
+  return RankResults(corpus_.table, corpus_.index, ws->term_views,
+                     std::move(results));
 }
 
 std::string InferTitle(const xml::Node& result_root) {
@@ -152,12 +178,12 @@ std::string InferTitle(const xml::Node& result_root) {
     text.resize(40);
     text += "...";
   }
-  return text.empty() ? result_root.tag() : text;
+  return text.empty() ? std::string(result_root.tag()) : text;
 }
 
 std::string BriefSnippet(const xml::Node& result_root, size_t max_fields) {
   std::vector<std::string> fields;
-  for (const auto& child : result_root.children()) {
+  for (const xml::Node* child : result_root.children()) {
     if (fields.size() >= max_fields) break;
     if (!child->is_element() || !child->IsLeafElement()) continue;
     std::string value = child->InnerText();
@@ -166,7 +192,7 @@ std::string BriefSnippet(const xml::Node& result_root, size_t max_fields) {
       value.resize(32);
       value += "...";
     }
-    fields.push_back(child->tag() + ": " + value);
+    fields.push_back(std::string(child->tag()) + ": " + value);
   }
   return Join(fields, " | ");
 }

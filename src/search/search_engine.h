@@ -60,6 +60,10 @@ struct QueryTerm {
 /// each chunk tokenizes into one or more terms sharing the restriction.
 std::vector<QueryTerm> ParseQuery(std::string_view query);
 
+/// Reentrant variant for hot paths: parses into `*out` (cleared first,
+/// capacity kept), so repeated queries reuse the vector.
+void ParseQueryInto(std::string_view query, std::vector<QueryTerm>* out);
+
 /// Immutable index tier of the search engine: the corpus document plus
 /// every structure derived from it (node table, inferred schema,
 /// inverted index, per-node category index). Built once, never mutated
@@ -68,6 +72,11 @@ std::vector<QueryTerm> ParseQuery(std::string_view query);
 struct CorpusIndex {
   explicit CorpusIndex(xml::Document document,
                        SlcaAlgorithm slca = SlcaAlgorithm::kIndexed);
+
+  /// Adopts a table built elsewhere (the parser's fused build) instead of
+  /// re-walking the document.
+  CorpusIndex(xml::Document document, xml::NodeTable node_table,
+              SlcaAlgorithm slca);
 
   xml::Document doc;
   xml::NodeTable table;
@@ -85,11 +94,15 @@ struct SearchWorkspace {
   std::vector<std::vector<xml::NodeId>> filtered_storage;
   std::unordered_set<const xml::Node*> seen;
   std::string key_scratch;  // schema-probe composition buffer
+  std::vector<QueryTerm> terms;  // parsed query conjuncts (reused)
+  std::vector<std::string_view> term_views;  // views into `terms` (ranking)
 
   void Reset() {
     lists.clear();
     filtered_storage.clear();
     seen.clear();
+    terms.clear();
+    term_views.clear();
   }
 };
 
@@ -104,6 +117,11 @@ class SearchEngine {
   explicit SearchEngine(xml::Document doc,
                         SlcaAlgorithm algorithm = SlcaAlgorithm::kIndexed);
 
+  /// Adopts a fused-parse node table (see xml::ParseCorpus) — skips the
+  /// table-building walk entirely.
+  SearchEngine(xml::Document doc, xml::NodeTable table,
+               SlcaAlgorithm algorithm = SlcaAlgorithm::kIndexed);
+
   /// Evaluates a conjunctive keyword query. Returns results in document
   /// order; an empty vector when some keyword does not occur at all.
   /// Fails with kInvalidArgument when the query has no tokens.
@@ -117,6 +135,11 @@ class SearchEngine {
   /// Like Search, but orders results by relevance (see ranking.h).
   StatusOr<std::vector<SearchResult>> SearchRanked(
       std::string_view query) const;
+
+  /// Reentrant ranked search: parses the query once into the workspace
+  /// and ranks through string_view terms (no per-call term vector).
+  StatusOr<std::vector<SearchResult>> SearchRanked(std::string_view query,
+                                                   SearchWorkspace* ws) const;
 
   const CorpusIndex& corpus() const { return corpus_; }
   const xml::Document& document() const { return corpus_.doc; }

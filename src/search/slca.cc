@@ -116,20 +116,15 @@ namespace {
 
 /// Length of the common Dewey prefix of two labels.
 size_t CommonPrefixLen(const xml::DeweyId& a, const xml::DeweyId& b) {
-  const auto& ca = a.components();
-  const auto& cb = b.components();
-  const size_t n = std::min(ca.size(), cb.size());
+  const size_t n = std::min(a.size(), b.size());
   size_t i = 0;
-  while (i < n && ca[i] == cb[i]) ++i;
+  while (i < n && a[i] == b[i]) ++i;
   return i;
 }
 
 /// Truncates `a` to its first `len` components.
 xml::DeweyId Prefix(const xml::DeweyId& a, size_t len) {
-  std::vector<int32_t> comps(a.components().begin(),
-                             a.components().begin() +
-                                 static_cast<ptrdiff_t>(len));
-  return xml::DeweyId(std::move(comps));
+  return xml::DeweyId(a.begin(), len);
 }
 
 }  // namespace

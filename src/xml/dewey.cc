@@ -3,11 +3,11 @@
 namespace xsact::xml {
 
 std::string DeweyId::ToString() const {
-  if (components_.empty()) return "ε";
+  if (empty()) return "ε";
   std::string out;
-  for (size_t i = 0; i < components_.size(); ++i) {
+  for (size_t i = 0; i < size(); ++i) {
     if (i > 0) out.push_back('.');
-    out += std::to_string(components_[i]);
+    out += std::to_string(data_[i]);
   }
   return out;
 }

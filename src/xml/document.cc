@@ -7,14 +7,14 @@ namespace {
 void VisitImpl(const Node& node, int depth,
                const std::function<void(const Node&, int)>& fn) {
   fn(node, depth);
-  for (const auto& c : node.children()) VisitImpl(*c, depth + 1, fn);
+  for (const Node* c : node.children()) VisitImpl(*c, depth + 1, fn);
 }
 
 }  // namespace
 
 void Document::Visit(
     const std::function<void(const Node&, int depth)>& fn) const {
-  if (root_) VisitImpl(*root_, 0, fn);
+  if (root_ != nullptr) VisitImpl(*root_, 0, fn);
 }
 
 }  // namespace xsact::xml

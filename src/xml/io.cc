@@ -62,10 +62,18 @@ Status WriteStringToFile(const std::string& path, std::string_view content) {
 }
 
 StatusOr<Document> ParseFile(const std::string& path) {
-  XSACT_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
-  StatusOr<Document> doc = Parse(content);
+  XSACT_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  // Zero-copy: the document retains the freshly read buffer outright.
+  StatusOr<Document> doc = ParseRetained(std::move(content));
   if (!doc.ok()) return doc.status().WithContext(path);
   return doc;
+}
+
+StatusOr<ParsedCorpus> ParseCorpusFile(const std::string& path) {
+  XSACT_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  StatusOr<ParsedCorpus> corpus = ParseCorpus(std::move(content));
+  if (!corpus.ok()) return corpus.status().WithContext(path);
+  return corpus;
 }
 
 Status WriteDocumentToFile(const Document& doc, const std::string& path,

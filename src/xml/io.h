@@ -9,6 +9,7 @@
 
 #include "common/statusor.h"
 #include "xml/document.h"
+#include "xml/parser.h"
 #include "xml/writer.h"
 
 namespace xsact::xml {
@@ -19,8 +20,13 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 /// Writes `content` to `path`, replacing any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view content);
 
-/// Parses an XML file into a Document.
+/// Parses an XML file into a Document (single pre-sized read; the
+/// document retains the buffer, so parsing is zero-copy).
 StatusOr<Document> ParseFile(const std::string& path);
+
+/// Like ParseFile, but also emits the NodeTable fused into the same
+/// parsing pass — the fastest way to load a corpus for indexing.
+StatusOr<ParsedCorpus> ParseCorpusFile(const std::string& path);
 
 /// Serializes a document to a file (pretty-printed by default).
 Status WriteDocumentToFile(const Document& doc, const std::string& path,

@@ -12,7 +12,7 @@ void CollectText(const Node& node, std::string* out) {
     out->append(Trim(node.text()));
     return;
   }
-  for (const auto& child : node.children()) CollectText(*child, out);
+  for (const Node* child : node.children()) CollectText(*child, out);
 }
 
 }  // namespace
@@ -31,15 +31,17 @@ std::string_view Node::InnerTextView(std::string* scratch) const {
 
 size_t Node::SubtreeSize() const {
   size_t n = 1;
-  for (const auto& c : children_) n += c->SubtreeSize();
+  for (const Node* c : children()) n += c->SubtreeSize();
   return n;
 }
 
 std::unique_ptr<Node> Node::Clone() const {
-  std::unique_ptr<Node> copy =
-      is_element() ? MakeElement(tag_) : MakeText(text_);
-  copy->attributes_ = attributes_;
-  for (const auto& c : children_) copy->AddChild(c->Clone());
+  std::unique_ptr<Node> copy = is_element() ? MakeElement(std::string(data_))
+                                            : MakeText(std::string(data_));
+  for (const auto& [name, value] : attributes_) {
+    copy->AddAttribute(std::string(name), std::string(value));
+  }
+  for (const Node* c : children()) copy->AddChild(c->Clone());
   return copy;
 }
 

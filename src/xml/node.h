@@ -2,12 +2,31 @@
 //
 // XSACT consumes "structured search results"; in the paper both demo
 // datasets (Product Reviews, Outdoor Retailer) and the evaluation dataset
-// (IMDB movies) are XML. This is a deliberately small, fully owned DOM:
-// elements with attributes and ordered children, plus text nodes.
+// (IMDB movies) are XML. Since the corpus-load overhaul the node is a
+// flat, view-based record rather than an owning tree:
+//
+//   * tag / text / attribute strings are std::string_views. For documents
+//     produced by the arena parser they point into the Document's retained
+//     source buffer (or its entity-decoding side arena); for
+//     programmatically built nodes they point into a lazily allocated
+//     per-node string store.
+//   * children form an intrusive singly-linked sibling list
+//     (first_child_/next_sibling_), so an element owns no child vector
+//     and an arena-parsed node performs zero heap allocations.
+//   * nodes parsed from a corpus live contiguously in pre-order inside
+//     the Document's arena, which is what makes NodeTable::IdOf pointer
+//     arithmetic instead of a hash probe.
+//
+// Programmatic construction (MakeElement / AddChild / AddAttribute — the
+// dataset generators and tests) still works exactly as before; those
+// nodes individually own their strings and children through a lazily
+// created OwnedStore.
 
 #ifndef XSACT_XML_NODE_H_
 #define XSACT_XML_NODE_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,22 +35,47 @@
 
 namespace xsact::xml {
 
+class ArenaParser;
+class NodeTable;
+
 /// A node in the document tree: either an element or a text node.
 class Node {
  public:
   enum class Kind { kElement, kText };
 
+  /// Default-constructed nodes are empty text nodes; only the arena
+  /// builder materializes nodes this way before filling their fields.
+  Node() = default;
+
+  /// Arena materialization: the non-link fields in one construction (the
+  /// builder patches the link pointers afterwards, once the arena's base
+  /// address is final).
+  Node(Kind kind, int32_t table_id, std::string_view data,
+       uint32_t child_count)
+      : kind_(kind),
+        table_id_(table_id),
+        data_(data),
+        child_count_(child_count) {}
+
+  /// Nodes are linked into trees by address; copying would corrupt the
+  /// sibling/parent links. Moves exist only so std::vector can act as the
+  /// arena storage (the arena is sized once and never relocated).
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+
   /// Creates an element node with the given tag.
   static std::unique_ptr<Node> MakeElement(std::string tag) {
     auto n = std::unique_ptr<Node>(new Node(Kind::kElement));
-    n->tag_ = std::move(tag);
+    n->data_ = n->Own(std::move(tag));
     return n;
   }
 
   /// Creates a text node with the given content.
   static std::unique_ptr<Node> MakeText(std::string text) {
     auto n = std::unique_ptr<Node>(new Node(Kind::kText));
-    n->text_ = std::move(text);
+    n->data_ = n->Own(std::move(text));
     return n;
   }
 
@@ -40,32 +84,67 @@ class Node {
   bool is_text() const { return kind_ == Kind::kText; }
 
   /// Element tag name (empty for text nodes).
-  const std::string& tag() const { return tag_; }
+  std::string_view tag() const {
+    return kind_ == Kind::kElement ? data_ : std::string_view();
+  }
 
   /// Text content (empty for element nodes).
-  const std::string& text() const { return text_; }
+  std::string_view text() const {
+    return kind_ == Kind::kText ? data_ : std::string_view();
+  }
 
   /// Parent element, or nullptr for the root.
   Node* parent() const { return parent_; }
 
-  /// Ordered children (elements and text nodes interleaved).
-  const std::vector<std::unique_ptr<Node>>& children() const {
-    return children_;
-  }
+  /// First / last child and next sibling of the intrusive child list
+  /// (nullptr when absent).
+  Node* first_child() const { return first_child_; }
+  Node* last_child() const { return last_child_; }
+  Node* next_sibling() const { return next_sibling_; }
+
+  /// Iterable view over the ordered children (elements and text nodes
+  /// interleaved): `for (const Node* c : node.children())`.
+  class ChildIterator {
+   public:
+    explicit ChildIterator(Node* node) : node_(node) {}
+    Node* operator*() const { return node_; }
+    ChildIterator& operator++() {
+      node_ = node_->next_sibling_;
+      return *this;
+    }
+    bool operator==(const ChildIterator& o) const { return node_ == o.node_; }
+    bool operator!=(const ChildIterator& o) const { return node_ != o.node_; }
+
+   private:
+    Node* node_;
+  };
+  class ChildRange {
+   public:
+    explicit ChildRange(Node* first) : first_(first) {}
+    ChildIterator begin() const { return ChildIterator(first_); }
+    ChildIterator end() const { return ChildIterator(nullptr); }
+    bool empty() const { return first_ == nullptr; }
+
+   private:
+    Node* first_;
+  };
+  ChildRange children() const { return ChildRange(first_child_); }
 
   /// Number of children.
-  size_t child_count() const { return children_.size(); }
+  size_t child_count() const { return child_count_; }
 
   /// Attributes in document order.
-  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+  const std::vector<std::pair<std::string_view, std::string_view>>&
+  attributes() const {
     return attributes_;
   }
 
   /// Appends a child, taking ownership; returns a stable raw pointer.
   Node* AddChild(std::unique_ptr<Node> child) {
-    child->parent_ = this;
-    children_.push_back(std::move(child));
-    return children_.back().get();
+    Node* c = child.get();
+    Owned().children.push_back(std::move(child));
+    Link(c);
+    return c;
   }
 
   /// Convenience: appends `<tag>` element and returns it.
@@ -82,11 +161,13 @@ class Node {
 
   /// Appends an attribute (duplicates are kept; first one wins on lookup).
   void AddAttribute(std::string name, std::string value) {
-    attributes_.emplace_back(std::move(name), std::move(value));
+    const std::string_view n = Own(std::move(name));
+    const std::string_view v = Own(std::move(value));
+    attributes_.emplace_back(n, v);
   }
 
   /// Returns the value of attribute `name`, or nullptr when absent.
-  const std::string* FindAttribute(std::string_view name) const {
+  const std::string_view* FindAttribute(std::string_view name) const {
     for (const auto& [k, v] : attributes_) {
       if (k == name) return &v;
     }
@@ -95,8 +176,8 @@ class Node {
 
   /// First child element with the given tag, or nullptr.
   Node* FirstChildElement(std::string_view tag) const {
-    for (const auto& c : children_) {
-      if (c->is_element() && c->tag_ == tag) return c.get();
+    for (Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      if (c->is_element() && c->data_ == tag) return c;
     }
     return nullptr;
   }
@@ -104,8 +185,8 @@ class Node {
   /// All child elements with the given tag, in order.
   std::vector<Node*> ChildElements(std::string_view tag) const {
     std::vector<Node*> out;
-    for (const auto& c : children_) {
-      if (c->is_element() && c->tag_ == tag) out.push_back(c.get());
+    for (Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      if (c->is_element() && c->data_ == tag) out.push_back(c);
     }
     return out;
   }
@@ -113,8 +194,8 @@ class Node {
   /// All child elements (any tag), in order.
   std::vector<Node*> ChildElements() const {
     std::vector<Node*> out;
-    for (const auto& c : children_) {
-      if (c->is_element()) out.push_back(c.get());
+    for (Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
+      if (c->is_element()) out.push_back(c);
     }
     return out;
   }
@@ -122,7 +203,7 @@ class Node {
   /// True iff this element has no element children (only text / nothing).
   bool IsLeafElement() const {
     if (!is_element()) return false;
-    for (const auto& c : children_) {
+    for (const Node* c = first_child_; c != nullptr; c = c->next_sibling_) {
       if (c->is_element()) return false;
     }
     return true;
@@ -137,21 +218,66 @@ class Node {
   /// until `*scratch` is next modified. Same content as InnerText().
   std::string_view InnerTextView(std::string* scratch) const;
 
-  /// Number of nodes in this subtree (including this node).
+  /// Number of nodes in this subtree (including this node). For nodes of
+  /// an indexed document prefer NodeTable::subtree_end (O(1)).
   size_t SubtreeSize() const;
 
-  /// Deep copy of this subtree (parent of the copy is nullptr).
+  /// Deep copy of this subtree (parent of the copy is nullptr). The copy
+  /// owns its strings, so it outlives any arena the original views into.
   std::unique_ptr<Node> Clone() const;
 
  private:
+  friend class ArenaParser;
+  friend class NodeTable;
+
+  /// Per-node ownership for programmatic construction: string storage
+  /// with stable addresses plus the owned heap children. Arena-parsed
+  /// nodes never allocate one.
+  struct OwnedStore {
+    std::deque<std::string> strings;  // deque: stable addresses for views
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
   explicit Node(Kind kind) : kind_(kind) {}
 
-  Kind kind_;
-  std::string tag_;
-  std::string text_;
+  OwnedStore& Owned() {
+    if (owned_ == nullptr) owned_ = std::make_unique<OwnedStore>();
+    return *owned_;
+  }
+
+  std::string_view Own(std::string s) {
+    OwnedStore& store = Owned();
+    store.strings.push_back(std::move(s));
+    return store.strings.back();
+  }
+
+  void Link(Node* child) {
+    child->parent_ = this;
+    child->next_sibling_ = nullptr;
+    if (last_child_ != nullptr) {
+      last_child_->next_sibling_ = child;
+    } else {
+      first_child_ = child;
+    }
+    last_child_ = child;
+    ++child_count_;
+  }
+
+  Kind kind_ = Kind::kText;
+  /// Pre-order id within the owning NodeTable (kInvalidNodeId until a
+  /// table is built over the document). Mutable annotation: building an
+  /// index over a const document stamps ids without logically mutating
+  /// the tree; IdOf validates the stamp against the table, so stale
+  /// stamps can never leak a wrong id.
+  mutable int32_t table_id_ = -1;
+  std::string_view data_;  // tag (elements) or text (text nodes)
   Node* parent_ = nullptr;
-  std::vector<std::pair<std::string, std::string>> attributes_;
-  std::vector<std::unique_ptr<Node>> children_;
+  Node* first_child_ = nullptr;
+  Node* last_child_ = nullptr;
+  Node* next_sibling_ = nullptr;
+  uint32_t child_count_ = 0;
+  std::vector<std::pair<std::string_view, std::string_view>> attributes_;
+  std::unique_ptr<OwnedStore> owned_;
 };
 
 }  // namespace xsact::xml

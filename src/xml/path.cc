@@ -1,47 +1,65 @@
 #include "xml/path.h"
 
-#include <unordered_map>
-
 #include "common/string_util.h"
 
 namespace xsact::xml {
 
-namespace {
-
-void BuildImpl(const Node* node, DeweyId* dewey, NodeId parent,
-               std::vector<const Node*>* nodes, std::vector<DeweyId>* deweys,
-               std::vector<NodeId>* parents) {
-  const NodeId my_id = static_cast<NodeId>(nodes->size());
-  nodes->push_back(node);
-  deweys->push_back(*dewey);
-  parents->push_back(parent);
-  int32_t child_index = 0;
-  for (const auto& child : node->children()) {
-    dewey->Push(child_index++);
-    BuildImpl(child.get(), dewey, my_id, nodes, deweys, parents);
-    dewey->Pop();
-  }
-}
-
-}  // namespace
-
 NodeTable NodeTable::Build(const Document& doc) {
   NodeTable table;
-  if (!doc.empty()) {
-    DeweyId dewey;
-    BuildImpl(doc.root(), &dewey, kInvalidNodeId, &table.nodes_,
-              &table.deweys_, &table.parents_);
-    table.ids_.reserve(table.nodes_.size());
-    for (size_t i = 0; i < table.nodes_.size(); ++i) {
-      table.ids_.emplace(table.nodes_[i], static_cast<NodeId>(i));
+  if (doc.empty()) return table;
+  const size_t n = doc.NodeCount();
+  table.nodes_.reserve(n);
+  table.deweys_.reserve(n);
+  table.parents_.reserve(n);
+  table.subtree_end_.assign(n, 0);
+
+  // Iterative pre-order walk carrying the Dewey path; works for both
+  // arena and programmatic documents. Subtree extents are assigned when a
+  // node's subtree is exhausted (the analogue of "as tags close").
+  struct Frame {
+    const Node* node;
+    NodeId id;
+  };
+  std::vector<Frame> stack;
+  DeweyId dewey;
+  const Node* cur = doc.root();
+  NodeId parent = kInvalidNodeId;
+  int32_t ordinal = 0;
+  for (;;) {
+    const NodeId id = static_cast<NodeId>(table.nodes_.size());
+    cur->table_id_ = id;
+    table.nodes_.push_back(cur);
+    table.deweys_.push_back(dewey);
+    table.parents_.push_back(parent);
+    if (cur->first_child() != nullptr) {
+      stack.push_back(Frame{cur, id});
+      dewey.Push(0);
+      parent = id;
+      cur = cur->first_child();
+      continue;
     }
+    table.subtree_end_[static_cast<size_t>(id)] = id + 1;
+    // Ascend until a next sibling exists, closing subtrees on the way.
+    const Node* next = cur->next_sibling();
+    while (next == nullptr && !stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      dewey.Pop();
+      table.subtree_end_[static_cast<size_t>(frame.id)] =
+          static_cast<NodeId>(table.nodes_.size());
+      next = frame.node->next_sibling();
+      cur = frame.node;
+      parent = stack.empty() ? kInvalidNodeId : stack.back().id;
+    }
+    if (next == nullptr) break;  // root closed
+    // Step to the sibling: bump the trailing Dewey component.
+    ordinal = dewey.back() + 1;
+    dewey.Pop();
+    dewey.Push(ordinal);
+    cur = next;
+    parent = stack.empty() ? kInvalidNodeId : stack.back().id;
   }
   return table;
-}
-
-NodeId NodeTable::IdOf(const Node* node) const {
-  auto it = ids_.find(node);
-  return it == ids_.end() ? kInvalidNodeId : it->second;
 }
 
 NodeId NodeTable::FindByDewey(const DeweyId& dewey) const {
@@ -63,15 +81,15 @@ NodeId NodeTable::FindByDewey(const DeweyId& dewey) const {
 }
 
 std::string NodeTable::TagPath(NodeId id) const {
-  std::vector<std::string> parts;
+  std::vector<std::string_view> parts;
   for (NodeId cur = id; cur != kInvalidNodeId; cur = parent(cur)) {
     const Node* n = node(cur);
-    parts.push_back(n->is_element() ? n->tag() : "#text");
+    parts.push_back(n->is_element() ? n->tag() : std::string_view("#text"));
   }
   std::string out;
   for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
     if (!out.empty()) out.push_back('/');
-    out += *it;
+    out.append(*it);
   }
   return out;
 }
@@ -89,9 +107,9 @@ std::vector<const Node*> SelectPath(const Document& doc,
   for (size_t i = 1; i < parts.size(); ++i) {
     std::vector<const Node*> next;
     for (const Node* n : current) {
-      for (const auto& child : n->children()) {
+      for (const Node* child : n->children()) {
         if (child->is_element() && child->tag() == parts[i]) {
-          next.push_back(child.get());
+          next.push_back(child);
         }
       }
     }
@@ -106,7 +124,7 @@ namespace {
 void SelectByTagImpl(const Node& node, std::string_view tag,
                      std::vector<const Node*>* out) {
   if (node.is_element() && node.tag() == tag) out->push_back(&node);
-  for (const auto& child : node.children()) {
+  for (const Node* child : node.children()) {
     SelectByTagImpl(*child, tag, out);
   }
 }

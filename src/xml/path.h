@@ -2,7 +2,12 @@
 //
 // The node table assigns every node a pre-order integer id and its Dewey
 // label; it is the bridge between the DOM and the search engine's posting
-// lists (which store node ids, not pointers).
+// lists (which store node ids, not pointers). For arena documents the
+// table is produced by the parser itself (fused build, see xml/parser.h):
+// ids, parents, Dewey labels and subtree extents are assigned while tags
+// close, so no second tree walk ever happens. IdOf reads the id stamped
+// on the node (validated against the table) — the seed's
+// unordered_map<const Node*, NodeId> is gone.
 
 #ifndef XSACT_XML_PATH_H_
 #define XSACT_XML_PATH_H_
@@ -10,7 +15,6 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "xml/dewey.h"
@@ -22,11 +26,14 @@ namespace xsact::xml {
 using NodeId = int32_t;
 inline constexpr NodeId kInvalidNodeId = -1;
 
-/// Immutable side table: node pointers, Dewey labels, parent links and tag
-/// paths for every node of a document, indexed by pre-order NodeId.
+/// Immutable side table: node pointers, Dewey labels, parent links,
+/// subtree extents and tag paths for every node of a document, indexed by
+/// pre-order NodeId.
 class NodeTable {
  public:
-  /// Builds the table for `doc` (re-build after any mutation).
+  /// Builds the table for `doc` (re-build after any mutation). Arena
+  /// documents get a linear, recursion-free sweep; prefer ParseCorpus,
+  /// which emits the table during the parse itself.
   static NodeTable Build(const Document& doc);
 
   /// Number of nodes.
@@ -38,8 +45,25 @@ class NodeTable {
   }
   NodeId parent(NodeId id) const { return parents_[static_cast<size_t>(id)]; }
 
-  /// The id of `node`, or kInvalidNodeId if the node is not in this table.
-  NodeId IdOf(const Node* node) const;
+  /// One past the last pre-order id of the subtree rooted at `id`
+  /// (subtrees are contiguous id ranges, so the subtree node count is
+  /// subtree_end(id) - id).
+  NodeId subtree_end(NodeId id) const {
+    return subtree_end_[static_cast<size_t>(id)];
+  }
+
+  /// The id of `node`, or kInvalidNodeId if the node is not in this
+  /// table. O(1): reads the id stamped on the node during the build and
+  /// validates it against the table, so foreign nodes never alias.
+  NodeId IdOf(const Node* node) const {
+    if (node == nullptr) return kInvalidNodeId;
+    const NodeId id = node->table_id_;
+    if (id >= 0 && static_cast<size_t>(id) < nodes_.size() &&
+        nodes_[static_cast<size_t>(id)] == node) {
+      return id;
+    }
+    return kInvalidNodeId;
+  }
 
   /// Id of the node with exactly this Dewey label, or kInvalidNodeId.
   NodeId FindByDewey(const DeweyId& dewey) const;
@@ -48,10 +72,12 @@ class NodeTable {
   std::string TagPath(NodeId id) const;
 
  private:
+  friend class ArenaParser;
+
   std::vector<const Node*> nodes_;
   std::vector<DeweyId> deweys_;
   std::vector<NodeId> parents_;
-  std::unordered_map<const Node*, NodeId> ids_;
+  std::vector<NodeId> subtree_end_;
 };
 
 /// Evaluates an absolute slash path ("/catalog/product/name") against the

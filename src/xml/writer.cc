@@ -28,15 +28,15 @@ void WriteImpl(const Node& node, int depth, const WriteOptions& options,
     out->append(EscapeAttribute(value));
     out->push_back('"');
   }
-  if (node.children().empty()) {
+  if (node.child_count() == 0) {
     out->append("/>");
     if (pretty) out->push_back('\n');
     return;
   }
   // Single text child renders inline: <name>value</name>.
-  if (node.child_count() == 1 && node.children()[0]->is_text()) {
+  if (node.child_count() == 1 && node.first_child()->is_text()) {
     out->push_back('>');
-    out->append(EscapeText(node.children()[0]->text()));
+    out->append(EscapeText(node.first_child()->text()));
     out->append("</");
     out->append(node.tag());
     out->push_back('>');
@@ -45,7 +45,7 @@ void WriteImpl(const Node& node, int depth, const WriteOptions& options,
   }
   out->push_back('>');
   if (pretty) out->push_back('\n');
-  for (const auto& child : node.children()) {
+  for (const Node* child : node.children()) {
     WriteImpl(*child, depth + 1, options, out);
   }
   AppendIndent(out, depth, options.indent_width);

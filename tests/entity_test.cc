@@ -89,7 +89,7 @@ TEST(EntityIdentifierTest, CategoryOfNode) {
   const xml::Node* b = a->FirstChildElement("b");
   EXPECT_EQ(schema.CategoryOf(*a), NodeCategory::kConnection);
   EXPECT_EQ(schema.CategoryOf(*b), NodeCategory::kMultiAttribute);
-  EXPECT_EQ(schema.CategoryOf(*b->children()[0]), NodeCategory::kValue);
+  EXPECT_EQ(schema.CategoryOf(*b->first_child()), NodeCategory::kValue);
   // Unknown pair falls back on structure.
   Document other = Doc("<z><leaf>v</leaf></z>");
   EXPECT_EQ(schema.CategoryOf(*other.root()->FirstChildElement("leaf")),

@@ -40,9 +40,9 @@ void LegacyCountEntities(const xml::Node& node, const xml::Node& root,
   if (node.is_element() &&
       (&node == &root ||
        schema.CategoryOf(node) == entity::NodeCategory::kEntity)) {
-    state->cardinality[node.tag()] += 1;
+    state->cardinality[std::string(node.tag())] += 1;
   }
-  for (const auto& child : node.children()) {
+  for (const xml::Node* child : node.children()) {
     LegacyCountEntities(*child, root, schema, state);
   }
 }
@@ -58,8 +58,8 @@ ResultFeatures LegacyExtract(const xml::Node& result_root,
   while (!stack.empty()) {
     const xml::Node* node = stack.back();
     stack.pop_back();
-    for (const auto& child : node->children()) {
-      if (child->is_element()) stack.push_back(child.get());
+    for (const xml::Node* child : node->children()) {
+      if (child->is_element()) stack.push_back(child);
     }
     if (!node->is_element() || !node->IsLeafElement()) continue;
     if (node == &result_root) continue;
@@ -73,12 +73,12 @@ ResultFeatures LegacyExtract(const xml::Node& result_root,
 
     const entity::NodeCategory category = schema.CategoryOf(*node);
     const xml::Node* owner = schema.OwningEntity(*node, result_root);
-    const std::string& entity_tag = owner->tag();
+    const std::string entity_tag(owner->tag());
 
     if (category == entity::NodeCategory::kMultiAttribute) {
-      state.obs[{entity_tag, node->tag() + ": " + value, "yes"}] += 1;
+      state.obs[{entity_tag, std::string(node->tag()) + ": " + value, "yes"}] += 1;
     } else {
-      state.obs[{entity_tag, node->tag(), value}] += 1;
+      state.obs[{entity_tag, std::string(node->tag()), value}] += 1;
     }
   }
 

@@ -1,0 +1,238 @@
+// Snapshot hot-swap tests: queries racing ReloadCorpus/SwapSnapshot must
+// each be served from exactly one snapshot (outcomes byte-identical to
+// single-threaded serving against that snapshot — never a mix), the
+// result cache must be epoch-invalidated, and a failed reload must leave
+// the serving snapshot untouched. Runs under the TSAN CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+#include "table/renderer.h"
+#include "xml/io.h"
+#include "xml/writer.h"
+
+namespace xsact::engine {
+namespace {
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "gps", "camera", "battery life", "kind:laptop", "nosuchterm"};
+  return queries;
+}
+
+/// Deterministic byte fingerprint of a serve outcome (table + DoD, or
+/// the error text). Byte-identity across sessions is the PR 3 invariant,
+/// so equal fingerprints mean equal outcomes.
+std::string Fingerprint(const StatusOr<OutcomePtr>& outcome) {
+  if (!outcome.ok()) return "ERR:" + outcome.status().ToString();
+  return table::RenderAscii((*outcome)->table) + "#" +
+         std::to_string((*outcome)->total_dod);
+}
+
+/// Single-threaded reference outcome for `query` against `snapshot`.
+std::string Expected(const SnapshotPtr& snapshot, const std::string& query) {
+  QuerySession session;
+  StatusOr<ComparisonOutcome> outcome =
+      SearchAndCompare(*snapshot, &session, query);
+  if (!outcome.ok()) {
+    return "ERR:" + outcome.status().ToString();
+  }
+  return table::RenderAscii(outcome->table) + "#" +
+         std::to_string(outcome->total_dod);
+}
+
+class HotSwapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two distinct corpora; B is built through serialize+parse so its
+    // outcomes match what a file reload produces.
+    data::ProductReviewsConfig config_a;
+    config_a.num_products = 24;
+    config_a.seed = 1;
+    snapshot_a_ = CorpusSnapshot::Build(data::GenerateProductReviews(config_a));
+    data::ProductReviewsConfig config_b;
+    config_b.num_products = 30;
+    config_b.seed = 7;
+    xml_b_ = xml::WriteDocument(data::GenerateProductReviews(config_b),
+                                {.indent_width = 2, .declaration = true});
+    auto parsed = CorpusSnapshot::FromXml(xml_b_);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    snapshot_b_ = *parsed;
+
+    for (const std::string& query : Queries()) {
+      expected_a_.push_back(Expected(snapshot_a_, query));
+      expected_b_.push_back(Expected(snapshot_b_, query));
+    }
+    // The corpora must actually differ, or "never a mixed outcome" is
+    // vacuous.
+    ASSERT_NE(expected_a_[0], expected_b_[0]);
+  }
+
+  SnapshotPtr snapshot_a_;
+  SnapshotPtr snapshot_b_;
+  std::string xml_b_;
+  std::vector<std::string> expected_a_;
+  std::vector<std::string> expected_b_;
+};
+
+TEST_F(HotSwapTest, SwapPublishesNewSnapshotAndBumpsEpoch) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(snapshot_a_, options);
+  EXPECT_EQ(service.snapshot_epoch(), 0u);
+  EXPECT_EQ(service.snapshot(), snapshot_a_);
+
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+  service.SwapSnapshot(snapshot_b_);
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+  EXPECT_EQ(service.snapshot(), snapshot_b_);
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(service.Submit(Queries()[q]).get()),
+              expected_b_[q]);
+  }
+}
+
+TEST_F(HotSwapTest, QueriesRacingSwapsNeverMixSnapshots) {
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.enable_cache = false;
+  QueryService service(snapshot_a_, options);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 60;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % Queries().size();
+        const std::string got = Fingerprint(service.Submit(Queries()[q]).get());
+        if (got != expected_a_[q] && got != expected_b_[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "mixed-snapshot outcome for query '" << Queries()[q]
+                        << "'";
+        }
+      }
+    });
+  }
+  // Race: swap back and forth while the submitters hammer the service.
+  for (int swap = 0; swap < 20; ++swap) {
+    service.SwapSnapshot(swap % 2 == 0 ? snapshot_b_ : snapshot_a_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& thread : submitters) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(service.snapshot_epoch(), 20u);
+
+  // Settled: everything submitted from here on serves the last snapshot.
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(service.Submit(Queries()[q]).get()),
+              expected_a_[q]);
+  }
+}
+
+TEST_F(HotSwapTest, CacheIsEpochInvalidatedAcrossSwaps) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = true;
+  QueryService service(snapshot_a_, options);
+
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  service.SwapSnapshot(snapshot_b_);
+  // Same query, new epoch: must recompute against B, not serve stale A.
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_b_[0]);
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  // And the fresh entry serves hits under the new epoch.
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_b_[0]);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+}
+
+TEST_F(HotSwapTest, ReloadCorpusSwapsInBackground) {
+  const std::string path = ::testing::TempDir() + "/xsact_hot_swap_b.xml";
+  ASSERT_TRUE(xml::WriteStringToFile(path, xml_b_).ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(snapshot_a_, options);
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+
+  const Status reloaded = service.ReloadCorpus(path).get();
+  ASSERT_TRUE(reloaded.ok()) << reloaded;
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(service.Submit(Queries()[q]).get()),
+              expected_b_[q]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(HotSwapTest, FailedReloadLeavesServingStateUntouched) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(snapshot_a_, options);
+
+  const Status missing = service.ReloadCorpus("/nonexistent/corpus.xml").get();
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(service.snapshot_epoch(), 0u);
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+
+  // A malformed corpus is also rejected without a swap.
+  const std::string path = ::testing::TempDir() + "/xsact_hot_swap_bad.xml";
+  ASSERT_TRUE(xml::WriteStringToFile(path, "<broken").ok());
+  const Status malformed = service.ReloadCorpus(path).get();
+  EXPECT_FALSE(malformed.ok());
+  EXPECT_EQ(service.snapshot_epoch(), 0u);
+  EXPECT_EQ(Fingerprint(service.Submit(Queries()[0]).get()), expected_a_[0]);
+  std::remove(path.c_str());
+}
+
+TEST_F(HotSwapTest, ReloadRacesQueryLoad) {
+  const std::string path = ::testing::TempDir() + "/xsact_hot_swap_race.xml";
+  ASSERT_TRUE(xml::WriteStringToFile(path, xml_b_).ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.enable_cache = true;
+  QueryService service(snapshot_a_, options);
+
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const size_t q = static_cast<size_t>(i++) % Queries().size();
+      const std::string got = Fingerprint(service.Submit(Queries()[q]).get());
+      if (got != expected_a_[q] && got != expected_b_[q]) {
+        ADD_FAILURE() << "mixed-snapshot outcome during reload race";
+      }
+    }
+  });
+  for (int r = 0; r < 3; ++r) {
+    const Status reloaded = service.ReloadCorpus(path).get();
+    ASSERT_TRUE(reloaded.ok()) << reloaded;
+  }
+  stop.store(true);
+  submitter.join();
+  EXPECT_EQ(service.snapshot_epoch(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xsact::engine

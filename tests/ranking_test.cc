@@ -90,7 +90,7 @@ TEST_F(RankingTest, RankingIsStableAndDeterministic) {
 TEST_F(RankingTest, ScoresAreNonNegativeAndOrdered) {
   auto results = engine_->Search("gps");
   ASSERT_TRUE(results.ok());
-  const auto terms = std::vector<std::string>{"gps"};
+  const auto terms = std::vector<std::string_view>{"gps"};
   double prev = 1e18;
   auto ranked = search::RankResults(engine_->table(), engine_->index(), terms,
                                     *results);

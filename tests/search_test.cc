@@ -90,7 +90,7 @@ class SlcaTest : public ::testing::Test {
 
   std::vector<std::string> TagsOf(const std::vector<xml::NodeId>& ids) {
     std::vector<std::string> tags;
-    for (auto id : ids) tags.push_back(table_.node(id)->tag());
+    for (auto id : ids) tags.emplace_back(table_.node(id)->tag());
     return tags;
   }
 

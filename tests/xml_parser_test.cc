@@ -186,7 +186,7 @@ void BuildRandomTree(Rng& rng, Node* node, int depth, int* budget) {
     // Avoid adjacent text nodes: serialization would merge them and the
     // roundtrip comparison would (correctly) flag a structural change.
     const bool last_is_text =
-        node->child_count() > 0 && node->children().back()->is_text();
+        node->child_count() > 0 && node->last_child()->is_text();
     if (!last_is_text && rng.Chance(0.3)) {
       node->AddChild(Node::MakeText("text & <" + std::to_string(rng.Below(100)) +
                                     "> \"quoted\""));
@@ -206,10 +206,14 @@ bool SameStructure(const Node& a, const Node& b) {
   if (a.tag() != b.tag()) return false;
   if (a.attributes() != b.attributes()) return false;
   if (a.child_count() != b.child_count()) return false;
-  for (size_t i = 0; i < a.child_count(); ++i) {
-    if (!SameStructure(*a.children()[i], *b.children()[i])) return false;
+  const Node* ca = a.first_child();
+  const Node* cb = b.first_child();
+  while (ca != nullptr && cb != nullptr) {
+    if (!SameStructure(*ca, *cb)) return false;
+    ca = ca->next_sibling();
+    cb = cb->next_sibling();
   }
-  return true;
+  return ca == nullptr && cb == nullptr;
 }
 
 class RoundtripProperty : public ::testing::TestWithParam<uint64_t> {};
