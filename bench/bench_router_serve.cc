@@ -1,0 +1,376 @@
+// bench_router_serve — the multi-corpus routing front-end under load:
+// one ServiceRouter owning a QueryService per bundled corpus, serving a
+// mixed workload that interleaves datasets.
+//
+// Gates (exit non-zero on failure):
+//   * routed byte-identity: every outcome served through
+//     router.Submit(dataset, ...) — table, explanations, DFSs, DoD —
+//     must be byte-identical to direct per-service QueryService serving
+//     AND to the single-threaded reference for that (corpus, query);
+//   * load shedding: flooding a bounded admission queue must shed (every
+//     rejection is RESOURCE_EXHAUSTED, survivors still serve identical
+//     outcomes, and the shed counter matches the observed rejections);
+//   * deadlines: a batch submitted with an expired deadline resolves
+//     entirely to DEADLINE_EXCEEDED and is counted per dataset.
+//
+// Reports routed throughput on the mixed workload and the router's
+// overhead versus direct per-service submission (informational).
+// Emits machine-readable BENCH_router_serve.json.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/movies.h"
+#include "data/outdoor_retailer.h"
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/router.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+#include "table/explainer.h"
+#include "table/renderer.h"
+
+namespace {
+
+using namespace xsact;
+
+struct Query {
+  std::string text;
+  engine::CompareOptions options;
+};
+
+struct Corpus {
+  std::string name;
+  engine::SnapshotPtr snapshot;
+  std::vector<Query> queries;
+};
+
+/// Everything observable about an outcome, rendered to one string.
+std::string RenderOutcome(const engine::ComparisonOutcome& outcome) {
+  std::string out = table::RenderAscii(outcome.table);
+  out += "total_dod=" + std::to_string(outcome.total_dod) + "\n";
+  for (const table::Explanation& e :
+       table::ExplainDifferences(outcome.instance, outcome.dfss, 5)) {
+    out += e.text + "\n";
+  }
+  for (const core::Dfs& dfs : outcome.dfss) {
+    out += dfs.ToString(outcome.instance) + "\n";
+  }
+  return out;
+}
+
+std::vector<Corpus> BuildCorpora() {
+  std::vector<Corpus> corpora;
+  {
+    Corpus c;
+    c.name = "product_reviews";
+    data::ProductReviewsConfig config;
+    config.num_products = 48;
+    c.snapshot = engine::CorpusSnapshot::Build(
+        data::GenerateProductReviews(config));
+    for (const char* text : {"gps", "camera", "phone"}) {
+      Query q;
+      q.text = text;
+      q.options.selector.size_bound = 6;
+      c.queries.push_back(std::move(q));
+    }
+    corpora.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "outdoor_retailer";
+    data::OutdoorRetailerConfig config;
+    c.snapshot = engine::CorpusSnapshot::Build(
+        data::GenerateOutdoorRetailer(config));
+    Query q;
+    q.text = "men jackets";
+    q.options.selector.size_bound = 6;
+    q.options.lift_results_to = "brand";
+    c.queries.push_back(std::move(q));
+    corpora.push_back(std::move(c));
+  }
+  {
+    Corpus c;
+    c.name = "movies";
+    data::MoviesConfig config;
+    c.snapshot = engine::CorpusSnapshot::Build(data::GenerateMovies(config));
+    for (const data::QuerySpec& spec : data::MovieQueryWorkload()) {
+      Query q;
+      q.text = spec.query;
+      q.options.selector.size_bound = spec.size_bound;
+      c.queries.push_back(std::move(q));
+      if (c.queries.size() == 3) break;  // routed mix, not the full sweep
+    }
+    corpora.push_back(std::move(c));
+  }
+  return corpora;
+}
+
+/// One (dataset, query index) unit of the mixed routed workload.
+struct MixedTask {
+  size_t corpus = 0;
+  size_t query = 0;
+};
+
+std::vector<MixedTask> MixedWorkload(const std::vector<Corpus>& corpora,
+                                     int rounds) {
+  std::vector<MixedTask> tasks;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t c = 0; c < corpora.size(); ++c) {
+      for (size_t q = 0; q < corpora[c].queries.size(); ++q) {
+        tasks.push_back({c, q});
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("router_serve",
+                "multi-corpus routing: ServiceRouter byte-identity, "
+                "admission control, mixed-workload throughput");
+
+  const std::vector<Corpus> corpora = BuildCorpora();
+  bool gate_ok = true;
+
+  // Single-threaded reference render per (corpus, query).
+  std::vector<std::vector<std::string>> reference(corpora.size());
+  for (size_t c = 0; c < corpora.size(); ++c) {
+    for (const Query& q : corpora[c].queries) {
+      engine::QuerySession session;
+      auto outcome = engine::SearchAndCompare(*corpora[c].snapshot, &session,
+                                              q.text, 0, q.options);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "FAIL %s: reference serve for \"%s\": %s\n",
+                     corpora[c].name.c_str(), q.text.c_str(),
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      reference[c].push_back(RenderOutcome(*outcome));
+    }
+  }
+
+  std::vector<engine::DatasetSpec> specs;
+  for (const Corpus& c : corpora) specs.push_back({c.name, c.snapshot});
+
+  // --- Gate 1: routed byte-identity vs direct serving -------------------
+  {
+    engine::QueryServiceOptions options;
+    options.num_threads = 4;
+    options.enable_cache = false;
+    auto router = engine::ServiceRouter::Create(specs, options);
+    if (!router.ok()) {
+      std::fprintf(stderr, "FAIL router create: %s\n",
+                   router.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t c = 0; c < corpora.size(); ++c) {
+      engine::QueryService direct(corpora[c].snapshot, options);
+      for (size_t q = 0; q < corpora[c].queries.size(); ++q) {
+        const Query& query = corpora[c].queries[q];
+        auto routed =
+            router->Submit(corpora[c].name, query.text, query.options).get();
+        auto direct_outcome = direct.Submit(query.text, query.options).get();
+        if (!routed.ok() || !direct_outcome.ok()) {
+          std::fprintf(stderr, "FAIL %s: serve errored\n",
+                       corpora[c].name.c_str());
+          gate_ok = false;
+          continue;
+        }
+        const std::string routed_rendered = RenderOutcome(**routed);
+        if (routed_rendered != RenderOutcome(**direct_outcome) ||
+            routed_rendered != reference[c][q]) {
+          std::fprintf(stderr,
+                       "FAIL %s: routed outcome for \"%s\" diverged from "
+                       "direct/reference serving\n",
+                       corpora[c].name.c_str(), query.text.c_str());
+          gate_ok = false;
+        }
+      }
+    }
+    std::printf("identity: routed == direct == single-threaded on %zu "
+                "corpora%s\n",
+                corpora.size(), gate_ok ? "" : "  ** FAILED **");
+  }
+
+  // --- Gate 2: bounded queue sheds under a burst ------------------------
+  uint64_t shed_observed = 0;
+  uint64_t shed_ok = 0;
+  {
+    engine::QueryServiceOptions options;
+    options.num_threads = 1;
+    options.enable_cache = false;
+    options.max_queue = 8;
+    auto router = engine::ServiceRouter::Create(specs, options);
+    if (!router.ok()) return 1;
+    constexpr int kBurst = 96;
+    std::vector<std::future<StatusOr<engine::OutcomePtr>>> futures;
+    for (int k = 0; k < kBurst; ++k) {
+      const Query& q = corpora[0].queries[static_cast<size_t>(k) %
+                                          corpora[0].queries.size()];
+      futures.push_back(router->Submit(corpora[0].name, q.text, q.options));
+    }
+    for (size_t k = 0; k < futures.size(); ++k) {
+      auto outcome = futures[k].get();
+      if (outcome.ok()) {
+        ++shed_ok;
+        if (RenderOutcome(**outcome) !=
+            reference[0][k % corpora[0].queries.size()]) {
+          std::fprintf(stderr, "FAIL shed round: survivor %zu diverged\n",
+                       k);
+          gate_ok = false;
+        }
+      } else if (outcome.status().code() == StatusCode::kResourceExhausted) {
+        ++shed_observed;
+      } else {
+        std::fprintf(stderr, "FAIL shed round: unexpected error %s\n",
+                     outcome.status().ToString().c_str());
+        gate_ok = false;
+      }
+    }
+    const engine::RouterStats stats = router->stats();
+    if (shed_observed == 0) {
+      std::fprintf(stderr,
+                   "FAIL shed round: a %d-deep burst into a queue of 8 on "
+                   "one worker shed nothing\n",
+                   kBurst);
+      gate_ok = false;
+    }
+    if (stats.total_shed() != shed_observed) {
+      std::fprintf(stderr,
+                   "FAIL shed round: counter %llu != observed %llu\n",
+                   static_cast<unsigned long long>(stats.total_shed()),
+                   static_cast<unsigned long long>(shed_observed));
+      gate_ok = false;
+    }
+    std::printf("shedding: burst=%d ok=%llu shed=%llu (max_queue=8)\n",
+                kBurst, static_cast<unsigned long long>(shed_ok),
+                static_cast<unsigned long long>(shed_observed));
+  }
+
+  // --- Gate 3: expired deadlines resolve DEADLINE_EXCEEDED --------------
+  {
+    engine::QueryServiceOptions options;
+    options.num_threads = 2;
+    options.enable_cache = false;
+    auto router = engine::ServiceRouter::Create(specs, options);
+    if (!router.ok()) return 1;
+    const engine::Deadline expired =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    constexpr int kLate = 16;
+    std::vector<std::future<StatusOr<engine::OutcomePtr>>> futures;
+    for (int k = 0; k < kLate; ++k) {
+      const Query& q = corpora[1].queries[0];
+      futures.push_back(
+          router->Submit(corpora[1].name, q.text, q.options, 0, expired));
+    }
+    uint64_t expired_count = 0;
+    for (auto& future : futures) {
+      auto outcome = future.get();
+      if (!outcome.ok() &&
+          outcome.status().code() == StatusCode::kDeadlineExceeded) {
+        ++expired_count;
+      }
+    }
+    const engine::RouterStats stats = router->stats();
+    if (expired_count != kLate ||
+        stats.total_deadline_exceeded() != expired_count) {
+      std::fprintf(stderr,
+                   "FAIL deadline round: %llu/%d expired (counter %llu)\n",
+                   static_cast<unsigned long long>(expired_count), kLate,
+                   static_cast<unsigned long long>(
+                       stats.total_deadline_exceeded()));
+      gate_ok = false;
+    }
+    std::printf("deadlines: %llu/%d late tasks resolved DEADLINE_EXCEEDED\n",
+                static_cast<unsigned long long>(expired_count), kLate);
+  }
+
+  // --- Throughput: mixed routed workload vs direct services -------------
+  const std::vector<MixedTask> workload = MixedWorkload(corpora, 8);
+  const int kReps = 3;
+  double routed_best = 0;
+  double direct_best = 0;
+  {
+    engine::QueryServiceOptions options;
+    options.num_threads = 2;  // per dataset
+    options.enable_cache = false;
+    auto router = engine::ServiceRouter::Create(specs, options);
+    if (!router.ok()) return 1;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      std::vector<std::future<StatusOr<engine::OutcomePtr>>> futures;
+      futures.reserve(workload.size());
+      for (const MixedTask& task : workload) {
+        const Query& q = corpora[task.corpus].queries[task.query];
+        futures.push_back(router->Submit(corpora[task.corpus].name, q.text,
+                                         q.options));
+      }
+      for (auto& future : futures) {
+        if (!future.get().ok()) return 1;
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < routed_best) routed_best = seconds;
+    }
+
+    std::vector<std::unique_ptr<engine::QueryService>> direct;
+    for (const Corpus& c : corpora) {
+      direct.push_back(
+          std::make_unique<engine::QueryService>(c.snapshot, options));
+    }
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      std::vector<std::future<StatusOr<engine::OutcomePtr>>> futures;
+      futures.reserve(workload.size());
+      for (const MixedTask& task : workload) {
+        const Query& q = corpora[task.corpus].queries[task.query];
+        futures.push_back(direct[task.corpus]->Submit(q.text, q.options));
+      }
+      for (auto& future : futures) {
+        if (!future.get().ok()) return 1;
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < direct_best) direct_best = seconds;
+    }
+  }
+  const double routed_qps =
+      routed_best > 0 ? workload.size() / routed_best : 0;
+  const double direct_qps =
+      direct_best > 0 ? workload.size() / direct_best : 0;
+  std::printf("throughput: %zu mixed tasks over %zu datasets — routed "
+              "%.1f qps, direct %.1f qps (overhead %.1f%%)\n",
+              workload.size(), corpora.size(), routed_qps, direct_qps,
+              direct_qps > 0 ? (direct_qps / (routed_qps > 0 ? routed_qps : 1)
+                                - 1.0) * 100.0
+                             : 0.0);
+  bench::Rule();
+
+  FILE* json = std::fopen("BENCH_router_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"router_serve\",\n"
+                 "  \"datasets\": %zu,\n  \"mixed_tasks\": %zu,\n"
+                 "  \"routed_qps\": %.1f,\n  \"direct_qps\": %.1f,\n"
+                 "  \"shed_burst_ok\": %llu,\n  \"shed_burst_shed\": %llu,\n"
+                 "  \"gates\": \"%s\"\n}\n",
+                 corpora.size(), workload.size(), routed_qps, direct_qps,
+                 static_cast<unsigned long long>(shed_ok),
+                 static_cast<unsigned long long>(shed_observed),
+                 gate_ok ? "ok" : "FAILED");
+    std::fclose(json);
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr, "router_serve: GATES FAILED\n");
+    return 1;
+  }
+  std::printf("router_serve: all gates passed\n");
+  return 0;
+}

@@ -12,6 +12,13 @@
 
 namespace xsact::cli {
 
+/// Builds a corpus snapshot from one dataset source: a built-in
+/// generator name ("products", "outdoor", "movies", honoring `seed`
+/// when non-zero) or an XML file path. Router mode builds one snapshot
+/// per --dataset binding through this.
+StatusOr<engine::SnapshotPtr> BuildSnapshot(const std::string& source,
+                                            uint64_t seed);
+
 /// Builds the corpus selected by `options.dataset`: one of the built-in
 /// generators (honoring --seed) or an XML file.
 StatusOr<engine::Xsact> BuildEngine(const CliOptions& options);

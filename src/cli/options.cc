@@ -79,6 +79,11 @@ StatusOr<OutputFormat> OutputFormatFromName(std::string_view name) {
                                  "' (ascii|markdown|html|csv|json)");
 }
 
+bool IsFileDatasetSource(std::string_view source) {
+  return EndsWith(source, ".xml") ||
+         source.find('/') != std::string_view::npos;
+}
+
 StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -97,7 +102,29 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
       options.explain = true;
     } else if (MatchFlag(arg, "dataset", &value, &has_value)) {
       if (!has_value || value.empty()) return NeedValue("dataset");
-      options.dataset = std::string(value);
+      // "--dataset=name=source" names the corpus for router mode; a
+      // plain "--dataset=source" binds name == source. A router name is
+      // a simple token, so when the part before '=' contains '/' or '.'
+      // the whole value is a verbatim file path (e.g. a file literally
+      // named "results=v2.xml" stays addressable as ./results=v2.xml).
+      DatasetBinding binding;
+      const size_t eq = value.find('=');
+      if (eq == std::string_view::npos ||
+          value.substr(0, eq).find_first_of("/.") !=
+              std::string_view::npos) {
+        binding.name = std::string(value);
+        binding.source = std::string(value);
+      } else {
+        binding.name = std::string(value.substr(0, eq));
+        binding.source = std::string(value.substr(eq + 1));
+        if (binding.name.empty() || binding.source.empty()) {
+          return Status::InvalidArgument(
+              "--dataset=name=source needs both parts non-empty: '" +
+              std::string(value) + "'");
+        }
+      }
+      options.dataset = binding.source;
+      options.datasets.push_back(std::move(binding));
     } else if (MatchFlag(arg, "query", &value, &has_value)) {
       if (!has_value || value.empty()) return NeedValue("query");
       options.query = std::string(value);
@@ -173,6 +200,20 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
         return Status::InvalidArgument("--repeat must be positive");
       }
       options.repeat = repeat;
+    } else if (MatchFlag(arg, "deadline-ms", &value, &has_value)) {
+      if (!has_value) return NeedValue("deadline-ms");
+      XSACT_ASSIGN_OR_RETURN(const int ms, ParseInt("deadline-ms", value));
+      if (ms < 0) {
+        return Status::InvalidArgument("--deadline-ms must be >= 0");
+      }
+      options.deadline_ms = ms;
+    } else if (MatchFlag(arg, "max-queue", &value, &has_value)) {
+      if (!has_value) return NeedValue("max-queue");
+      XSACT_ASSIGN_OR_RETURN(const int n, ParseInt("max-queue", value));
+      if (n < 0) {
+        return Status::InvalidArgument("--max-queue must be >= 0");
+      }
+      options.max_queue = n;
     } else {
       return Status::InvalidArgument("unknown argument '" + std::string(arg) +
                                      "'; see --help");
@@ -181,10 +222,47 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
   if (!options.help && options.query.empty()) {
     return Status::InvalidArgument("--query is required; see --help");
   }
-  if (options.watch && !EndsWith(options.dataset, ".xml") &&
-      options.dataset.find('/') == std::string::npos) {
+  for (size_t i = 0; i < options.datasets.size(); ++i) {
+    for (size_t j = i + 1; j < options.datasets.size(); ++j) {
+      if (options.datasets[i].name == options.datasets[j].name) {
+        return Status::InvalidArgument("duplicate dataset name '" +
+                                       options.datasets[i].name + "'");
+      }
+    }
+  }
+  if (options.datasets.size() >= 2) {
+    if (options.list_only || options.ranked) {
+      return Status::InvalidArgument(
+          "--list/--ranked are single-dataset modes; drop the extra "
+          "--dataset flags");
+    }
+    if (options.watch) {
+      // Router watch polls file-backed datasets only; at least one must
+      // be a file, or there is nothing to watch.
+      bool any_file = false;
+      for (const DatasetBinding& binding : options.datasets) {
+        any_file = any_file || IsFileDatasetSource(binding.source);
+      }
+      if (!any_file) {
+        return Status::InvalidArgument(
+            "--watch needs at least one file dataset (name=path/to.xml)");
+      }
+    }
+  } else if (options.watch && !IsFileDatasetSource(options.dataset)) {
     return Status::InvalidArgument(
         "--watch requires a file dataset (path/to/file.xml)");
+  }
+  // Admission control lives in QueryService; the synchronous
+  // single-dataset path never constructs one, so these flags would be
+  // silently ignored there.
+  const bool uses_service = options.threads > 0 || options.repeat > 1 ||
+                            options.cache || options.watch ||
+                            options.datasets.size() >= 2;
+  if ((options.deadline_ms > 0 || options.max_queue > 0) && !uses_service &&
+      !options.help) {
+    return Status::InvalidArgument(
+        "--deadline-ms/--max-queue need a serving mode (--threads, "
+        "--repeat, --cache, --watch, or multiple --dataset flags)");
   }
   return options;
 }
@@ -197,7 +275,9 @@ std::string CliUsage() {
       "\n"
       "options:\n"
       "  --dataset=NAME       products | outdoor | movies | path/to.xml\n"
-      "                       (default: products)\n"
+      "                       (default: products); repeat as\n"
+      "                       --dataset=name=source to serve several\n"
+      "                       corpora through one ServiceRouter\n"
       "  --query=KEYWORDS     keyword query, e.g. --query=\"tomtom gps\"\n"
       "  --algorithm=ALGO     snippet | greedy | single-swap | multi-swap |\n"
       "                       exhaustive | weighted  (default: multi-swap)\n"
@@ -213,6 +293,12 @@ std::string CliUsage() {
       "                       threads (load generation; 0 = synchronous)\n"
       "  --repeat=N           submit the query N times (default 1); with\n"
       "                       --threads prints aggregate throughput\n"
+      "  --deadline-ms=N      per-request deadline: tasks still queued\n"
+      "                       after N ms resolve to 'deadline exceeded'\n"
+      "                       (0 = none)\n"
+      "  --max-queue=N        bound the admission queue; overflow\n"
+      "                       submissions are shed with 'resource\n"
+      "                       exhausted' (0 = unbounded)\n"
       "  --cache              enable the QueryService result cache and\n"
       "                       print hit/miss counters\n"
       "  --watch              serve, then watch the XML file and hot-swap\n"

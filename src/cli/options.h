@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/statusor.h"
 #include "core/selector.h"
@@ -17,11 +18,22 @@ namespace xsact::cli {
 /// Output format for the comparison table.
 enum class OutputFormat { kAscii, kMarkdown, kHtml, kCsv, kJson };
 
+/// One named corpus for router mode: `--dataset name=source` binds a
+/// router dataset name to a built-in generator or an XML file path.
+struct DatasetBinding {
+  std::string name;
+  std::string source;
+};
+
 /// Parsed command line.
 struct CliOptions {
   /// Built-in dataset name ("products", "outdoor", "movies") or a path to
   /// an XML file (detected by a ".xml" suffix or an existing "/").
   std::string dataset = "products";
+  /// Every --dataset occurrence, in command-line order. Two or more
+  /// entries switch the app into router mode (engine::ServiceRouter, one
+  /// QueryService per dataset); a plain `--dataset=src` binds name=src.
+  std::vector<DatasetBinding> datasets;
   std::string query;
   core::SelectorKind algorithm = core::SelectorKind::kMultiSwap;
   core::WeightScheme weight_scheme = core::WeightScheme::kInterestingness;
@@ -33,6 +45,8 @@ struct CliOptions {
   uint64_t seed = 0;         ///< generator seed override (0 = default)
   int threads = 0;           ///< >0: serve through a QueryService pool
   int repeat = 1;            ///< submit the query N times (load generation)
+  int deadline_ms = 0;       ///< per-request deadline in ms (0 = none)
+  int max_queue = 0;         ///< admission queue bound (0 = unbounded)
   bool cache = false;        ///< enable the QueryService result cache
   bool watch = false;        ///< watch a file dataset, hot-swap on change
   int max_reloads = 0;       ///< stop --watch after N reloads (0 = forever)
@@ -56,6 +70,10 @@ StatusOr<core::SelectorKind> SelectorKindFromName(std::string_view name);
 
 /// Maps a format name to OutputFormat.
 StatusOr<OutputFormat> OutputFormatFromName(std::string_view name);
+
+/// True when a dataset source is an XML file path (".xml" suffix or a
+/// "/" in it) rather than a built-in generator name.
+bool IsFileDatasetSource(std::string_view source);
 
 }  // namespace xsact::cli
 

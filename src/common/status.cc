@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIoError:
       return "io error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode : uint8_t {
   kInternal = 6,          ///< invariant broken inside the library
   kUnimplemented = 7,     ///< feature not available
   kIoError = 8,           ///< underlying I/O failure
+  kDeadlineExceeded = 9,  ///< request missed its completion deadline
+  kResourceExhausted = 10,  ///< capacity limit hit (queue full, quota)
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "parse error"...).
@@ -70,6 +72,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

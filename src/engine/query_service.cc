@@ -57,9 +57,17 @@ QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
           ServingState{std::move(snapshot), 0})),
       options_(options) {
   if (options_.cache_shards == 0) options_.cache_shards = 1;
+  if (options_.cache_capacity == 0) options_.enable_cache = false;
   if (options_.enable_cache) {
-    per_shard_capacity_ = std::max<size_t>(
-        1, options_.cache_capacity / options_.cache_shards);
+    // Distribute the capacity so the shard capacities sum EXACTLY to
+    // cache_capacity: base entries everywhere, the remainder spread over
+    // the low-index shards. (The former max(1, capacity/shards) drifted:
+    // capacity=1, shards=8 admitted 8 entries; 100/8 admitted 96.) A
+    // shard left with capacity 0 simply never stores an entry.
+    const size_t base = options_.cache_capacity / options_.cache_shards;
+    const size_t remainder = options_.cache_capacity % options_.cache_shards;
+    shard_capacities_.resize(options_.cache_shards, base);
+    for (size_t s = 0; s < remainder; ++s) ++shard_capacities_[s];
     shards_.reserve(options_.cache_shards);
     for (size_t s = 0; s < options_.cache_shards; ++s) {
       shards_.push_back(std::make_unique<CacheShard>());
@@ -68,8 +76,15 @@ QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
 
   int threads = options_.num_threads;
   if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
+    // The override seam lets tests pin what hardware_concurrency()
+    // reports — including 0, which the standard permits ("value not
+    // computable").
+    threads = options_.hardware_concurrency_override >= 0
+                  ? options_.hardware_concurrency_override
+                  : static_cast<int>(std::thread::hardware_concurrency());
   }
+  // Clamp AFTER resolving the hardware count: a 0 from either source
+  // must still yield a pool with one worker, or no task ever runs.
   threads = std::max(threads, 1);
   worker_sessions_.reserve(static_cast<size_t>(threads));
   workers_.reserve(static_cast<size_t>(threads));
@@ -123,7 +138,8 @@ std::future<Status> QueryService::ReloadCorpus(std::string path) {
 }
 
 std::future<StatusOr<OutcomePtr>> QueryService::Submit(
-    std::string query, const CompareOptions& options, size_t max_results) {
+    std::string query, const CompareOptions& options, size_t max_results,
+    Deadline deadline) {
   // Fold max_results into the options so equivalent requests share a
   // cache entry regardless of which parameter carried the cap.
   CompareOptions effective = options;
@@ -148,7 +164,9 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
       ready.set_value(std::move(cached));
       return ready.get_future();
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    // The miss is counted at admission below: a submission shed by the
+    // full queue never computes, so counting it here would make the
+    // miss count overstate actual work under overload.
   }
 
   Task task;
@@ -157,10 +175,24 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   task.cache_key = std::move(cache_key);
   task.snapshot = serving->snapshot;
   task.epoch = serving->epoch;
+  task.deadline = deadline;
   std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      // Load shedding: reject instead of growing the backlog, so a
+      // burst degrades into fast failures rather than unbounded latency.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_queue) +
+          " tasks queued)"));
+      return future;
+    }
+    if (!task.cache_key.empty()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
     queue_.push_back(std::move(task));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
   return future;
@@ -168,11 +200,11 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
 
 std::vector<std::future<StatusOr<OutcomePtr>>> QueryService::SubmitBatch(
     const std::vector<std::string>& queries, const CompareOptions& options,
-    size_t max_results) {
+    size_t max_results, Deadline deadline) {
   std::vector<std::future<StatusOr<OutcomePtr>>> futures;
   futures.reserve(queries.size());
   for (const std::string& query : queries) {
-    futures.push_back(Submit(query, options, max_results));
+    futures.push_back(Submit(query, options, max_results, deadline));
   }
   return futures;
 }
@@ -186,6 +218,19 @@ CacheStats QueryService::cache_stats() const {
   return stats;
 }
 
+AdmissionStats QueryService::admission_stats() const {
+  AdmissionStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
+}
+
 void QueryService::WorkerLoop(QuerySession* session) {
   for (;;) {
     Task task;
@@ -195,6 +240,17 @@ void QueryService::WorkerLoop(QuerySession* session) {
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+
+    // Deadline check at dequeue: a task starting at or past its deadline
+    // is answered DEADLINE_EXCEEDED without evaluation, so a backlog
+    // drains at queue speed, not compute speed.
+    if (task.deadline != kNoDeadline &&
+        std::chrono::steady_clock::now() >= task.deadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(
+          Status::DeadlineExceeded("task dequeued past its deadline"));
+      continue;
     }
 
     StatusOr<ComparisonOutcome> outcome =
@@ -224,12 +280,12 @@ void QueryService::ClearCache() {
   }
 }
 
-QueryService::CacheShard& QueryService::ShardFor(std::string_view key) {
-  return *shards_[HashKey(key) % shards_.size()];
+size_t QueryService::ShardIndexFor(std::string_view key) const {
+  return HashKey(key) % shards_.size();
 }
 
 OutcomePtr QueryService::CacheLookup(std::string_view key) {
-  CacheShard& shard = ShardFor(key);
+  CacheShard& shard = *shards_[ShardIndexFor(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return nullptr;
@@ -241,7 +297,10 @@ OutcomePtr QueryService::CacheLookup(std::string_view key) {
 
 void QueryService::CacheInsert(const std::string& key, uint64_t epoch,
                                OutcomePtr outcome) {
-  CacheShard& shard = ShardFor(key);
+  const size_t index = ShardIndexFor(key);
+  const size_t capacity = shard_capacities_[index];
+  if (capacity == 0) return;  // this shard stores nothing
+  CacheShard& shard = *shards_[index];
   std::lock_guard<std::mutex> lock(shard.mu);
   // A task finishing after a swap must not refill the shard with a
   // stale-epoch key (unreachable by lookups, yet squatting on LRU
@@ -262,7 +321,7 @@ void QueryService::CacheInsert(const std::string& key, uint64_t epoch,
   shard.map.emplace(std::string_view(shard.lru.front().first),
                     shard.lru.begin());
   entries_.fetch_add(1, std::memory_order_relaxed);
-  while (shard.lru.size() > per_shard_capacity_) {
+  while (shard.lru.size() > capacity) {
     shard.map.erase(std::string_view(shard.lru.back().first));
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -35,11 +35,22 @@
 //   * ReloadCorpus parses + indexes the new corpus on a background
 //     thread and publishes it via SwapSnapshot on success — a failed
 //     load leaves the serving snapshot untouched.
+//
+// Request-level admission control: the task queue can be bounded
+// (max_queue) — a submission that would exceed the bound is shed with
+// ResourceExhausted instead of growing the backlog — and every request
+// may carry a deadline. A worker that dequeues a task at or past its
+// deadline resolves it to DeadlineExceeded without evaluating it, so an
+// overloaded service drains stale work at queue speed instead of compute
+// speed. Both are counted in admission_stats(). engine::ServiceRouter
+// (router.h) composes several QueryServices — one per named dataset —
+// behind a single Submit(dataset, ...) front-end.
 
 #ifndef XSACT_ENGINE_QUERY_SERVICE_H_
 #define XSACT_ENGINE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -62,25 +73,61 @@ namespace xsact::engine {
 /// Shared, immutable comparison outcome (the cache's unit of storage).
 using OutcomePtr = std::shared_ptr<const ComparisonOutcome>;
 
+/// Per-request completion deadline (steady clock). A task a worker
+/// dequeues at or after its deadline is not evaluated: its future
+/// resolves to Status::DeadlineExceeded instead. Cache hits resolve at
+/// submission and therefore never miss a deadline.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// Sentinel deadline: the request may start arbitrarily late.
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
 /// Tuning knobs for a QueryService.
 struct QueryServiceOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   int num_threads = 0;
-  /// Result cache on/off.
+  /// Result cache on/off (a capacity of 0 also disables it).
   bool enable_cache = true;
   /// Number of independent LRU shards (lock striping).
   size_t cache_shards = 8;
-  /// Total cached outcomes across all shards.
+  /// Total cached outcomes across all shards. Distributed so per-shard
+  /// capacities sum exactly to this value (low-index shards take the
+  /// remainder; a shard may get capacity 0 when capacity < shards).
   size_t cache_capacity = 512;
+  /// Admission bound: maximum tasks queued (admitted, not yet picked up
+  /// by a worker). A Submit that would exceed it is shed — its future
+  /// resolves to Status::ResourceExhausted. 0 = unbounded.
+  size_t max_queue = 0;
+  /// Test seam: when >= 0, used in place of
+  /// std::thread::hardware_concurrency() to resolve num_threads == 0.
+  /// Lets tests exercise the hardware_concurrency() == 0 case the
+  /// standard permits ("value not computable").
+  int hardware_concurrency_override = -1;
 };
 
 /// Monotonic cache counters (totals since construction) plus the current
-/// entry count.
+/// entry count. A miss is counted when the task is ADMITTED, not at
+/// lookup: submissions shed by a full queue never compute, so they
+/// count toward AdmissionStats::shed only — hits + misses + shed covers
+/// every cacheable submission exactly once.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t entries = 0;
+};
+
+/// Admission-control counters (totals since construction) plus the
+/// current queue depth.
+struct AdmissionStats {
+  /// Tasks enqueued to the worker pool (cache hits are not admitted).
+  uint64_t admitted = 0;
+  /// Submissions rejected because the queue was at max_queue.
+  uint64_t shed = 0;
+  /// Tasks dequeued at or past their deadline (never evaluated).
+  uint64_t deadline_exceeded = 0;
+  /// Tasks currently queued, not yet picked up by a worker.
+  uint64_t queue_depth = 0;
 };
 
 /// Multi-threaded query executor over one snapshot. See file comment.
@@ -97,18 +144,32 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues one SearchAndCompare; the future resolves to the outcome
-  /// (or the error status). Cache hits resolve immediately.
+  /// (or the error status). Cache hits resolve immediately. Admission
+  /// control: when the queue holds max_queue tasks the request is shed
+  /// (ResourceExhausted); a task whose worker dequeues it at or past
+  /// `deadline` resolves to DeadlineExceeded without being evaluated.
   std::future<StatusOr<OutcomePtr>> Submit(std::string query,
                                            const CompareOptions& options = {},
-                                           size_t max_results = 0);
+                                           size_t max_results = 0,
+                                           Deadline deadline = kNoDeadline);
 
   /// Enqueues a batch; futures are in input order.
   std::vector<std::future<StatusOr<OutcomePtr>>> SubmitBatch(
       const std::vector<std::string>& queries,
-      const CompareOptions& options = {}, size_t max_results = 0);
+      const CompareOptions& options = {}, size_t max_results = 0,
+      Deadline deadline = kNoDeadline);
 
   /// Aggregate cache counters across shards.
   CacheStats cache_stats() const;
+
+  /// Admission counters (queue depth, shed, deadline-exceeded).
+  AdmissionStats admission_stats() const;
+
+  /// Per-shard cache capacities (empty when the cache is disabled).
+  /// Invariant: the values sum exactly to options.cache_capacity.
+  const std::vector<size_t>& cache_shard_capacities() const {
+    return shard_capacities_;
+  }
 
   /// Resolved worker count.
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -157,6 +218,8 @@ class QueryService {
     /// worker evaluates against exactly this corpus, swap or no swap.
     SnapshotPtr snapshot;
     uint64_t epoch = 0;
+    /// Latest start time; checked when a worker dequeues the task.
+    Deadline deadline = kNoDeadline;
     std::promise<StatusOr<OutcomePtr>> promise;
   };
 
@@ -170,7 +233,7 @@ class QueryService {
   };
 
   void WorkerLoop(QuerySession* session);
-  CacheShard& ShardFor(std::string_view key);
+  size_t ShardIndexFor(std::string_view key) const;
   OutcomePtr CacheLookup(std::string_view key);
   void CacheInsert(const std::string& key, uint64_t epoch,
                    OutcomePtr outcome);
@@ -189,15 +252,19 @@ class QueryService {
   std::thread reload_thread_;
 
   QueryServiceOptions options_;
-  size_t per_shard_capacity_ = 0;
+  /// Per-shard LRU capacities; sum exactly to options_.cache_capacity.
+  std::vector<size_t> shard_capacities_;
 
   std::vector<std::unique_ptr<CacheShard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;

@@ -89,9 +89,94 @@ TEST(CliParseTest, UsageMentionsEveryFlag) {
   for (const char* flag :
        {"--dataset", "--query", "--algorithm", "--weights", "--bound",
         "--max-results", "--threshold", "--lift", "--format", "--seed",
-        "--ranked", "--list", "--show-dfs", "--help"}) {
+        "--ranked", "--list", "--show-dfs", "--help", "--deadline-ms",
+        "--max-queue", "--threads", "--repeat", "--cache", "--watch",
+        "--max-reloads"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(CliParseTest, SingleDatasetKeepsLegacyField) {
+  auto options = Parse({"--query=gps", "--dataset=outdoor"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_EQ(options->dataset, "outdoor");
+  ASSERT_EQ(options->datasets.size(), 1u);
+  EXPECT_EQ(options->datasets[0].name, "outdoor");
+  EXPECT_EQ(options->datasets[0].source, "outdoor");
+}
+
+TEST(CliParseTest, RepeatedNamedDatasetsParse) {
+  auto options = Parse({"--query=gps", "--dataset=shop=products",
+                        "--dataset=films=movies",
+                        "--dataset=extra=corpus/extra.xml"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  ASSERT_EQ(options->datasets.size(), 3u);
+  EXPECT_EQ(options->datasets[0].name, "shop");
+  EXPECT_EQ(options->datasets[0].source, "products");
+  EXPECT_EQ(options->datasets[1].name, "films");
+  EXPECT_EQ(options->datasets[1].source, "movies");
+  EXPECT_EQ(options->datasets[2].name, "extra");
+  EXPECT_EQ(options->datasets[2].source, "corpus/extra.xml");
+}
+
+// A value whose pre-'=' part contains '/' or '.' is a verbatim file
+// path, not a name=source binding — a file literally named
+// "results=v2.xml" stays addressable.
+TEST(CliParseTest, PathLikeDatasetValuesAreNotSplit) {
+  auto dotted = Parse({"--query=q", "--dataset=./results=v2.xml"});
+  ASSERT_TRUE(dotted.ok()) << dotted.status();
+  EXPECT_EQ(dotted->dataset, "./results=v2.xml");
+  ASSERT_EQ(dotted->datasets.size(), 1u);
+  EXPECT_EQ(dotted->datasets[0].source, "./results=v2.xml");
+
+  auto slashed = Parse({"--query=q", "--dataset=corpora/run=3/a.xml"});
+  ASSERT_TRUE(slashed.ok()) << slashed.status();
+  EXPECT_EQ(slashed->dataset, "corpora/run=3/a.xml");
+}
+
+TEST(CliParseTest, RejectsBadDatasetBindings) {
+  EXPECT_FALSE(Parse({"--query=q", "--dataset==products"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--dataset=name="}).ok());
+  EXPECT_FALSE(
+      Parse({"--query=q", "--dataset=a=products", "--dataset=a=movies"})
+          .ok())
+      << "duplicate names must be rejected";
+  EXPECT_FALSE(Parse({"--query=q", "--dataset=a=products",
+                      "--dataset=b=movies", "--list"})
+                   .ok())
+      << "--list is a single-dataset mode";
+}
+
+TEST(CliParseTest, AdmissionFlagsParse) {
+  auto options = Parse(
+      {"--query=q", "--threads=2", "--deadline-ms=250", "--max-queue=16"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_EQ(options->deadline_ms, 250);
+  EXPECT_EQ(options->max_queue, 16);
+  EXPECT_FALSE(Parse({"--query=q", "--threads=2", "--deadline-ms=-1"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--threads=2", "--max-queue=-2"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--threads=2", "--deadline-ms"}).ok());
+}
+
+// The synchronous single-dataset path never constructs a QueryService,
+// so admission flags there would be silently ignored — reject instead.
+TEST(CliParseTest, AdmissionFlagsNeedAServingMode) {
+  EXPECT_FALSE(Parse({"--query=q", "--deadline-ms=250"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--max-queue=16"}).ok());
+  EXPECT_TRUE(Parse({"--query=q", "--cache", "--max-queue=16"}).ok());
+  EXPECT_TRUE(Parse({"--query=q", "--repeat=4", "--deadline-ms=250"}).ok());
+  EXPECT_TRUE(Parse({"--query=q", "--dataset=a=products",
+                     "--dataset=b=movies", "--deadline-ms=250"})
+                  .ok());
+}
+
+TEST(CliParseTest, RouterWatchNeedsAFileDataset) {
+  EXPECT_FALSE(Parse({"--query=q", "--dataset=a=products",
+                      "--dataset=b=movies", "--watch"})
+                   .ok());
+  auto ok = Parse({"--query=q", "--dataset=a=products",
+                   "--dataset=b=corpus/b.xml", "--watch"});
+  EXPECT_TRUE(ok.ok()) << ok.status();
 }
 
 TEST(CliAppTest, HelpPrintsUsage) {
@@ -164,6 +249,36 @@ TEST(CliAppTest, OutdoorLiftScenario) {
   std::ostringstream out, err;
   EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
   EXPECT_NE(out.str().find("product.category"), std::string::npos);
+}
+
+// One invocation, two datasets, one router: each dataset renders under
+// its own header and the admission/cache counters are printed.
+TEST(CliAppTest, RouterServesMultipleDatasets) {
+  CliOptions options;
+  options.query = "gps";
+  options.datasets = {{"left", "products"}, {"right", "products"}};
+  options.cache = true;
+  options.repeat = 2;
+  options.deadline_ms = 60000;
+  options.max_queue = 64;
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("=== left (epoch 0) ==="), std::string::npos);
+  EXPECT_NE(out.str().find("=== right (epoch 0) ==="), std::string::npos);
+  EXPECT_NE(out.str().find("total DoD:"), std::string::npos);
+  EXPECT_NE(out.str().find("router stats:"), std::string::npos);
+  EXPECT_NE(out.str().find("shed 0"), std::string::npos);
+  EXPECT_NE(out.str().find("deadline-exceeded 0"), std::string::npos);
+}
+
+TEST(CliAppTest, RouterReportsUnknownSource) {
+  CliOptions options;
+  options.query = "gps";
+  options.datasets = {{"a", "products"}, {"b", "nope"}};
+  std::ostringstream out, err;
+  EXPECT_EQ(RunApp(options, out, err), 1);
+  EXPECT_NE(err.str().find("dataset 'b'"), std::string::npos);
+  EXPECT_NE(err.str().find("unknown dataset"), std::string::npos);
 }
 
 TEST(CliAppTest, NoResultsQueryFailsGracefully) {

@@ -34,6 +34,14 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("u").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::DeadlineExceeded("d").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "deadline exceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "resource exhausted: full");
   const Status s = Status::ParseError("line 3");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "line 3");

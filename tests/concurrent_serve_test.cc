@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
 #include <string>
@@ -323,6 +324,79 @@ TEST_F(CacheTest, LruEvictsLeastRecentlyUsed) {
   EXPECT_EQ(service.cache_stats().hits, 2u);
   ASSERT_TRUE(service.Submit("galaxy").get().ok());  // evicted: miss
   EXPECT_EQ(service.cache_stats().misses, 4u);
+}
+
+// Shard capacities must sum EXACTLY to cache_capacity — the former
+// max(1, capacity/shards) rounding drifted in both directions
+// (capacity=1, shards=8 admitted 8 entries; 100/8 admitted 96).
+TEST_F(CacheTest, ShardCapacitiesSumExactlyToConfiguredCapacity) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_shards = 8;
+  options.cache_capacity = 100;
+  QueryService service(snapshot_, options);
+  const std::vector<size_t>& capacities = service.cache_shard_capacities();
+  ASSERT_EQ(capacities.size(), 8u);
+  size_t total = 0;
+  size_t lo = capacities[0];
+  size_t hi = capacities[0];
+  for (const size_t capacity : capacities) {
+    total += capacity;
+    lo = std::min(lo, capacity);
+    hi = std::max(hi, capacity);
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_LE(hi - lo, 1u) << "remainder must spread evenly";
+}
+
+// capacity < shards: the total stays the configured capacity (shards
+// beyond the remainder get 0 and never store), so a capacity-1 cache
+// holds at most ONE entry no matter how many shards stripe it.
+TEST_F(CacheTest, TinyCapacityNeverExceedsConfiguredTotal) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_shards = 8;
+  options.cache_capacity = 1;
+  QueryService service(snapshot_, options);
+
+  size_t total = 0;
+  for (const size_t capacity : service.cache_shard_capacities()) {
+    total += capacity;
+  }
+  EXPECT_EQ(total, 1u);
+
+  for (const char* query : {"star", "galaxy", "dragon"}) {
+    ASSERT_TRUE(service.Submit(query).get().ok());
+    EXPECT_LE(service.cache_stats().entries, 1u);
+  }
+}
+
+// A zero-capacity cache is just disabled: no entries, no counter churn.
+TEST_F(CacheTest, ZeroCapacityDisablesCache) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;
+  QueryService service(snapshot_, options);
+  EXPECT_TRUE(service.cache_shard_capacities().empty());
+  ASSERT_TRUE(service.Submit("star").get().ok());
+  ASSERT_TRUE(service.Submit("star").get().ok());
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+// std::thread::hardware_concurrency() may legitimately return 0 ("not
+// computable"); the pool must still come up with one worker, or every
+// Submit would queue forever. The options seam pins the reported value.
+TEST_F(CacheTest, ZeroHardwareConcurrencyClampsToOneWorker) {
+  QueryServiceOptions options;
+  options.num_threads = 0;  // resolve from "hardware"
+  options.hardware_concurrency_override = 0;
+  QueryService service(snapshot_, options);
+  EXPECT_EQ(service.num_threads(), 1);
+  auto outcome = service.Submit("star").get();
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
 }
 
 // The pool recycles released sessions instead of constructing new ones.

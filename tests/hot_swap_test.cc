@@ -15,6 +15,7 @@
 
 #include "data/product_reviews.h"
 #include "engine/query_service.h"
+#include "engine/router.h"
 #include "engine/session.h"
 #include "engine/snapshot.h"
 #include "table/renderer.h"
@@ -232,6 +233,66 @@ TEST_F(HotSwapTest, ReloadRacesQueryLoad) {
   submitter.join();
   EXPECT_EQ(service.snapshot_epoch(), 3u);
   std::remove(path.c_str());
+}
+
+// Hot swap under routing: while submitter threads hammer BOTH datasets
+// of a router, one dataset's service is swapped back and forth. Swapped-
+// dataset outcomes must always be wholly from one snapshot (A or B,
+// never a mix), and the untouched dataset must be completely unaffected.
+// Runs under the TSAN CI job.
+TEST_F(HotSwapTest, RoutedQueriesRacingSwapNeverLeakAcrossDatasets) {
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.enable_cache = true;  // also exercises epoch-keyed caching
+  StatusOr<ServiceRouter> router = ServiceRouter::Create(
+      {{"hot", snapshot_a_}, {"cold", snapshot_b_}}, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 40;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % Queries().size();
+        const std::string hot =
+            Fingerprint(router->Submit("hot", Queries()[q]).get());
+        if (hot != expected_a_[q] && hot != expected_b_[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "mixed-snapshot outcome on swapped dataset for '"
+                        << Queries()[q] << "'";
+        }
+        const std::string cold =
+            Fingerprint(router->Submit("cold", Queries()[q]).get());
+        if (cold != expected_b_[q]) {
+          failed.store(true);
+          ADD_FAILURE() << "unswapped dataset drifted for '" << Queries()[q]
+                        << "'";
+        }
+      }
+    });
+  }
+  // Race: swap only "hot" while both datasets serve.
+  QueryService* hot_service = router->service("hot");
+  ASSERT_NE(hot_service, nullptr);
+  for (int swap = 0; swap < 20; ++swap) {
+    hot_service->SwapSnapshot(swap % 2 == 0 ? snapshot_b_ : snapshot_a_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& thread : submitters) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(router->service("hot")->snapshot_epoch(), 20u);
+  EXPECT_EQ(router->service("cold")->snapshot_epoch(), 0u);
+
+  // Settled: "hot" serves its last snapshot, "cold" never moved.
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(router->Submit("hot", Queries()[q]).get()),
+              expected_a_[q]);
+    EXPECT_EQ(Fingerprint(router->Submit("cold", Queries()[q]).get()),
+              expected_b_[q]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// ServiceRouter tests: routing correctness (byte-identity to direct
+// QueryService serving and to the single-threaded reference), admission
+// control (deadline-exceeded outcomes, queue-full load shedding), stats
+// aggregation across datasets, and per-dataset hot reload routing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/router.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+#include "table/renderer.h"
+#include "xml/io.h"
+#include "xml/writer.h"
+
+namespace xsact::engine {
+namespace {
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "gps", "camera", "battery life", "kind:laptop"};
+  return queries;
+}
+
+/// Deterministic byte fingerprint of a serve outcome (table + DoD, or
+/// the error text).
+std::string Fingerprint(const StatusOr<OutcomePtr>& outcome) {
+  if (!outcome.ok()) return "ERR:" + outcome.status().ToString();
+  return table::RenderAscii((*outcome)->table) + "#" +
+         std::to_string((*outcome)->total_dod);
+}
+
+/// Single-threaded reference outcome for `query` against `snapshot`.
+std::string Expected(const SnapshotPtr& snapshot, const std::string& query) {
+  QuerySession session;
+  StatusOr<ComparisonOutcome> outcome =
+      SearchAndCompare(*snapshot, &session, query);
+  if (!outcome.ok()) {
+    return "ERR:" + outcome.status().ToString();
+  }
+  return table::RenderAscii(outcome->table) + "#" +
+         std::to_string(outcome->total_dod);
+}
+
+SnapshotPtr MakeCorpus(int num_products, uint64_t seed) {
+  data::ProductReviewsConfig config;
+  config.num_products = num_products;
+  config.seed = seed;
+  return CorpusSnapshot::Build(data::GenerateProductReviews(config));
+}
+
+class RouterServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alpha_ = MakeCorpus(20, 11);
+    beta_ = MakeCorpus(26, 42);
+    for (const std::string& query : Queries()) {
+      expected_alpha_.push_back(Expected(alpha_, query));
+      expected_beta_.push_back(Expected(beta_, query));
+    }
+    // The corpora must actually differ, or per-dataset routing is
+    // untestable.
+    ASSERT_NE(expected_alpha_[0], expected_beta_[0]);
+  }
+
+  StatusOr<ServiceRouter> MakeRouter(const QueryServiceOptions& options) {
+    return ServiceRouter::Create(
+        {{"alpha", alpha_}, {"beta", beta_}}, options);
+  }
+
+  SnapshotPtr alpha_;
+  SnapshotPtr beta_;
+  std::vector<std::string> expected_alpha_;
+  std::vector<std::string> expected_beta_;
+};
+
+TEST_F(RouterServeTest, CreateRejectsBadSpecs) {
+  EXPECT_EQ(ServiceRouter::Create({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceRouter::Create({{"", alpha_}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceRouter::Create({{"alpha", nullptr}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceRouter::Create({{"dup", alpha_}, {"dup", beta_}})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(RouterServeTest, ExposesDatasetsSorted) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  StatusOr<ServiceRouter> router = ServiceRouter::Create(
+      {{"zeta", beta_}, {"alpha", alpha_}}, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  EXPECT_EQ(router->num_datasets(), 2u);
+  EXPECT_EQ(router->dataset_names(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_NE(router->service("alpha"), nullptr);
+  EXPECT_NE(router->service("zeta"), nullptr);
+  EXPECT_EQ(router->service("missing"), nullptr);
+}
+
+// The acceptance gate: serving through the router is byte-identical to
+// serving directly through a per-dataset QueryService, which in turn
+// matches the single-threaded reference.
+TEST_F(RouterServeTest, RoutedServingIsByteIdenticalToDirectServing) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.enable_cache = false;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  QueryService direct_alpha(alpha_, options);
+  QueryService direct_beta(beta_, options);
+
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    const std::string routed_alpha =
+        Fingerprint(router->Submit("alpha", Queries()[q]).get());
+    const std::string routed_beta =
+        Fingerprint(router->Submit("beta", Queries()[q]).get());
+    EXPECT_EQ(routed_alpha,
+              Fingerprint(direct_alpha.Submit(Queries()[q]).get()));
+    EXPECT_EQ(routed_beta,
+              Fingerprint(direct_beta.Submit(Queries()[q]).get()));
+    EXPECT_EQ(routed_alpha, expected_alpha_[q]);
+    EXPECT_EQ(routed_beta, expected_beta_[q]);
+  }
+}
+
+TEST_F(RouterServeTest, UnknownDatasetResolvesNotFound) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  StatusOr<OutcomePtr> outcome = router->Submit("gamma", "gps").get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  const Status reload = router->ReloadCorpus("gamma", "/tmp/x.xml").get();
+  EXPECT_EQ(reload.code(), StatusCode::kNotFound);
+}
+
+// A task dequeued at or past its deadline resolves DEADLINE_EXCEEDED
+// without being evaluated, and the per-dataset counter records it.
+TEST_F(RouterServeTest, ExpiredDeadlineResolvesDeadlineExceeded) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  const Deadline expired =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  StatusOr<OutcomePtr> outcome =
+      router->Submit("alpha", Queries()[0], {}, 0, expired).get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A generous deadline serves normally.
+  const Deadline relaxed =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  EXPECT_EQ(Fingerprint(router->Submit("alpha", Queries()[0], {}, 0, relaxed)
+                            .get()),
+            expected_alpha_[0]);
+
+  const RouterStats stats = router->stats();
+  ASSERT_EQ(stats.datasets.size(), 2u);
+  EXPECT_EQ(stats.datasets[0].dataset, "alpha");
+  EXPECT_EQ(stats.datasets[0].admission.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.datasets[1].admission.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.total_deadline_exceeded(), 1u);
+}
+
+// A cache hit resolves at submission — before any queueing — so it is
+// served even when the request's deadline has already passed.
+TEST_F(RouterServeTest, CacheHitServesDespiteExpiredDeadline) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = true;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  ASSERT_EQ(Fingerprint(router->Submit("alpha", Queries()[0]).get()),
+            expected_alpha_[0]);
+  const Deadline expired =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(Fingerprint(router->Submit("alpha", Queries()[0], {}, 0, expired)
+                            .get()),
+            expected_alpha_[0]);
+  const RouterStats stats = router->stats();
+  EXPECT_EQ(stats.datasets[0].cache.hits, 1u);
+  EXPECT_EQ(stats.datasets[0].admission.deadline_exceeded, 0u);
+}
+
+// Flooding a single-worker service with a queue bound of 1 must shed:
+// rejected futures resolve RESOURCE_EXHAUSTED immediately, accepted ones
+// still serve the correct outcome, and the counters add up.
+TEST_F(RouterServeTest, FullQueueShedsWithResourceExhausted) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  options.max_queue = 1;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  constexpr size_t kFlood = 32;
+  std::vector<std::future<StatusOr<OutcomePtr>>> futures;
+  futures.reserve(kFlood);
+  for (size_t i = 0; i < kFlood; ++i) {
+    futures.push_back(router->Submit("beta", Queries()[0]));
+  }
+  size_t ok = 0;
+  size_t shed = 0;
+  for (auto& future : futures) {
+    StatusOr<OutcomePtr> outcome = future.get();
+    if (outcome.ok()) {
+      EXPECT_EQ(Fingerprint(outcome), expected_beta_[0]);
+      ++ok;
+    } else {
+      ASSERT_EQ(outcome.status().code(), StatusCode::kResourceExhausted)
+          << outcome.status();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kFlood);
+  EXPECT_GE(ok, 1u) << "the in-flight and queued tasks must still serve";
+  EXPECT_GE(shed, 1u) << "a 32-deep burst into a queue of 1 must shed";
+
+  const RouterStats stats = router->stats();
+  ASSERT_EQ(stats.datasets.size(), 2u);
+  EXPECT_EQ(stats.datasets[1].dataset, "beta");
+  EXPECT_EQ(stats.datasets[1].admission.shed, shed);
+  EXPECT_EQ(stats.datasets[1].admission.admitted, ok);
+  EXPECT_EQ(stats.datasets[0].admission.shed, 0u);
+  EXPECT_EQ(stats.total_shed(), shed);
+  EXPECT_EQ(stats.total_queue_depth(), 0u) << "drained after get()";
+}
+
+// Stats are attributed to the dataset that served the traffic.
+TEST_F(RouterServeTest, StatsAggregatePerDataset) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = true;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  ASSERT_TRUE(router->Submit("alpha", Queries()[0]).get().ok());
+  ASSERT_TRUE(router->Submit("alpha", Queries()[0]).get().ok());  // hit
+  ASSERT_TRUE(router->Submit("beta", Queries()[1]).get().ok());
+
+  const RouterStats stats = router->stats();
+  ASSERT_EQ(stats.datasets.size(), 2u);
+  EXPECT_EQ(stats.datasets[0].dataset, "alpha");
+  EXPECT_EQ(stats.datasets[0].cache.hits, 1u);
+  EXPECT_EQ(stats.datasets[0].cache.misses, 1u);
+  EXPECT_EQ(stats.datasets[0].admission.admitted, 1u);
+  EXPECT_EQ(stats.datasets[1].dataset, "beta");
+  EXPECT_EQ(stats.datasets[1].cache.hits, 0u);
+  EXPECT_EQ(stats.datasets[1].cache.misses, 1u);
+  EXPECT_EQ(stats.datasets[1].admission.admitted, 1u);
+  EXPECT_EQ(stats.datasets[0].epoch, 0u);
+  EXPECT_EQ(stats.datasets[1].epoch, 0u);
+}
+
+// ReloadCorpus routes to the named service only: the reloaded dataset
+// swaps snapshots (and bumps its epoch), the other keeps serving its
+// corpus at epoch 0.
+TEST_F(RouterServeTest, ReloadRoutesToNamedDatasetOnly) {
+  const std::string path =
+      ::testing::TempDir() + "/xsact_router_reload.xml";
+  data::ProductReviewsConfig config;
+  config.num_products = 26;
+  config.seed = 42;
+  const std::string beta_xml =
+      xml::WriteDocument(data::GenerateProductReviews(config),
+                         {.indent_width = 2, .declaration = true});
+  ASSERT_TRUE(xml::WriteStringToFile(path, beta_xml).ok());
+  // Parse-roundtripped corpus: its serve outcomes match a file reload.
+  StatusOr<SnapshotPtr> reloaded_ref = CorpusSnapshot::FromXml(beta_xml);
+  ASSERT_TRUE(reloaded_ref.ok()) << reloaded_ref.status();
+  std::vector<std::string> expected_reloaded;
+  for (const std::string& query : Queries()) {
+    expected_reloaded.push_back(Expected(*reloaded_ref, query));
+  }
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  const Status reloaded = router->ReloadCorpus("alpha", path).get();
+  ASSERT_TRUE(reloaded.ok()) << reloaded;
+  EXPECT_EQ(router->service("alpha")->snapshot_epoch(), 1u);
+  EXPECT_EQ(router->service("beta")->snapshot_epoch(), 0u);
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(router->Submit("alpha", Queries()[q]).get()),
+              expected_reloaded[q]);
+    EXPECT_EQ(Fingerprint(router->Submit("beta", Queries()[q]).get()),
+              expected_beta_[q]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xsact::engine
