@@ -8,6 +8,8 @@
 #ifndef XSACT_BENCH_BENCH_COMMON_H_
 #define XSACT_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,6 +24,47 @@ namespace xsact::bench {
 /// Prints a horizontal rule sized for a standard report line.
 inline void Rule() {
   std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+/// Peak resident set size of this process so far, in bytes. A high-water
+/// mark (monotone), so report it once per phase and diff across phases.
+inline size_t PeakRssBytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Formats a byte count as a compact human-readable string ("1.4 MiB").
+inline std::string HumanBytes(size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f %s" : "%.1f %s", v, units[u]);
+  return buf;
+}
+
+/// Prints one index-footprint accounting line (compressed layout vs the
+/// raw CSR baseline plus current peak RSS) and returns the compression
+/// ratio raw/compressed. Shared by the index benches so their reports
+/// stay comparable.
+inline double ReportIndexBytes(const std::string& label,
+                               size_t compressed_bytes, size_t raw_bytes) {
+  const double ratio =
+      compressed_bytes > 0
+          ? static_cast<double>(raw_bytes) / static_cast<double>(compressed_bytes)
+          : 0.0;
+  std::printf("%-24s index %10s compressed vs %10s raw CSR (%5.2fx), "
+              "peak RSS %s\n",
+              label.c_str(), HumanBytes(compressed_bytes).c_str(),
+              HumanBytes(raw_bytes).c_str(), ratio,
+              HumanBytes(PeakRssBytes()).c_str());
+  return ratio;
 }
 
 /// Prints a bench header.

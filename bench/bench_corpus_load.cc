@@ -550,6 +550,8 @@ int main() {
     rows.push_back(row);
   }
   bench::Rule();
+  std::printf("peak RSS across all loads: %s\n",
+              bench::HumanBytes(bench::PeakRssBytes()).c_str());
 
   for (const Row& row : rows) {
     if (row.largest && row.Speedup() < 3.0) {
@@ -573,8 +575,8 @@ int main() {
           row.legacy_ms, row.new_ms, row.Speedup(),
           r + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(json, "  ],\n  \"gate_ok\": %s\n}\n",
-                 gate_ok ? "true" : "false");
+    std::fprintf(json, "  ],\n  \"peak_rss_bytes\": %zu,\n  \"gate_ok\": %s\n}\n",
+                 bench::PeakRssBytes(), gate_ok ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_corpus_load.json\n");
   }

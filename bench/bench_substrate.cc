@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <initializer_list>
 #include <map>
+#include <vector>
 
 #include "core/dod.h"
 #include "core/multi_swap.h"
@@ -100,12 +102,29 @@ void BM_SchemaInfer(benchmark::State& state) {
 }
 BENCHMARK(BM_SchemaInfer);
 
-search::MatchLists QueryLists() {
-  return {Index().Postings("gps"), Index().Postings("compact")};
+/// Decoded match lists plus the storage the views point into.
+struct QueryListsStorage {
+  std::vector<std::vector<xml::NodeId>> storage;
+  search::MatchLists lists;
+};
+
+QueryListsStorage DecodeLists(const search::InvertedIndex& index,
+                              std::initializer_list<const char*> terms) {
+  QueryListsStorage out;
+  out.storage.reserve(terms.size());
+  for (const char* t : terms) {
+    out.lists.push_back(index.Decode(t, &out.storage.emplace_back()));
+  }
+  return out;
+}
+
+QueryListsStorage QueryLists() {
+  return DecodeLists(Index(), {"gps", "compact"});
 }
 
 void BM_SlcaScan(benchmark::State& state) {
-  const auto lists = QueryLists();
+  const auto query = QueryLists();
+  const search::MatchLists& lists = query.lists;
   for (auto _ : state) {
     auto slca = search::ComputeSlcaByScan(Table(), lists);
     benchmark::DoNotOptimize(slca);
@@ -114,7 +133,8 @@ void BM_SlcaScan(benchmark::State& state) {
 BENCHMARK(BM_SlcaScan);
 
 void BM_SlcaIndexed(benchmark::State& state) {
-  const auto lists = QueryLists();
+  const auto query = QueryLists();
+  const search::MatchLists& lists = query.lists;
   for (auto _ : state) {
     auto slca = search::ComputeSlcaIndexed(Table(), lists);
     benchmark::DoNotOptimize(slca);
@@ -123,7 +143,8 @@ void BM_SlcaIndexed(benchmark::State& state) {
 BENCHMARK(BM_SlcaIndexed);
 
 void BM_Elca(benchmark::State& state) {
-  const auto lists = QueryLists();
+  const auto query = QueryLists();
+  const search::MatchLists& lists = query.lists;
   for (auto _ : state) {
     auto elca = search::ComputeElcaByScan(Table(), lists);
     benchmark::DoNotOptimize(elca);
@@ -160,8 +181,8 @@ const SizedCorpus& CorpusOfSize(int products) {
 
 void BM_SlcaScanScaling(benchmark::State& state) {
   const SizedCorpus& corpus = CorpusOfSize(static_cast<int>(state.range(0)));
-  const search::MatchLists lists = {corpus.index.Postings("gps"),
-                                    corpus.index.Postings("compact")};
+  const auto query = DecodeLists(corpus.index, {"gps", "compact"});
+  const search::MatchLists& lists = query.lists;
   for (auto _ : state) {
     auto slca = search::ComputeSlcaByScan(corpus.table, lists);
     benchmark::DoNotOptimize(slca);
@@ -172,8 +193,8 @@ BENCHMARK(BM_SlcaScanScaling)->Arg(10)->Arg(40)->Arg(160);
 
 void BM_SlcaIndexedScaling(benchmark::State& state) {
   const SizedCorpus& corpus = CorpusOfSize(static_cast<int>(state.range(0)));
-  const search::MatchLists lists = {corpus.index.Postings("gps"),
-                                    corpus.index.Postings("compact")};
+  const auto query = DecodeLists(corpus.index, {"gps", "compact"});
+  const search::MatchLists& lists = query.lists;
   for (auto _ : state) {
     auto slca = search::ComputeSlcaIndexed(corpus.table, lists);
     benchmark::DoNotOptimize(slca);

@@ -514,6 +514,16 @@ int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err) {
     return 1;
   }
 
+  if (options.stats) {
+    const engine::IndexStats stats = xsact->snapshot()->index_stats();
+    out << "corpus: " << xsact->snapshot()->table().size() << " nodes\n"
+        << "index: " << stats.terms << " terms, " << stats.postings
+        << " postings, " << stats.compressed_bytes
+        << " bytes compressed (raw CSR " << stats.raw_csr_bytes << " bytes, "
+        << FormatDouble(stats.ratio(), 2) << "x)\n";
+    if (options.query.empty()) return 0;
+  }
+
   if (options.watch) {
     return RunWatch(options, *xsact, CompareOptionsFor(options), out, err);
   }

@@ -96,6 +96,8 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
       options.list_only = true;
     } else if (arg == "--ranked") {
       options.ranked = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
     } else if (arg == "--show-dfs") {
       options.show_dfs = true;
     } else if (arg == "--explain") {
@@ -219,7 +221,10 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
                                      "'; see --help");
     }
   }
-  if (!options.help && options.query.empty()) {
+  // --stats alone is a valid single-dataset invocation (print corpus and
+  // index statistics, no query evaluation); router mode still needs one.
+  const bool stats_only = options.stats && options.datasets.size() < 2;
+  if (!options.help && !stats_only && options.query.empty()) {
     return Status::InvalidArgument("--query is required; see --help");
   }
   for (size_t i = 0; i < options.datasets.size(); ++i) {
@@ -307,6 +312,8 @@ std::string CliUsage() {
       "  --max-reloads=N      exit --watch after N reloads (0 = forever)\n"
       "  --ranked             order results by relevance\n"
       "  --list               only list results (with snippets)\n"
+      "  --stats              print corpus/index statistics (terms,\n"
+      "                       postings, compressed vs raw index bytes)\n"
       "  --show-dfs           also print the selected DFS per result\n"
       "  --explain            also print natural-language differences\n"
       "  --help               this text\n";

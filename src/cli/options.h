@@ -50,6 +50,7 @@ struct CliOptions {
   bool cache = false;        ///< enable the QueryService result cache
   bool watch = false;        ///< watch a file dataset, hot-swap on change
   int max_reloads = 0;       ///< stop --watch after N reloads (0 = forever)
+  bool stats = false;        ///< print corpus/index statistics
   bool list_only = false;    ///< print the result list, no comparison
   bool ranked = false;       ///< order results by relevance
   bool show_dfs = false;     ///< also print each DFS

@@ -72,8 +72,10 @@ struct ComparisonOutcome {
 /// queries concurrently, but is freely reusable sequentially.
 class QuerySession {
  public:
-  /// Search evaluation scratch (posting filters, dedup set, schema-probe
-  /// composition buffer).
+  /// Search evaluation scratch (posting decode pools, merge-kernel block
+  /// cache/heap/stack, posting filters, dedup set, schema-probe
+  /// composition buffer). Warmed by the first query; later queries run
+  /// the match pipeline allocation-free.
   search::SearchWorkspace search;
   /// Feature-extraction workspace (local interners, aggregation tables).
   feature::ExtractionScratch extraction;

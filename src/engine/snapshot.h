@@ -26,6 +26,23 @@ namespace xsact::engine {
 
 class CorpusSnapshot;
 
+/// Memory accounting for a snapshot's inverted index: what the
+/// block-compressed posting storage holds versus what the same postings
+/// would cost in the uncompressed CSR layout it replaced. Surfaced by
+/// the CLI's --stats flag and the bench_index_compress gate.
+struct IndexStats {
+  size_t terms = 0;
+  size_t postings = 0;
+  size_t compressed_bytes = 0;  ///< payload + skip entries + offsets
+  size_t raw_csr_bytes = 0;     ///< 1 NodeId/posting + 1 offset/term
+  double ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_csr_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
 /// How snapshots are shared: the snapshot is owned jointly by every
 /// component serving queries over it (Xsact facade, QueryService,
 /// in-flight sessions) and dies with the last of them.
@@ -70,6 +87,13 @@ class CorpusSnapshot {
   const search::InvertedIndex& index() const { return engine_.index(); }
   const entity::DocumentCategoryIndex& category_index() const {
     return engine_.category_index();
+  }
+
+  /// Index memory accounting (see IndexStats).
+  IndexStats index_stats() const {
+    const search::InvertedIndex& idx = engine_.index();
+    return IndexStats{idx.TermCount(), idx.PostingCount(),
+                      idx.CompressedSizeBytes(), idx.RawCsrSizeBytes()};
   }
 
  private:

@@ -35,38 +35,48 @@ InvertedIndex InvertedIndex::Build(const xml::NodeTable& table) {
     }
   }
 
-  // Counting sort into CSR ranges, then sort + dedup each term's range,
-  // compacting the array in place.
+  // Counting sort into per-term ranges, sort + dedup each range in a
+  // flat id buffer, then compress term by term into the shared payload.
   const size_t num_terms = index.terms_.size();
-  index.offsets_.assign(num_terms + 1, 0);
+  std::vector<size_t> range(num_terms + 1, 0);
   for (const auto& [term, element] : occurrences) {
     (void)element;
-    ++index.offsets_[static_cast<size_t>(term) + 1];
+    ++range[static_cast<size_t>(term) + 1];
   }
-  for (size_t t = 0; t < num_terms; ++t) {
-    index.offsets_[t + 1] += index.offsets_[t];
-  }
-  index.postings_.resize(occurrences.size());
-  std::vector<size_t> cursor(index.offsets_.begin(),
-                             index.offsets_.end() - 1);
+  for (size_t t = 0; t < num_terms; ++t) range[t + 1] += range[t];
+  std::vector<xml::NodeId> flat(occurrences.size());
+  std::vector<size_t> cursor(range.begin(), range.end() - 1);
   for (const auto& [term, element] : occurrences) {
-    index.postings_[cursor[static_cast<size_t>(term)]++] = element;
+    flat[cursor[static_cast<size_t>(term)]++] = element;
   }
-  size_t write = 0;
+  occurrences.clear();
+  occurrences.shrink_to_fit();
+
+  index.byte_offsets_.reserve(num_terms + 1);
+  index.skip_offsets_.reserve(num_terms + 1);
+  index.count_offsets_.reserve(num_terms + 1);
+  index.byte_offsets_.push_back(0);
+  index.skip_offsets_.push_back(0);
+  index.count_offsets_.push_back(0);
   for (size_t t = 0; t < num_terms; ++t) {
-    const size_t begin = index.offsets_[t];
-    const size_t end = index.offsets_[t + 1];
-    std::sort(index.postings_.begin() + static_cast<ptrdiff_t>(begin),
-              index.postings_.begin() + static_cast<ptrdiff_t>(end));
-    index.offsets_[t] = write;
+    const size_t begin = range[t];
+    const size_t end = range[t + 1];
+    std::sort(flat.begin() + static_cast<ptrdiff_t>(begin),
+              flat.begin() + static_cast<ptrdiff_t>(end));
+    size_t write = begin;
     for (size_t r = begin; r < end; ++r) {
-      if (r > begin && index.postings_[r] == index.postings_[r - 1]) continue;
-      index.postings_[write++] = index.postings_[r];
+      if (r > begin && flat[r] == flat[r - 1]) continue;
+      flat[write++] = flat[r];
     }
+    EncodePostings(flat.data() + begin, write - begin, &index.bytes_,
+                   &index.skips_);
+    index.byte_offsets_.push_back(static_cast<uint32_t>(index.bytes_.size()));
+    index.skip_offsets_.push_back(static_cast<uint32_t>(index.skips_.size()));
+    index.count_offsets_.push_back(index.count_offsets_.back() +
+                                   static_cast<uint32_t>(write - begin));
   }
-  index.offsets_[num_terms] = write;
-  index.postings_.resize(write);
-  index.postings_.shrink_to_fit();
+  index.bytes_.shrink_to_fit();
+  index.skips_.shrink_to_fit();
   return index;
 }
 

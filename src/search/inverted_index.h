@@ -5,10 +5,15 @@
 // dense pre-order NodeIds (document order), so posting lists double as
 // Dewey-ordered match lists for the SLCA algorithms.
 //
-// Terms are interned to dense ids and all posting lists live in one
-// contiguous array (CSR layout: offsets_[t]..offsets_[t+1]). Lookups are
+// Terms are interned to dense ids. Posting lists are stored
+// block-compressed (see postings_codec.h): one shared payload byte
+// array, one shared skip-entry array, and three CSR offset arrays
+// mapping a term id to its byte / skip / posting ranges. Lookups are
 // heterogeneous string_view probes — a query term never materializes a
-// std::string, and a hit returns a view into the shared array.
+// std::string, and a hit returns a CompressedPostings handle into the
+// shared arrays. Callers that need a flat id array decode into
+// caller-owned scratch (Decode); the merge kernels and the ranker read
+// the compressed form directly.
 
 #ifndef XSACT_SEARCH_INVERTED_INDEX_H_
 #define XSACT_SEARCH_INVERTED_INDEX_H_
@@ -19,41 +24,84 @@
 
 #include "common/interner.h"
 #include "search/posting_list.h"
+#include "search/postings_codec.h"
 #include "xml/document.h"
 #include "xml/path.h"
 
 namespace xsact::search {
 
-/// Keyword -> sorted element-id posting lists for one document.
+/// Keyword -> block-compressed element-id posting lists for one document.
 class InvertedIndex {
  public:
   /// Builds the index in a single sweep of the node table. `table` must
   /// outlive any query evaluated against this index.
   static InvertedIndex Build(const xml::NodeTable& table);
 
-  /// Posting list for a (case-folded) term; empty list when absent.
-  /// Allocation-free.
-  PostingList Postings(std::string_view term) const {
+  /// Compressed posting list for a (case-folded) term; empty handle when
+  /// absent. Allocation-free.
+  CompressedPostings Postings(std::string_view term) const {
     const int32_t id = terms_.Find(term);
-    if (id < 0) return PostingList();
-    const size_t begin = offsets_[static_cast<size_t>(id)];
-    const size_t end = offsets_[static_cast<size_t>(id) + 1];
-    return PostingList(postings_.data() + begin, end - begin);
+    if (id < 0) return CompressedPostings();
+    const size_t t = static_cast<size_t>(id);
+    return CompressedPostings(bytes_.data() + byte_offsets_[t],
+                              skips_.data() + skip_offsets_[t],
+                              skip_offsets_[t + 1] - skip_offsets_[t],
+                              count_offsets_[t + 1] - count_offsets_[t]);
+  }
+
+  /// Decodes a term's postings into `*scratch` (capacity reused) and
+  /// returns a view of it; empty view when the term is absent.
+  PostingList Decode(std::string_view term,
+                     std::vector<xml::NodeId>* scratch) const {
+    return Postings(term).DecodeAll(scratch);
+  }
+
+  /// Document frequency: number of distinct elements containing `term`
+  /// (0 when absent). Reads only the CSR offsets, never the payload.
+  size_t Df(std::string_view term) const {
+    const int32_t id = terms_.Find(term);
+    if (id < 0) return 0;
+    const size_t t = static_cast<size_t>(id);
+    return count_offsets_[t + 1] - count_offsets_[t];
   }
 
   /// Number of distinct terms.
   size_t TermCount() const { return terms_.size(); }
 
   /// Total number of postings across all terms.
-  size_t PostingCount() const { return postings_.size(); }
+  size_t PostingCount() const {
+    return count_offsets_.empty() ? 0 : count_offsets_.back();
+  }
 
   /// True iff the term occurs anywhere in the document.
   bool Contains(std::string_view term) const { return terms_.Find(term) >= 0; }
 
+  /// Bytes held by the compressed posting storage: payload + skip
+  /// entries + the three CSR offset arrays (term strings excluded —
+  /// both layouts pay the same interner cost).
+  size_t CompressedSizeBytes() const {
+    return bytes_.size() * sizeof(uint8_t) +
+           skips_.size() * sizeof(PostingsSkip) +
+           (byte_offsets_.size() + skip_offsets_.size() +
+            count_offsets_.size()) *
+               sizeof(uint32_t);
+  }
+
+  /// Bytes the same postings would occupy in the uncompressed CSR layout
+  /// this index replaced (one NodeId per posting plus a size_t offset
+  /// per term) — the denominator of the compression-ratio gate.
+  size_t RawCsrSizeBytes() const {
+    return PostingCount() * sizeof(xml::NodeId) +
+           (TermCount() + 1) * sizeof(size_t);
+  }
+
  private:
-  StringInterner terms_;           // term -> dense term id
-  std::vector<size_t> offsets_;    // term id -> [offsets_[t], offsets_[t+1])
-  std::vector<xml::NodeId> postings_;  // contiguous, sorted + unique per term
+  StringInterner terms_;                  // term -> dense term id
+  std::vector<uint8_t> bytes_;            // all block payloads
+  std::vector<PostingsSkip> skips_;       // all skip entries
+  std::vector<uint32_t> byte_offsets_;    // term id -> payload byte range
+  std::vector<uint32_t> skip_offsets_;    // term id -> skip entry range
+  std::vector<uint32_t> count_offsets_;   // term id -> posting count prefix
 };
 
 }  // namespace xsact::search

@@ -1,0 +1,207 @@
+#include "search/postings_codec.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace xsact::search {
+
+namespace {
+
+// Block payload layout (m ids in the block, m1 = m - 1 gaps; the first
+// id lives in the skip entry):
+//   m1 == 0           -> zero bytes.
+//   header 0x00       -> varbyte mode: m1 varints.
+//   header 0x80 | w   -> packed mode at bit width w (0..32): one byte of
+//                        exception count E, ceil(m1*w/8) bytes of
+//                        little-endian bit-packed low bits, then E
+//                        exceptions {position byte, varbyte high bits}.
+constexpr uint8_t kPackedFlag = 0x80;
+
+size_t VarbyteLen(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t BitWidth(uint32_t v) {
+  size_t w = 0;
+  while (v >> w) ++w;
+  return w;
+}
+
+}  // namespace
+
+void AppendVarbyte(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+const uint8_t* DecodeVarbyte(const uint8_t* p, uint32_t* v) {
+  uint32_t out = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    out |= static_cast<uint32_t>(*p++ & 0x7F) << shift;
+    shift += 7;
+  }
+  *v = out | (static_cast<uint32_t>(*p++) << shift);
+  return p;
+}
+
+void EncodePostings(const xml::NodeId* ids, size_t count,
+                    std::vector<uint8_t>* bytes,
+                    std::vector<PostingsSkip>* skips) {
+  const size_t base = bytes->size();
+  uint32_t gaps[kPostingsBlockSize];
+  for (size_t b0 = 0; b0 < count; b0 += kPostingsBlockSize) {
+    const size_t m = std::min(count - b0, kPostingsBlockSize);
+    skips->push_back(PostingsSkip{
+        ids[b0], static_cast<uint32_t>(bytes->size() - base)});
+    const size_t m1 = m - 1;
+    if (m1 == 0) continue;
+    size_t max_w = 0;
+    size_t varbyte_cost = 1;
+    for (size_t i = 0; i < m1; ++i) {
+      gaps[i] = ids[b0 + i + 1] - ids[b0 + i] - 1;
+      max_w = std::max(max_w, BitWidth(gaps[i]));
+      varbyte_cost += VarbyteLen(gaps[i]);
+    }
+    // Packed cost at each candidate width: header + exception count +
+    // packed low bits + patch list. Blocks are <= 128 gaps, so the
+    // exhaustive width search is cheap and only runs at build time.
+    size_t best_w = max_w;
+    size_t best_cost = SIZE_MAX;
+    for (size_t w = 0; w <= max_w; ++w) {
+      size_t cost = 2 + (m1 * w + 7) / 8;
+      for (size_t i = 0; i < m1 && cost < best_cost; ++i) {
+        if (w < 32 && (gaps[i] >> w) != 0) cost += 1 + VarbyteLen(gaps[i] >> w);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_w = w;
+      }
+    }
+    if (varbyte_cost <= best_cost) {
+      bytes->push_back(0x00);
+      for (size_t i = 0; i < m1; ++i) AppendVarbyte(gaps[i], bytes);
+      continue;
+    }
+    const size_t w = best_w;
+    bytes->push_back(kPackedFlag | static_cast<uint8_t>(w));
+    const size_t count_pos = bytes->size();
+    bytes->push_back(0);  // exception count, patched below
+    uint64_t acc = 0;
+    int nbits = 0;
+    const uint32_t mask = w >= 32 ? ~0u : ((1u << w) - 1);
+    for (size_t i = 0; i < m1; ++i) {
+      acc |= static_cast<uint64_t>(gaps[i] & mask) << nbits;
+      nbits += static_cast<int>(w);
+      while (nbits >= 8) {
+        bytes->push_back(static_cast<uint8_t>(acc));
+        acc >>= 8;
+        nbits -= 8;
+      }
+    }
+    if (nbits > 0) bytes->push_back(static_cast<uint8_t>(acc));
+    size_t exceptions = 0;
+    for (size_t i = 0; i < m1; ++i) {
+      const uint32_t high = w >= 32 ? 0 : (gaps[i] >> w);
+      if (high == 0) continue;
+      bytes->push_back(static_cast<uint8_t>(i));
+      AppendVarbyte(high, bytes);
+      ++exceptions;
+    }
+    XSACT_CHECK(exceptions <= 0xFF);
+    (*bytes)[count_pos] = static_cast<uint8_t>(exceptions);
+  }
+}
+
+size_t CompressedPostings::DecodeBlock(size_t b, xml::NodeId* out) const {
+  const size_t m = BlockLength(b);
+  out[0] = skips_[b].first_id;
+  const size_t m1 = m - 1;
+  if (m1 == 0) return m;
+  const uint8_t* p = bytes_ + skips_[b].byte_offset;
+  const uint8_t header = *p++;
+  if ((header & kPackedFlag) == 0) {
+    xml::NodeId prev = out[0];
+    for (size_t i = 0; i < m1; ++i) {
+      uint32_t gap;
+      p = DecodeVarbyte(p, &gap);
+      prev += gap + 1;
+      out[i + 1] = prev;
+    }
+    return m;
+  }
+  const size_t w = header & 0x3F;
+  const size_t exceptions = *p++;
+  // Unpack low bits into the gap slots (out[1..m]), then patch the
+  // exceptions and prefix-sum in one final pass.
+  uint64_t acc = 0;
+  int nbits = 0;
+  const uint32_t mask = w >= 32 ? ~0u : ((1u << w) - 1);
+  for (size_t i = 0; i < m1; ++i) {
+    while (nbits < static_cast<int>(w)) {
+      acc |= static_cast<uint64_t>(*p++) << nbits;
+      nbits += 8;
+    }
+    out[i + 1] = static_cast<xml::NodeId>(acc & mask);
+    acc >>= w;
+    nbits -= static_cast<int>(w);
+  }
+  for (size_t e = 0; e < exceptions; ++e) {
+    const size_t pos = *p++;
+    uint32_t high;
+    p = DecodeVarbyte(p, &high);
+    out[pos + 1] = static_cast<xml::NodeId>(
+        static_cast<uint32_t>(out[pos + 1]) | (high << w));
+  }
+  xml::NodeId prev = out[0];
+  for (size_t i = 0; i < m1; ++i) {
+    prev += out[i + 1] + 1;
+    out[i + 1] = prev;
+  }
+  return m;
+}
+
+void CompressedPostings::DecodeInto(xml::NodeId* out) const {
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    DecodeBlock(b, out + b * kPostingsBlockSize);
+  }
+}
+
+PostingList CompressedPostings::DecodeAll(std::vector<xml::NodeId>* out) const {
+  out->resize(count_);
+  DecodeInto(out->data());
+  return PostingList(out->data(), out->size());
+}
+
+size_t CompressedPostings::Rank(xml::NodeId limit) const {
+  if (count_ == 0) return 0;
+  // First block whose first id is >= limit; everything before the
+  // previous block is fully below the limit.
+  size_t lo = 0, hi = num_blocks_;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (skips_[mid].first_id < limit) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return 0;
+  const size_t b = lo - 1;
+  xml::NodeId block[kPostingsBlockSize];
+  const size_t m = DecodeBlock(b, block);
+  const size_t j = static_cast<size_t>(
+      std::lower_bound(block, block + m, limit) - block);
+  return b * kPostingsBlockSize + j;
+}
+
+}  // namespace xsact::search

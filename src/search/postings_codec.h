@@ -1,0 +1,107 @@
+// Block-compressed posting-list codec.
+//
+// A posting list (sorted, duplicate-free pre-order element NodeIds) is
+// split into fixed-size blocks of kPostingsBlockSize ids. Each block has
+// a skip entry {first posting id, payload byte offset} so readers can
+// jump between blocks without touching the payload, and the payload
+// encodes only the remaining ids as gap values (delta - 1; sorted unique
+// ids make every delta >= 1). A block therefore decodes independently:
+// its first id comes from the skip entry, never from the payload.
+//
+// Per block the encoder picks the cheaper of two layouts:
+//   * varbyte  — one 7-bit-per-byte varint per gap; wins on skewed gap
+//     distributions (a few huge gaps among many small ones).
+//   * packed   — all gaps bit-packed at the width of the largest
+//     "regular" gap, plus a short exception list patching the outliers
+//     (position byte + varbyte of the high bits). This is the classic
+//     patched frame-of-reference layout and wins on the uniform-ish
+//     gaps real posting lists have.
+// The choice is a per-block header byte; decoders dispatch on it.
+
+#ifndef XSACT_SEARCH_POSTINGS_CODEC_H_
+#define XSACT_SEARCH_POSTINGS_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "search/posting_list.h"
+#include "xml/path.h"
+
+namespace xsact::search {
+
+/// Ids per block. 128 keeps one decoded block inside two cache lines of
+/// skip metadata and lets exception positions fit in one byte.
+inline constexpr size_t kPostingsBlockSize = 128;
+
+/// One entry per block: the block's first posting id and the byte offset
+/// of its payload relative to the owning term's payload start.
+struct PostingsSkip {
+  xml::NodeId first_id = 0;
+  uint32_t byte_offset = 0;
+};
+
+/// Appends `v` as a little-endian base-128 varint.
+void AppendVarbyte(uint32_t v, std::vector<uint8_t>* out);
+
+/// Decodes one varint starting at `p`; returns the first byte past it.
+/// The buffer is trusted (produced by AppendVarbyte), so no bounds check.
+const uint8_t* DecodeVarbyte(const uint8_t* p, uint32_t* v);
+
+/// Encodes `count` sorted unique ids, appending one PostingsSkip per
+/// block to `*skips` and the block payloads to `*bytes`. Skip byte
+/// offsets are relative to the value of `bytes->size()` on entry.
+void EncodePostings(const xml::NodeId* ids, size_t count,
+                    std::vector<uint8_t>* bytes,
+                    std::vector<PostingsSkip>* skips);
+
+/// Read-only handle on one term's compressed posting list. Points into
+/// storage owned by the InvertedIndex (or any caller-owned buffers);
+/// valid as long as that storage lives. Copyable, 4 words.
+class CompressedPostings {
+ public:
+  CompressedPostings() = default;
+  CompressedPostings(const uint8_t* bytes, const PostingsSkip* skips,
+                     size_t num_blocks, size_t count)
+      : bytes_(bytes), skips_(skips), num_blocks_(num_blocks), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t num_blocks() const { return num_blocks_; }
+  xml::NodeId front() const { return skips_[0].first_id; }
+
+  /// First posting id of block `b` — read straight off the skip entry.
+  xml::NodeId BlockFirstId(size_t b) const { return skips_[b].first_id; }
+
+  /// Number of ids in block `b` (all blocks are full except the last).
+  size_t BlockLength(size_t b) const {
+    return b + 1 < num_blocks_ ? kPostingsBlockSize
+                               : count_ - (num_blocks_ - 1) * kPostingsBlockSize;
+  }
+
+  /// Decodes block `b` into out[0..BlockLength(b)); returns the length.
+  /// `out` must hold at least kPostingsBlockSize ids.
+  size_t DecodeBlock(size_t b, xml::NodeId* out) const;
+
+  /// Decodes the whole list into out[0..size()). The caller sizes the
+  /// buffer — typically a slice of a pooled decode arena.
+  void DecodeInto(xml::NodeId* out) const;
+
+  /// Decodes the whole list into `*out` (resized to size()) and returns
+  /// a view of it. Capacity is reused across calls.
+  PostingList DecodeAll(std::vector<xml::NodeId>* out) const;
+
+  /// Number of postings with id < `limit`: a binary search over the skip
+  /// entries plus at most one block decode (into a stack buffer).
+  size_t Rank(xml::NodeId limit) const;
+
+ private:
+  const uint8_t* bytes_ = nullptr;
+  const PostingsSkip* skips_ = nullptr;
+  size_t num_blocks_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace xsact::search
+
+#endif  // XSACT_SEARCH_POSTINGS_CODEC_H_

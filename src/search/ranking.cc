@@ -8,13 +8,14 @@ namespace xsact::search {
 size_t TermFrequencyInSubtree(const xml::NodeTable& table,
                               const InvertedIndex& index,
                               std::string_view term, xml::NodeId root_id) {
-  const PostingList postings = index.Postings(term);
+  const CompressedPostings postings = index.Postings(term);
+  if (postings.empty()) return 0;
   // Subtrees are contiguous pre-order id ranges; the table's precomputed
-  // extent replaces the recursive SubtreeSize walk.
+  // extent replaces the recursive SubtreeSize walk, and two rank queries
+  // over the compressed list (skip search + at most one block decode
+  // each) replace the binary searches over a flat array.
   const xml::NodeId end = table.subtree_end(root_id);
-  const auto lo = std::lower_bound(postings.begin(), postings.end(), root_id);
-  const auto hi = std::lower_bound(postings.begin(), postings.end(), end);
-  return static_cast<size_t>(hi - lo);
+  return postings.Rank(end) - postings.Rank(root_id);
 }
 
 double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
@@ -27,7 +28,7 @@ double ScoreResult(const xml::NodeTable& table, const InvertedIndex& index,
     const size_t tf =
         TermFrequencyInSubtree(table, index, term, result.root_id);
     if (tf == 0) continue;
-    const double df = static_cast<double>(index.Postings(term).size());
+    const double df = static_cast<double>(index.Df(term));
     const double idf = std::log((corpus_elements + 1.0) / (df + 1.0));
     score += std::log1p(static_cast<double>(tf)) * std::max(idf, 0.1);
   }

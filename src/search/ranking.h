@@ -40,7 +40,7 @@ std::vector<SearchResult> RankResults(
 
 /// Number of postings of `term` that fall inside the subtree rooted at
 /// `root_id` (subtrees are contiguous pre-order id ranges, so this is
-/// two binary searches).
+/// two rank queries against the compressed posting list).
 size_t TermFrequencyInSubtree(const xml::NodeTable& table,
                               const InvertedIndex& index,
                               std::string_view term, xml::NodeId root_id);

@@ -1,5 +1,6 @@
 #include "search/search_engine.h"
 
+#include <algorithm>
 #include <cctype>
 #include <unordered_set>
 
@@ -75,49 +76,121 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
   return Search(query, &ws);
 }
 
+namespace {
+
+// Decodes every source into the workspace's flat arena (plain sources
+// keep their existing storage) and builds MatchLists views for the scan
+// kernels. One arena resize, no per-list vectors.
+void DecodeSources(SearchWorkspace* ws) {
+  size_t need = 0;
+  for (const PostingSource& src : ws->sources) {
+    if (!src.is_plain()) need += src.size();
+  }
+  ws->decode_pool.resize(need);
+  ws->lists.clear();
+  size_t offset = 0;
+  for (const PostingSource& src : ws->sources) {
+    if (src.is_plain()) {
+      ws->lists.push_back(src.plain());
+      continue;
+    }
+    xml::NodeId* out = ws->decode_pool.data() + offset;
+    src.compressed().DecodeInto(out);
+    ws->lists.push_back(PostingList(out, src.size()));
+    offset += src.size();
+  }
+}
+
+}  // namespace
+
 StatusOr<std::vector<SearchResult>> SearchEngine::Search(
     std::string_view query, SearchWorkspace* ws) const {
   const xml::NodeTable& table = corpus_.table;
   ws->Reset();
   ParseQueryInto(query, &ws->terms);
-  const std::vector<QueryTerm>& terms = ws->terms;
+  std::vector<QueryTerm>& terms = ws->terms;
   if (terms.empty()) {
     return Status::InvalidArgument("query contains no searchable tokens");
   }
-  MatchLists& lists = ws->lists;
-  lists.reserve(terms.size());
-  // Backing storage for fielded terms only; unrestricted terms view the
-  // index's posting array directly.
+  // Dedup conjuncts (stable): a duplicated query term would fetch and
+  // intersect the same posting list twice without changing the answer.
+  size_t unique_terms = 0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    bool duplicate = false;
+    for (size_t j = 0; j < unique_terms && !duplicate; ++j) {
+      duplicate = terms[j] == terms[i];
+    }
+    if (!duplicate) {
+      if (unique_terms != i) terms[unique_terms] = std::move(terms[i]);
+      ++unique_terms;
+    }
+  }
+  terms.resize(unique_terms);
+
+  MergeLists& sources = ws->sources;
+  sources.reserve(terms.size());
+  // Backing storage for fielded terms only; unrestricted terms read the
+  // index's compressed postings directly.
   std::vector<std::vector<xml::NodeId>>& filtered_storage =
       ws->filtered_storage;
   filtered_storage.reserve(terms.size());
+  size_t total_postings = 0;
   for (const QueryTerm& qt : terms) {
-    const PostingList postings = corpus_.index.Postings(qt.term);
+    const CompressedPostings postings = corpus_.index.Postings(qt.term);
     if (qt.field.empty()) {
-      lists.push_back(postings);
+      sources.push_back(PostingSource(postings));
     } else {
       // Fielded term: keep only matches whose containing element has the
       // requested tag.
+      const PostingList full = postings.DecodeAll(&ws->field_scratch);
       std::vector<xml::NodeId>& filtered = filtered_storage.emplace_back();
-      for (xml::NodeId id : postings) {
+      for (xml::NodeId id : full) {
         if (table.node(id)->tag() == qt.field) filtered.push_back(id);
       }
-      lists.push_back(PostingList(filtered.data(), filtered.size()));
+      sources.push_back(
+          PostingSource(PostingList(filtered.data(), filtered.size())));
     }
-    if (lists.back().empty()) {
+    if (sources.back().empty()) {
       return std::vector<SearchResult>{};  // conjunctive: no results
     }
+    total_postings += sources.back().size();
   }
+  // Smallest list first: the merge kernels anchor on the first shortest
+  // list, and the scan kernels are insensitive to order, so sorting is
+  // free correctness-wise and pays on the merge path.
+  std::stable_sort(sources.begin(), sources.end(),
+                   [](const PostingSource& a, const PostingSource& b) {
+                     return a.size() < b.size();
+                   });
+
+  // Selectivity dispatch: the merge kernels cost ~ posting volume, the
+  // scan kernels ~ corpus size. Merge when the postings are a small
+  // fraction of the table (or when the query is too wide for the scan
+  // fast path); scan when the lists approach corpus scale and the merge
+  // would gallop over nearly every block anyway.
+  const bool selective = total_postings < table.size() / 4;
+  const bool prefer_merge = selective || sources.size() > 64;
   std::vector<xml::NodeId> slcas;
   switch (corpus_.algorithm) {
     case SlcaAlgorithm::kScan:
-      slcas = ComputeSlcaByScan(table, lists);
+      DecodeSources(ws);
+      slcas = ComputeSlcaByScan(table, ws->lists);
       break;
     case SlcaAlgorithm::kIndexed:
-      slcas = ComputeSlcaIndexed(table, lists);
+      if (prefer_merge) {
+        slcas = ComputeSlcaMerge(table, sources, &ws->merge);
+      } else {
+        DecodeSources(ws);
+        slcas = ComputeSlcaByScan(table, ws->lists);
+      }
       break;
     case SlcaAlgorithm::kElca:
-      slcas = ComputeElcaByScan(table, lists);
+      if (prefer_merge) {
+        slcas = ComputeElcaMerge(table, sources, &ws->merge);
+      } else {
+        DecodeSources(ws);
+        slcas = ComputeElcaByScan(table, ws->lists);
+      }
       break;
   }
 

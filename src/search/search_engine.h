@@ -38,10 +38,15 @@ struct SearchResult {
   std::string title;                ///< display title (name/title child text)
 };
 
-/// Which answer semantics / algorithm the engine uses.
-///  * kScan / kIndexed — SLCA semantics via the linear-scan or the
-///    indexed-lookup algorithm (identical answers);
-///  * kElca — Exclusive LCA semantics (superset of SLCA; see slca.h).
+/// Which answer semantics / algorithm family the engine uses.
+///  * kScan    — SLCA semantics, always the linear-scan kernel (the
+///               reference configuration for identity gates);
+///  * kIndexed — SLCA semantics via the skip-driven merge over the
+///               compressed postings when the query is selective,
+///               falling back to the scan kernel when the posting
+///               volume approaches corpus size (identical answers);
+///  * kElca    — Exclusive LCA semantics (superset of SLCA; see
+///               slca.h), with the same merge-vs-scan dispatch.
 enum class SlcaAlgorithm { kScan, kIndexed, kElca };
 
 /// One conjunct of a parsed query: a term, optionally restricted to
@@ -88,21 +93,30 @@ struct CorpusIndex {
 
 /// Query-time evaluation scratch: every container Search mutates lives
 /// here, so evaluation against a const CorpusIndex is reentrant. Reused
-/// across queries (cleared, capacity kept).
+/// across queries (cleared, capacity kept) — the decode pools and merge
+/// scratch in particular keep their buffers, so a warmed session runs
+/// the whole match pipeline without allocating.
 struct SearchWorkspace {
   MatchLists lists;
+  MergeLists sources;  // per-term posting sources, smallest-first
   std::vector<std::vector<xml::NodeId>> filtered_storage;
   std::unordered_set<const xml::Node*> seen;
   std::string key_scratch;  // schema-probe composition buffer
   std::vector<QueryTerm> terms;  // parsed query conjuncts (reused)
   std::vector<std::string_view> term_views;  // views into `terms` (ranking)
+  std::vector<xml::NodeId> decode_pool;   // flat arena for scan fallback
+  std::vector<xml::NodeId> field_scratch; // fielded-term decode buffer
+  MergeScratch merge;  // merge-kernel state (block cache, heap, stack)
 
   void Reset() {
     lists.clear();
+    sources.clear();
     filtered_storage.clear();
     seen.clear();
     terms.clear();
     term_views.clear();
+    // decode_pool / field_scratch / merge keep their storage; every use
+    // overwrites before reading.
   }
 };
 

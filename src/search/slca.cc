@@ -20,11 +20,62 @@ bool AnyListEmpty(const MatchLists& lists) {
 
 }  // namespace
 
+namespace {
+
+// Arbitrary-keyword-count scan: identical sweep to the 64-keyword fast
+// path below, with ceil(k/64) mask words per node instead of one.
+std::vector<xml::NodeId> SlcaByScanWide(const xml::NodeTable& table,
+                                        const MatchLists& lists) {
+  std::vector<xml::NodeId> result;
+  const size_t k = lists.size();
+  const size_t words = (k + 63) / 64;
+  std::vector<uint64_t> mask(table.size() * words, 0);
+  for (size_t q = 0; q < k; ++q) {
+    for (xml::NodeId id : lists[q]) {
+      mask[static_cast<size_t>(id) * words + q / 64] |= 1ULL << (q % 64);
+    }
+  }
+  auto covers_all = [&](size_t v) {
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t want = w + 1 < words           ? ~0ULL
+                            : (k % 64) == 0         ? ~0ULL
+                                            : ((1ULL << (k % 64)) - 1);
+      if (mask[v * words + w] != want) return false;
+    }
+    return true;
+  };
+  for (size_t i = table.size(); i-- > 1;) {
+    const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
+    if (parent == xml::kInvalidNodeId) continue;
+    for (size_t w = 0; w < words; ++w) {
+      mask[static_cast<size_t>(parent) * words + w] |= mask[i * words + w];
+    }
+  }
+  std::vector<bool> has_full_child(table.size(), false);
+  for (size_t i = 1; i < table.size(); ++i) {
+    if (covers_all(i)) {
+      const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
+      if (parent != xml::kInvalidNodeId) {
+        has_full_child[static_cast<size_t>(parent)] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (covers_all(i) && !has_full_child[i] &&
+        table.node(static_cast<xml::NodeId>(i))->is_element()) {
+      result.push_back(static_cast<xml::NodeId>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
                                            const MatchLists& lists) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
-  XSACT_CHECK_MSG(lists.size() <= 64, "scan SLCA supports up to 64 keywords");
+  if (lists.size() > 64) return SlcaByScanWide(table, lists);
 
   const uint64_t full =
       lists.size() == 64 ? ~0ULL : ((1ULL << lists.size()) - 1);

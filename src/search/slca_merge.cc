@@ -1,0 +1,324 @@
+// Merge-path SLCA/ELCA kernels over block-compressed postings.
+//
+// Both kernels touch postings instead of the node table: cost scales
+// with the (shortest / total) posting list length rather than corpus
+// size, which is what makes selective queries cheap on large corpora.
+// Per-list state (one decoded block, a monotone search hint, stream
+// positions) lives in the caller's MergeScratch so steady-state queries
+// allocate nothing.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "search/slca.h"
+
+namespace xsact::search {
+
+namespace {
+
+constexpr uint32_t kNoBlock = UINT32_MAX;
+
+/// Random access into a source through a one-block cache. Sequential or
+/// galloping access patterns decode each block at most once.
+xml::NodeId At(const PostingSource& src, xml::NodeId* slot, uint32_t* cached,
+               size_t i) {
+  if (src.is_plain()) return src.plain()[i];
+  const size_t b = i / kPostingsBlockSize;
+  if (*cached != b) {
+    src.compressed().DecodeBlock(b, slot);
+    *cached = static_cast<uint32_t>(b);
+  }
+  return slot[i % kPostingsBlockSize];
+}
+
+struct BoundsResult {
+  bool has_pred = false;
+  bool has_succ = false;
+  xml::NodeId pred = 0;  // greatest posting <  anchor
+  xml::NodeId succ = 0;  // least posting    >= anchor
+};
+
+/// Neighbors of anchor `d` in a plain sorted list. `*hint` carries the
+/// previous result forward; anchors arrive in nondecreasing order, so a
+/// short gallop from the hint replaces a full binary search.
+BoundsResult PlainBounds(const PostingList& list, size_t* hint,
+                         xml::NodeId d) {
+  const size_t n = list.size();
+  size_t lo = *hint;
+  if (lo < n && list[lo] < d) {
+    size_t step = 1;
+    while (lo + step < n && list[lo + step] < d) {
+      lo += step;
+      step <<= 1;
+    }
+    const xml::NodeId* begin = list.begin();
+    lo = static_cast<size_t>(
+        std::lower_bound(begin + lo + 1, begin + std::min(lo + step, n), d) -
+        begin);
+  }
+  *hint = lo;
+  BoundsResult r;
+  if (lo > 0) {
+    r.has_pred = true;
+    r.pred = list[lo - 1];
+  }
+  if (lo < n) {
+    r.has_succ = true;
+    r.succ = list[lo];
+  }
+  return r;
+}
+
+/// Neighbors of anchor `d` in a compressed list: gallop over the skip
+/// entries (first ids only) to the owning block, decode that one block,
+/// and search inside it. A successor sitting at a block boundary is read
+/// straight off the next skip entry — no second decode.
+BoundsResult CompressedBounds(const CompressedPostings& cp, xml::NodeId* slot,
+                              uint32_t* cached, size_t* hint, xml::NodeId d) {
+  BoundsResult r;
+  if (d <= cp.front()) {
+    r.has_succ = true;
+    r.succ = cp.front();
+    return r;
+  }
+  // Last block whose first id is < d; the hint block satisfies that for
+  // every earlier (smaller) anchor, so gallop forward from it.
+  size_t b = *hint;
+  size_t step = 1;
+  while (b + step < cp.num_blocks() && cp.BlockFirstId(b + step) < d) {
+    b += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(b + step, cp.num_blocks());
+  while (b + 1 < hi) {
+    const size_t mid = (b + hi) / 2;
+    if (cp.BlockFirstId(mid) < d) {
+      b = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  *hint = b;
+  if (*cached != b) {
+    cp.DecodeBlock(b, slot);
+    *cached = static_cast<uint32_t>(b);
+  }
+  const size_t blen = cp.BlockLength(b);
+  const size_t j =
+      static_cast<size_t>(std::lower_bound(slot, slot + blen, d) - slot);
+  // j >= 1 always: the block's first id is < d.
+  r.has_pred = true;
+  r.pred = slot[j - 1];
+  if (j < blen) {
+    r.has_succ = true;
+    r.succ = slot[j];
+  } else if (b + 1 < cp.num_blocks()) {
+    r.has_succ = true;
+    r.succ = cp.BlockFirstId(b + 1);
+  }
+  return r;
+}
+
+BoundsResult Bounds(const PostingSource& src, xml::NodeId* slot,
+                    uint32_t* cached, size_t* hint, xml::NodeId d) {
+  if (src.is_plain()) return PlainBounds(src.plain(), hint, d);
+  return CompressedBounds(src.compressed(), slot, cached, hint, d);
+}
+
+/// LCA by id: pre-order ids make "b inside subtree(a)" a range check
+/// (a <= b < subtree_end(a)), so the LCA is found by climbing the
+/// shallower id until the deeper one falls inside its extent.
+xml::NodeId LcaId(const xml::NodeTable& table, xml::NodeId a, xml::NodeId b) {
+  xml::NodeId lo = std::min(a, b);
+  const xml::NodeId hi = std::max(a, b);
+  while (table.subtree_end(lo) <= hi) lo = table.parent(lo);
+  return lo;
+}
+
+bool AnyListEmpty(const MergeLists& lists) {
+  if (lists.empty()) return true;
+  for (const auto& l : lists) {
+    if (l.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
+                                          const MergeLists& lists,
+                                          MergeScratch* scratch) {
+  std::vector<xml::NodeId> result;
+  if (AnyListEmpty(lists)) return result;
+  const size_t k = lists.size();
+  scratch->Clear();
+  scratch->blocks.resize(k * kPostingsBlockSize);
+  scratch->cached_block.assign(k, kNoBlock);
+  scratch->hint.assign(k, 0);
+  auto slot = [&](size_t i) {
+    return scratch->blocks.data() + i * kPostingsBlockSize;
+  };
+
+  size_t smallest = 0;
+  for (size_t i = 1; i < k; ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+
+  // Eager indexed lookup: each match d of the smallest list contributes
+  // the deepest node that is an LCA of d with a witness from every other
+  // list — exactly the id-space analogue of truncating d's Dewey label
+  // to its longest common prefix with each list's nearest neighbor.
+  std::vector<xml::NodeId>& candidates = scratch->candidates;
+  const size_t anchor_count = lists[smallest].size();
+  for (size_t a = 0; a < anchor_count; ++a) {
+    const xml::NodeId d = At(lists[smallest], slot(smallest),
+                             &scratch->cached_block[smallest], a);
+    xml::NodeId u = d;
+    for (size_t i = 0; i < k; ++i) {
+      if (i == smallest) continue;
+      const BoundsResult b =
+          Bounds(lists[i], slot(i), &scratch->cached_block[i],
+                 &scratch->hint[i], d);
+      // The deeper of the two LCAs is the id-order maximum: both are
+      // ancestors-or-self of u, hence comparable along one root path.
+      xml::NodeId best = xml::kInvalidNodeId;
+      if (b.has_succ) best = std::max(best, LcaId(table, u, b.succ));
+      if (b.has_pred) best = std::max(best, LcaId(table, u, b.pred));
+      u = best;  // non-empty list: at least one neighbor exists
+    }
+    candidates.push_back(u);
+  }
+
+  // Keep only the deepest candidates: ascending pre-order ids put every
+  // ancestor immediately before its first retained descendant.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const xml::NodeId c : candidates) {
+    while (!result.empty() && c < table.subtree_end(result.back())) {
+      result.pop_back();
+    }
+    result.push_back(c);
+  }
+  result.erase(std::remove_if(result.begin(), result.end(),
+                              [&](xml::NodeId id) {
+                                return !table.node(id)->is_element();
+                              }),
+               result.end());
+  return result;
+}
+
+std::vector<xml::NodeId> ComputeElcaMerge(const xml::NodeTable& table,
+                                          const MergeLists& lists,
+                                          MergeScratch* scratch) {
+  std::vector<xml::NodeId> result;
+  if (AnyListEmpty(lists)) return result;
+  const size_t k = lists.size();
+  scratch->Clear();
+  scratch->blocks.resize(k * kPostingsBlockSize);
+  scratch->cached_block.assign(k, kNoBlock);
+  scratch->pos.assign(k, 0);
+  scratch->heads.resize(k);
+  auto slot = [&](size_t i) {
+    return scratch->blocks.data() + i * kPostingsBlockSize;
+  };
+
+  // Min-heap of list indices keyed by each list's current head posting:
+  // popping yields (id, keyword) events in nondecreasing pre-order.
+  std::vector<size_t>& heap = scratch->heap;
+  std::vector<xml::NodeId>& heads = scratch->heads;
+  auto sift_down = [&](size_t at) {
+    while (true) {
+      const size_t l = 2 * at + 1, r = 2 * at + 2;
+      size_t best = at;
+      if (l < heap.size() && heads[heap[l]] < heads[heap[best]]) best = l;
+      if (r < heap.size() && heads[heap[r]] < heads[heap[best]]) best = r;
+      if (best == at) return;
+      std::swap(heap[at], heap[best]);
+      at = best;
+    }
+  };
+  for (size_t i = 0; i < k; ++i) {
+    heads[i] = At(lists[i], slot(i), &scratch->cached_block[i], 0);
+    heap.push_back(i);
+  }
+  for (size_t i = k; i-- > 0;) sift_down(i);
+
+  // Stack of open ancestors — always a contiguous root-to-node path —
+  // with per-keyword counters: cnt = matches in the subtree so far,
+  // under = matches already shielded by full descendants. Identical to
+  // the scan kernel's fold, restricted to nodes that have matches below.
+  std::vector<xml::NodeId>& stack_id = scratch->stack_id;
+  std::vector<xml::NodeId>& stack_end = scratch->stack_end;
+  std::vector<int32_t>& counters = scratch->counters;
+  auto cnt = [&](size_t depth, size_t q) -> int32_t& {
+    return counters[depth * 2 * k + q];
+  };
+  auto under = [&](size_t depth, size_t q) -> int32_t& {
+    return counters[depth * 2 * k + k + q];
+  };
+  auto finalize_top = [&]() {
+    const size_t top = stack_id.size() - 1;
+    bool full = true, elca = true;
+    for (size_t q = 0; q < k; ++q) {
+      if (cnt(top, q) == 0) full = false;
+      if (cnt(top, q) - under(top, q) <= 0) elca = false;
+    }
+    const xml::NodeId id = stack_id.back();
+    if (elca && table.node(id)->is_element()) result.push_back(id);
+    if (top > 0) {
+      // The entry below is the direct parent (contiguous path): a full
+      // child shields ALL its matches, a non-full one only what its own
+      // full descendants shield — exactly the scan kernel's rule.
+      for (size_t q = 0; q < k; ++q) {
+        under(top - 1, q) += full ? cnt(top, q) : under(top, q);
+        cnt(top - 1, q) += cnt(top, q);
+      }
+    }
+    stack_id.pop_back();
+    stack_end.pop_back();
+  };
+
+  std::vector<xml::NodeId>& climb = scratch->candidates;
+  while (!heap.empty()) {
+    const size_t q = heap[0];
+    const xml::NodeId id = heads[q];
+    ++scratch->pos[q];
+    if (scratch->pos[q] < lists[q].size()) {
+      heads[q] = At(lists[q], slot(q), &scratch->cached_block[q],
+                    scratch->pos[q]);
+      sift_down(0);
+    } else {
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) sift_down(0);
+    }
+
+    while (!stack_id.empty() && stack_end.back() <= id) finalize_top();
+    // Open every not-yet-open ancestor of the event node. After the
+    // closes above, the stack top (if any) is a strict ancestor of id.
+    const xml::NodeId stop =
+        stack_id.empty() ? xml::kInvalidNodeId : stack_id.back();
+    climb.clear();
+    for (xml::NodeId x = id; x != stop; x = table.parent(x)) {
+      climb.push_back(x);
+    }
+    for (size_t c = climb.size(); c-- > 0;) {
+      stack_id.push_back(climb[c]);
+      stack_end.push_back(table.subtree_end(climb[c]));
+      const size_t depth = stack_id.size() - 1;
+      if (counters.size() < (depth + 1) * 2 * k) {
+        counters.resize((depth + 1) * 2 * k);
+      }
+      std::fill_n(counters.begin() +
+                      static_cast<ptrdiff_t>(depth * 2 * k),
+                  2 * k, 0);
+    }
+    ++cnt(stack_id.size() - 1, q);
+  }
+  while (!stack_id.empty()) finalize_top();
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace xsact::search

@@ -1,0 +1,231 @@
+// Tests for the block-compressed posting-list codec: varbyte round
+// trips, block-boundary list sizes, both per-block layouts (varbyte and
+// packed-with-exceptions), and Rank against a reference lower_bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "search/postings_codec.h"
+
+namespace xsact::search {
+namespace {
+
+TEST(VarbyteTest, RoundTripsBoundaryValues) {
+  const std::vector<uint32_t> values = {
+      0,    1,    127,        128,        129,       16383, 16384,
+      16385, 2097151, 2097152, 268435455, 268435456, 4294967295u};
+  std::vector<uint8_t> bytes;
+  for (uint32_t v : values) AppendVarbyte(v, &bytes);
+  const uint8_t* p = bytes.data();
+  for (uint32_t v : values) {
+    uint32_t decoded = 0;
+    p = DecodeVarbyte(p, &decoded);
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, bytes.data() + bytes.size());
+}
+
+TEST(VarbyteTest, EncodedWidthGrowsAtSevenBitBoundaries) {
+  std::vector<uint8_t> bytes;
+  AppendVarbyte(127, &bytes);
+  EXPECT_EQ(bytes.size(), 1u);
+  bytes.clear();
+  AppendVarbyte(128, &bytes);
+  EXPECT_EQ(bytes.size(), 2u);
+  bytes.clear();
+  AppendVarbyte(4294967295u, &bytes);
+  EXPECT_EQ(bytes.size(), 5u);
+}
+
+/// Encodes `ids` and returns a handle plus the backing storage.
+struct Encoded {
+  std::vector<uint8_t> bytes;
+  std::vector<PostingsSkip> skips;
+  std::vector<xml::NodeId> ids;
+
+  CompressedPostings Handle() const {
+    return CompressedPostings(bytes.data(), skips.data(), skips.size(),
+                              ids.size());
+  }
+};
+
+Encoded Encode(std::vector<xml::NodeId> ids) {
+  Encoded e;
+  e.ids = std::move(ids);
+  EncodePostings(e.ids.data(), e.ids.size(), &e.bytes, &e.skips);
+  return e;
+}
+
+void ExpectRoundTrip(const Encoded& e) {
+  const CompressedPostings cp = e.Handle();
+  ASSERT_EQ(cp.size(), e.ids.size());
+  // Whole-list decode.
+  std::vector<xml::NodeId> all;
+  cp.DecodeAll(&all);
+  EXPECT_EQ(all, e.ids);
+  // Independent per-block decode, checking skip first-ids and lengths.
+  std::vector<xml::NodeId> block(kPostingsBlockSize);
+  size_t consumed = 0;
+  for (size_t b = 0; b < cp.num_blocks(); ++b) {
+    const size_t len = cp.DecodeBlock(b, block.data());
+    ASSERT_EQ(len, cp.BlockLength(b));
+    ASSERT_GT(len, 0u);
+    EXPECT_EQ(block[0], cp.BlockFirstId(b));
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(block[i], e.ids[consumed + i]) << "block " << b << " pos " << i;
+    }
+    consumed += len;
+  }
+  EXPECT_EQ(consumed, e.ids.size());
+}
+
+TEST(PostingsCodecTest, EmptyList) {
+  const Encoded e = Encode({});
+  EXPECT_TRUE(e.bytes.empty());
+  EXPECT_TRUE(e.skips.empty());
+  const CompressedPostings cp = e.Handle();
+  EXPECT_TRUE(cp.empty());
+  EXPECT_EQ(cp.num_blocks(), 0u);
+  EXPECT_EQ(cp.Rank(0), 0u);
+  EXPECT_EQ(cp.Rank(1000), 0u);
+  std::vector<xml::NodeId> out;
+  EXPECT_TRUE(cp.DecodeAll(&out).empty());
+}
+
+TEST(PostingsCodecTest, BlockBoundarySizes) {
+  // Sizes straddling every interesting block boundary: 1, B-1, B, B+1,
+  // 2B-1, 2B, 2B+1 with B = kPostingsBlockSize.
+  const size_t kB = kPostingsBlockSize;
+  for (size_t n : {size_t{1}, kB - 1, kB, kB + 1, 2 * kB - 1, 2 * kB,
+                   2 * kB + 1, 5 * kB + 17}) {
+    std::vector<xml::NodeId> ids;
+    ids.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<xml::NodeId>(3 * i + 1));
+    }
+    const Encoded e = Encode(std::move(ids));
+    EXPECT_EQ(e.skips.size(), (n + kB - 1) / kB) << "n=" << n;
+    ExpectRoundTrip(e);
+  }
+}
+
+TEST(PostingsCodecTest, DenseRunUsesPackedLayoutAndCompresses) {
+  // Consecutive ids: every gap is 1, stored as gap-1 = 0 -> the packed
+  // layout hits width 0 and blocks should be a handful of bytes.
+  std::vector<xml::NodeId> ids;
+  for (int i = 100; i < 100 + 4 * static_cast<int>(kPostingsBlockSize); ++i) {
+    ids.push_back(i);
+  }
+  const Encoded e = Encode(std::move(ids));
+  ExpectRoundTrip(e);
+  // 4 full blocks of zero-width packed gaps: payload far below raw size.
+  EXPECT_LT(e.bytes.size(), e.ids.size() * sizeof(xml::NodeId) / 8);
+}
+
+TEST(PostingsCodecTest, SkewedGapsWithExceptions) {
+  // Mostly-small gaps with a few huge outliers per block exercise the
+  // exception patch path of the packed layout.
+  Rng rng(7);
+  std::vector<xml::NodeId> ids;
+  xml::NodeId cur = 0;
+  for (int i = 0; i < 1000; ++i) {
+    cur += rng.Chance(0.05) ? static_cast<xml::NodeId>(rng.Range(50000, 500000))
+                            : static_cast<xml::NodeId>(rng.Range(1, 7));
+    ids.push_back(cur);
+  }
+  ExpectRoundTrip(Encode(std::move(ids)));
+}
+
+TEST(PostingsCodecTest, HugeUniformGapsFallBackToVarbyte) {
+  // All-large gaps: packed width ~ varbyte cost, either way it must
+  // round-trip (this hits the varbyte header path for most blocks).
+  Rng rng(11);
+  std::vector<xml::NodeId> ids;
+  xml::NodeId cur = 0;
+  for (int i = 0; i < 500; ++i) {
+    cur += static_cast<xml::NodeId>(rng.Range(100000, 4000000));
+    if (cur < 0) break;  // NodeId is int32: stop before overflow
+    ids.push_back(cur);
+  }
+  ASSERT_GT(ids.size(), kPostingsBlockSize);
+  ExpectRoundTrip(Encode(std::move(ids)));
+}
+
+TEST(PostingsCodecTest, RankMatchesLowerBound) {
+  Rng rng(23);
+  std::vector<xml::NodeId> ids;
+  xml::NodeId cur = 0;
+  for (int i = 0; i < 700; ++i) {
+    cur += static_cast<xml::NodeId>(rng.Range(1, 900));
+    ids.push_back(cur);
+  }
+  const Encoded e = Encode(ids);
+  const CompressedPostings cp = e.Handle();
+  auto reference = [&](xml::NodeId limit) {
+    return static_cast<size_t>(
+        std::lower_bound(ids.begin(), ids.end(), limit) - ids.begin());
+  };
+  // Every posting id, its neighbours, and the extremes.
+  EXPECT_EQ(cp.Rank(0), 0u);
+  EXPECT_EQ(cp.Rank(ids.front()), 0u);
+  EXPECT_EQ(cp.Rank(ids.back() + 1), ids.size());
+  for (xml::NodeId id : ids) {
+    EXPECT_EQ(cp.Rank(id), reference(id));
+    EXPECT_EQ(cp.Rank(id + 1), reference(id + 1));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const xml::NodeId limit =
+        static_cast<xml::NodeId>(rng.Below(static_cast<uint64_t>(ids.back()) + 100));
+    EXPECT_EQ(cp.Rank(limit), reference(limit));
+  }
+}
+
+TEST(PostingsCodecTest, RandomListsRoundTripProperty) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    // Random density per seed, from near-consecutive to very sparse.
+    const int max_gap = static_cast<int>(rng.Range(1, 1 << rng.Range(1, 20)));
+    const int n = static_cast<int>(rng.Range(1, 1200));
+    std::set<xml::NodeId> unique;
+    xml::NodeId cur = static_cast<xml::NodeId>(rng.Range(0, 1000));
+    for (int i = 0; i < n; ++i) {
+      unique.insert(cur);
+      cur += static_cast<xml::NodeId>(rng.Range(1, max_gap));
+      if (cur < 0) break;
+    }
+    std::vector<xml::NodeId> ids(unique.begin(), unique.end());
+    ExpectRoundTrip(Encode(std::move(ids)));
+  }
+}
+
+TEST(PostingsCodecTest, SkipOffsetsAreRelativeToEntrySize) {
+  // Append two lists into the same buffers; the second list's skip
+  // offsets must be relative to its own payload start.
+  std::vector<uint8_t> bytes;
+  std::vector<PostingsSkip> skips;
+  std::vector<xml::NodeId> a, b;
+  for (int i = 0; i < 300; ++i) a.push_back(2 * i);
+  for (int i = 0; i < 200; ++i) b.push_back(7 * i + 3);
+  EncodePostings(a.data(), a.size(), &bytes, &skips);
+  const size_t a_bytes = bytes.size();
+  const size_t a_skips = skips.size();
+  EncodePostings(b.data(), b.size(), &bytes, &skips);
+
+  const CompressedPostings ca(bytes.data(), skips.data(), a_skips, a.size());
+  const CompressedPostings cb(bytes.data() + a_bytes, skips.data() + a_skips,
+                              skips.size() - a_skips, b.size());
+  std::vector<xml::NodeId> out;
+  ca.DecodeAll(&out);
+  EXPECT_EQ(out, a);
+  cb.DecodeAll(&out);
+  EXPECT_EQ(out, b);
+  EXPECT_EQ(cb.front(), 3);
+}
+
+}  // namespace
+}  // namespace xsact::search

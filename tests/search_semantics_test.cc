@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <vector>
 
 #include "common/rng.h"
 #include "search/search_engine.h"
@@ -29,7 +31,9 @@ class ElcaTest : public ::testing::Test {
 
   MatchLists Lists(const std::vector<std::string>& terms) {
     MatchLists lists;
-    for (const auto& t : terms) lists.push_back(index_.Postings(t));
+    for (const auto& t : terms) {
+      lists.push_back(index_.Decode(t, &storage_.emplace_back()));
+    }
     return lists;
   }
 
@@ -42,6 +46,7 @@ class ElcaTest : public ::testing::Test {
   xml::Document doc_;
   xml::NodeTable table_;
   InvertedIndex index_;
+  std::deque<std::vector<xml::NodeId>> storage_;
 };
 
 TEST_F(ElcaTest, ElcaEqualsSlcaWhenNoExclusiveAncestors) {
@@ -103,8 +108,11 @@ TEST_P(ElcaSupersetProperty, SlcaSubsetOfElca) {
   const InvertedIndex index = InvertedIndex::Build(table);
   for (const auto& terms : std::vector<std::vector<std::string>>{
            {"ant"}, {"ant", "bee"}, {"cat", "dog"}, {"ant", "bee", "cat"}}) {
+    std::deque<std::vector<xml::NodeId>> storage;
     MatchLists lists;
-    for (const auto& t : terms) lists.push_back(index.Postings(t));
+    for (const auto& t : terms) {
+      lists.push_back(index.Decode(t, &storage.emplace_back()));
+    }
     const auto slca = ComputeSlcaByScan(table, lists);
     const auto elca = ComputeElcaByScan(table, lists);
     for (xml::NodeId id : slca) {

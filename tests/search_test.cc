@@ -33,14 +33,16 @@ TEST(InvertedIndexTest, PostingsAreSortedElementIds) {
   EXPECT_TRUE(index.Contains("beta"));
   EXPECT_FALSE(index.Contains("delta"));
   EXPECT_EQ(index.Postings("beta").size(), 2u);
+  EXPECT_EQ(index.Df("beta"), 2u);
   EXPECT_EQ(index.Postings("alpha").size(), 1u);
+  EXPECT_EQ(index.Df("delta"), 0u);
   // Postings point at the containing element (the <n> nodes).
-  for (xml::NodeId id : index.Postings("beta")) {
+  std::vector<xml::NodeId> decoded;
+  const PostingList beta = index.Decode("beta", &decoded);
+  for (xml::NodeId id : beta) {
     EXPECT_EQ(table.node(id)->tag(), "n");
   }
-  EXPECT_TRUE(
-      std::is_sorted(index.Postings("beta").begin(),
-                     index.Postings("beta").end()));
+  EXPECT_TRUE(std::is_sorted(beta.begin(), beta.end()));
 }
 
 TEST(InvertedIndexTest, CaseFoldingAndTokenization) {
@@ -58,7 +60,8 @@ TEST(InvertedIndexTest, AttributeValuesIndexed) {
   const xml::NodeTable table = xml::NodeTable::Build(doc);
   const InvertedIndex index = InvertedIndex::Build(table);
   ASSERT_TRUE(index.Contains("hidden"));
-  EXPECT_EQ(table.node(index.Postings("hidden")[0])->tag(), "a");
+  std::vector<xml::NodeId> decoded;
+  EXPECT_EQ(table.node(index.Decode("hidden", &decoded)[0])->tag(), "a");
 }
 
 TEST(InvertedIndexTest, DuplicateTermInOneElementPostsOnce) {
@@ -72,12 +75,22 @@ TEST(InvertedIndexTest, DuplicateTermInOneElementPostsOnce) {
 // SLCA
 // ---------------------------------------------------------------------------
 
-/// Match lists straight from the index.
-MatchLists Lists(const InvertedIndex& index,
-                 const std::vector<std::string>& terms) {
+/// Match lists decoded from the index, bundled with the backing storage
+/// the views point into (movable; views stay valid across the move).
+struct DecodedLists {
+  std::vector<std::vector<xml::NodeId>> storage;
   MatchLists lists;
-  for (const auto& t : terms) lists.push_back(index.Postings(t));
-  return lists;
+};
+
+DecodedLists Lists(const InvertedIndex& index,
+                   const std::vector<std::string>& terms) {
+  DecodedLists out;
+  out.storage.reserve(terms.size());
+  for (const auto& t : terms) {
+    std::vector<xml::NodeId>& s = out.storage.emplace_back();
+    out.lists.push_back(index.Decode(t, &s));
+  }
+  return out;
 }
 
 class SlcaTest : public ::testing::Test {
@@ -101,7 +114,7 @@ class SlcaTest : public ::testing::Test {
 
 TEST_F(SlcaTest, SingleKeywordReturnsMatchingElements) {
   Init("<c><p><n>alpha</n></p><p><n>alpha</n></p></c>");
-  const auto slca = ComputeSlcaByScan(table_, Lists(index_, {"alpha"}));
+  const auto slca = ComputeSlcaByScan(table_, Lists(index_, {"alpha"}).lists);
   EXPECT_EQ(TagsOf(slca), (std::vector<std::string>{"n", "n"}));
 }
 
@@ -112,7 +125,7 @@ TEST_F(SlcaTest, TwoKeywordsMeetAtCommonAncestor) {
       "<product><name>garmin</name><kind>gps</kind></product>"
       "</catalog>");
   const auto slca =
-      ComputeSlcaByScan(table_, Lists(index_, {"tomtom", "gps"}));
+      ComputeSlcaByScan(table_, Lists(index_, {"tomtom", "gps"}).lists);
   // Only the first product contains both; the SLCA is that product.
   ASSERT_EQ(slca.size(), 1u);
   EXPECT_EQ(table_.node(slca[0])->tag(), "product");
@@ -124,7 +137,7 @@ TEST_F(SlcaTest, DeeperMatchSuppressesAncestor) {
   // Both keywords inside one <n>: the SLCA is <n>, not the root.
   Init("<c><p><n>alpha beta</n></p><p><n>alpha</n><m>beta</m></p></c>");
   const auto slca =
-      ComputeSlcaByScan(table_, Lists(index_, {"alpha", "beta"}));
+      ComputeSlcaByScan(table_, Lists(index_, {"alpha", "beta"}).lists);
   // First product: SLCA = n (contains both). Second product: SLCA = p.
   ASSERT_EQ(slca.size(), 2u);
   EXPECT_EQ(TagsOf(slca), (std::vector<std::string>{"n", "p"}));
@@ -133,9 +146,9 @@ TEST_F(SlcaTest, DeeperMatchSuppressesAncestor) {
 TEST_F(SlcaTest, MissingKeywordYieldsEmpty) {
   Init("<c><n>alpha</n></c>");
   EXPECT_TRUE(
-      ComputeSlcaByScan(table_, Lists(index_, {"alpha", "zzz"})).empty());
+      ComputeSlcaByScan(table_, Lists(index_, {"alpha", "zzz"}).lists).empty());
   EXPECT_TRUE(
-      ComputeSlcaIndexed(table_, Lists(index_, {"alpha", "zzz"})).empty());
+      ComputeSlcaIndexed(table_, Lists(index_, {"alpha", "zzz"}).lists).empty());
   EXPECT_TRUE(ComputeSlcaByScan(table_, {}).empty());
   EXPECT_TRUE(ComputeSlcaIndexed(table_, {}).empty());
 }
@@ -147,7 +160,7 @@ TEST_F(SlcaTest, ThreeKeywords) {
       "<b><x>one</x><y>two</y></b>"
       "</r>");
   const auto slca =
-      ComputeSlcaByScan(table_, Lists(index_, {"one", "two", "three"}));
+      ComputeSlcaByScan(table_, Lists(index_, {"one", "two", "three"}).lists);
   ASSERT_EQ(slca.size(), 1u);
   EXPECT_EQ(table_.node(slca[0])->tag(), "a");
 }
@@ -165,8 +178,8 @@ TEST_F(SlcaTest, IndexedMatchesScanOnHandcrafted) {
                                              {"star", "one"},
                                              {"one"},
                                              {"star", "dragon"}}) {
-    EXPECT_EQ(ComputeSlcaByScan(table_, Lists(index_, terms)),
-              ComputeSlcaIndexed(table_, Lists(index_, terms)))
+    EXPECT_EQ(ComputeSlcaByScan(table_, Lists(index_, terms).lists),
+              ComputeSlcaIndexed(table_, Lists(index_, terms).lists))
         << "terms: " << terms[0];
   }
 }
@@ -201,7 +214,8 @@ TEST_P(SlcaEquivalenceProperty, ScanEqualsIndexed) {
            {"ant", "bee"},
            {"cat", "dog", "elk"},
            {"ant", "bee", "cat", "dog"}}) {
-    MatchLists lists = Lists(index, terms);
+    const DecodedLists decoded = Lists(index, terms);
+    const MatchLists& lists = decoded.lists;
     const auto scan = ComputeSlcaByScan(table, lists);
     const auto indexed = ComputeSlcaIndexed(table, lists);
     EXPECT_EQ(scan, indexed) << "seed " << GetParam();

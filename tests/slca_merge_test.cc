@@ -1,0 +1,204 @@
+// Scan-vs-merge equivalence tests for the SLCA and ELCA kernels: the
+// skip-driven merge over compressed postings must return exactly the
+// scan kernels' answers on handcrafted shapes, on random trees, with
+// empty / single-node lists, with every term in one leaf, and past the
+// 64-keyword single-mask limit. Also covers the plain (pre-decoded)
+// PostingSource path the engine uses for fielded terms.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "search/inverted_index.h"
+#include "search/slca.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+
+namespace xsact::search {
+namespace {
+
+/// One corpus under test: document, table, index, and decoded-list
+/// storage so scan (MatchLists) and merge (MergeLists) views can be
+/// built for the same terms.
+struct Corpus {
+  xml::Document doc;
+  xml::NodeTable table;
+  InvertedIndex index;
+  std::deque<std::vector<xml::NodeId>> storage;
+
+  explicit Corpus(xml::Document d) : doc(std::move(d)) {
+    table = xml::NodeTable::Build(doc);
+    index = InvertedIndex::Build(table);
+  }
+
+  MatchLists Scan(const std::vector<std::string>& terms) {
+    MatchLists lists;
+    for (const auto& t : terms) {
+      lists.push_back(index.Decode(t, &storage.emplace_back()));
+    }
+    return lists;
+  }
+
+  MergeLists Compressed(const std::vector<std::string>& terms) {
+    MergeLists lists;
+    for (const auto& t : terms) {
+      lists.push_back(PostingSource(index.Postings(t)));
+    }
+    return lists;
+  }
+
+  MergeLists Plain(const std::vector<std::string>& terms) {
+    MergeLists lists;
+    for (const auto& t : terms) {
+      lists.push_back(PostingSource(index.Decode(t, &storage.emplace_back())));
+    }
+    return lists;
+  }
+};
+
+Corpus FromXml(std::string_view text) {
+  auto doc = xml::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return Corpus(std::move(doc).value());
+}
+
+/// Asserts every kernel pairing agrees on `terms`, for compressed and
+/// plain merge inputs and for a fresh vs reused scratch.
+void ExpectEquivalent(Corpus& c, const std::vector<std::string>& terms,
+                      MergeScratch* scratch) {
+  const MatchLists scan_lists = c.Scan(terms);
+  const MergeLists compressed = c.Compressed(terms);
+  const MergeLists plain = c.Plain(terms);
+
+  const auto slca_scan = ComputeSlcaByScan(c.table, scan_lists);
+  EXPECT_EQ(ComputeSlcaMerge(c.table, compressed, scratch), slca_scan);
+  EXPECT_EQ(ComputeSlcaMerge(c.table, plain, scratch), slca_scan);
+
+  const auto elca_scan = ComputeElcaByScan(c.table, scan_lists);
+  EXPECT_EQ(ComputeElcaMerge(c.table, compressed, scratch), elca_scan);
+  EXPECT_EQ(ComputeElcaMerge(c.table, plain, scratch), elca_scan);
+}
+
+TEST(SlcaMergeTest, HandcraftedShapes) {
+  Corpus c = FromXml(
+      "<catalog>"
+      "<product><name>tomtom go</name><kind>gps</kind>"
+      "  <reviews><review>great gps</review><review>go anywhere</review>"
+      "  </reviews></product>"
+      "<product><name>garmin nuvi</name><kind>gps</kind></product>"
+      "<product><name>acme tent</name><kind>tent</kind></product>"
+      "</catalog>");
+  MergeScratch scratch;
+  for (const auto& terms : std::vector<std::vector<std::string>>{
+           {"gps"},
+           {"tomtom", "gps"},
+           {"gps", "go"},
+           {"great", "anywhere"},
+           {"gps", "tent"},
+           {"tomtom", "garmin"}}) {
+    ExpectEquivalent(c, terms, &scratch);
+  }
+}
+
+TEST(SlcaMergeTest, EmptyAndMissingLists) {
+  Corpus c = FromXml("<c><n>alpha</n><n>beta</n></c>");
+  MergeScratch scratch;
+  // Missing term: conjunctive semantics -> empty everywhere.
+  ExpectEquivalent(c, {"alpha", "zzz"}, &scratch);
+  EXPECT_TRUE(ComputeSlcaMerge(c.table, c.Compressed({"alpha", "zzz"}),
+                               &scratch)
+                  .empty());
+  // No lists at all.
+  EXPECT_TRUE(ComputeSlcaMerge(c.table, {}, &scratch).empty());
+  EXPECT_TRUE(ComputeElcaMerge(c.table, {}, &scratch).empty());
+}
+
+TEST(SlcaMergeTest, SingleNodeLists) {
+  // Each term occurs exactly once, in different leaves: one-entry
+  // posting lists drive every pred/succ boundary case.
+  Corpus c = FromXml(
+      "<r><a><x>uno</x></a><b><y>dos</y></b><c><z>tres</z></c></r>");
+  MergeScratch scratch;
+  ExpectEquivalent(c, {"uno"}, &scratch);
+  ExpectEquivalent(c, {"uno", "dos"}, &scratch);
+  ExpectEquivalent(c, {"uno", "dos", "tres"}, &scratch);
+}
+
+TEST(SlcaMergeTest, AllTermsInOneLeaf) {
+  Corpus c = FromXml(
+      "<r><p><n>alpha beta gamma delta</n></p><q>alpha</q><q>beta</q></r>");
+  MergeScratch scratch;
+  ExpectEquivalent(c, {"alpha", "beta", "gamma", "delta"}, &scratch);
+}
+
+TEST(SlcaMergeTest, MoreThanSixtyFourKeywords) {
+  // 70 distinct words, all inside one <all> leaf, each word also alone
+  // in its own sibling: forces the wide multi-word scan masks AND a
+  // 70-way merge. The SLCA is the <all> element.
+  std::string all_text;
+  std::string siblings;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 70; ++i) {
+    const std::string w = "w" + std::to_string(i);
+    terms.push_back(w);
+    all_text += (i ? " " : "") + w;
+    siblings += "<s>" + w + "</s>";
+  }
+  Corpus c = FromXml("<r><all>" + all_text + "</all>" + siblings + "</r>");
+  MergeScratch scratch;
+
+  const auto scan = ComputeSlcaByScan(c.table, c.Scan(terms));
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_EQ(c.table.node(scan[0])->tag(), "all");
+  ExpectEquivalent(c, terms, &scratch);
+
+  // Drop one word from the <all> leaf's siblings only: answers shrink to
+  // exactly the leaf (the root loses its exclusive witness for w0).
+  std::vector<std::string> partial(terms.begin() + 1, terms.end());
+  partial.push_back("w0");
+  ExpectEquivalent(c, partial, &scratch);
+}
+
+// Property: on random trees, merge == scan for SLCA and ELCA across
+// keyword subsets of every size, including duplicated-term lists.
+class MergeEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeEquivalenceProperty, MergeEqualsScan) {
+  Rng rng(GetParam());
+  const std::vector<std::string> pool = {"ant", "bee", "cat", "dog", "elk",
+                                         "fox"};
+  xml::Document doc = xml::Document::WithRoot("root");
+  std::vector<xml::Node*> elements = {doc.root()};
+  const int nodes = static_cast<int>(rng.Range(5, 120));
+  for (int i = 0; i < nodes; ++i) {
+    xml::Node* parent = elements[rng.Below(elements.size())];
+    xml::Node* e = parent->AddElement("e" + std::to_string(rng.Below(4)));
+    elements.push_back(e);
+    if (rng.Chance(0.6)) {
+      std::string text = pool[rng.Below(pool.size())];
+      if (rng.Chance(0.3)) text += " " + pool[rng.Below(pool.size())];
+      e->AddChild(xml::Node::MakeText(text));
+    }
+  }
+  Corpus c(std::move(doc));
+  MergeScratch scratch;
+
+  for (const auto& terms : std::vector<std::vector<std::string>>{
+           {"ant"},
+           {"ant", "bee"},
+           {"cat", "dog", "elk"},
+           {"ant", "bee", "cat", "dog"},
+           {"ant", "ant", "bee"},  // duplicate list
+           {"ant", "bee", "cat", "dog", "elk", "fox"}}) {
+    ExpectEquivalent(c, terms, &scratch);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeEquivalenceProperty,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace xsact::search
