@@ -360,7 +360,18 @@ void PrintRouterStats(const engine::ServiceRouter& router,
     out << "  " << d.dataset << ": epoch " << d.epoch << ", cache "
         << d.cache.hits << " hits / " << d.cache.misses << " misses, queue "
         << d.admission.queue_depth << ", shed " << d.admission.shed
-        << ", deadline-exceeded " << d.admission.deadline_exceeded << "\n";
+        << ", deadline-exceeded " << d.admission.deadline_exceeded;
+    if (d.health.healthy) {
+      out << ", healthy";
+    } else {
+      out << ", DEGRADED (serving last-known-good; " << d.health.last_error
+          << ")";
+    }
+    if (d.health.reload_attempts > 0) {
+      out << ", reloads " << d.health.reload_successes << " ok / "
+          << d.health.reload_failures << " failed";
+    }
+    out << "\n";
   }
 }
 

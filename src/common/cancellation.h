@@ -1,0 +1,119 @@
+// Cooperative cancellation for in-flight query evaluation.
+//
+// A Cancellation is a cheap, copyable view of "when must this work stop":
+// an optional deadline (steady clock) plus an optional pointer to a
+// CancelSource whose owner (a draining QueryService, a shutting-down
+// server) can flip it at any time. Kernels and long loops poll it at a
+// coarse stride and bail out early; the caller then turns the expired
+// token into a Status (DeadlineExceeded or Cancelled) and discards the
+// partial result. A default-constructed Cancellation never expires, so
+// every existing call site keeps its semantics by taking `= {}`.
+//
+// Polling discipline: `Expired()` reads the steady clock, so hot loops
+// must not call it per iteration. Either use `ExpiredAmortized` with a
+// caller-owned counter, or hoist `can_expire()` out of the loop and gate
+// a strided check on it:
+//
+//   const bool expirable = cancel.can_expire();
+//   for (size_t i = 0; i < n; ++i) {
+//     if (expirable && (i & 4095u) == 0 && cancel.Expired()) break;
+//     ...
+//   }
+//
+// When nothing can expire (benches, plain CLI runs) the per-iteration
+// cost is one register test.
+
+#ifndef XSACT_COMMON_CANCELLATION_H_
+#define XSACT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xsact {
+
+/// Owner side of explicit cancellation: a sticky flag the controlling
+/// component sets to stop every evaluation holding a view of it. The
+/// source must outlive all Cancellation views pointing at it.
+class CancelSource {
+ public:
+  CancelSource() = default;
+  CancelSource(const CancelSource&) = delete;
+  CancelSource& operator=(const CancelSource&) = delete;
+
+  /// Requests cancellation. Sticky until Reset(); safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Clears the flag (between independent work generations).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Cheap view of a deadline and/or a CancelSource. See file comment.
+class Cancellation {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sentinel: no deadline.
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// Stride of ExpiredAmortized: one real check per this many calls.
+  static constexpr uint32_t kCheckStride = 64;
+
+  /// Never expires (the default for callers without deadlines).
+  Cancellation() = default;
+
+  explicit Cancellation(Clock::time_point deadline,
+                        const CancelSource* source = nullptr)
+      : deadline_(deadline), source_(source) {}
+
+  /// False iff this token can never expire — lets loops skip polling.
+  bool can_expire() const {
+    return source_ != nullptr || deadline_ != kNoDeadline;
+  }
+
+  /// Full check: explicit cancellation, then the deadline clock. Both
+  /// are sticky (the steady clock never goes backwards), so once true it
+  /// stays true.
+  bool Expired() const {
+    if (source_ != nullptr && source_->cancelled()) return true;
+    return deadline_ != kNoDeadline && Clock::now() >= deadline_;
+  }
+
+  /// Strided check for hot loops: the flag/clock are consulted once per
+  /// kCheckStride calls (the caller owns `*counter`, initialized to 0).
+  bool ExpiredAmortized(uint32_t* counter) const {
+    if (!can_expire()) return false;
+    if ((++*counter & (kCheckStride - 1)) != 0) return false;
+    return Expired();
+  }
+
+  /// OK while live; Cancelled when the source fired, else
+  /// DeadlineExceeded when the deadline passed. Explicit cancellation
+  /// wins when both hold (the owner asked first).
+  Status Check() const {
+    if (source_ != nullptr && source_->cancelled()) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (deadline_ != kNoDeadline && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("deadline exceeded during evaluation");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Clock::time_point deadline_ = kNoDeadline;
+  const CancelSource* source_ = nullptr;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_CANCELLATION_H_

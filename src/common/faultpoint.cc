@@ -1,0 +1,190 @@
+#include "common/faultpoint.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace xsact::fault {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct FaultPoint {
+  std::string name;
+  FaultSiteKind kind = FaultSiteKind::kStatus;
+
+  std::mutex mu;  // guards everything below
+  bool armed = false;
+  FaultSpec spec;
+  Rng rng{0};
+  uint64_t hits = 0;   // hits since last arm (while injection enabled)
+  uint64_t fires = 0;  // fires since last arm
+};
+
+/// Registry of every site linked into the binary. Leaked on purpose so
+/// sites hit during static destruction (worker threads joining late)
+/// never touch a destroyed registry.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* instance = new Registry;
+    return *instance;
+  }
+
+  FaultPointId Register(std::string_view name, FaultSiteKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) return it->second;
+    const FaultPointId id = static_cast<FaultPointId>(points_.size());
+    auto point = std::make_unique<FaultPoint>();
+    point->name.assign(name);
+    point->kind = kind;
+    points_.push_back(std::move(point));
+    by_name_.emplace(points_.back()->name, id);
+    return id;
+  }
+
+  FaultPoint* point(FaultPointId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || static_cast<size_t>(id) >= points_.size()) return nullptr;
+    return points_[static_cast<size_t>(id)].get();
+  }
+
+  FaultPointId Find(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? kInvalidFaultPoint : it->second;
+  }
+
+  std::vector<FaultPointInfo> All() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FaultPointInfo> out;
+    out.reserve(points_.size());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      out.push_back(FaultPointInfo{static_cast<FaultPointId>(i),
+                                   points_[i]->name, points_[i]->kind});
+    }
+    return out;
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return points_.size();
+  }
+
+ private:
+  std::mutex mu_;  // guards the containers; per-point state has its own
+  std::vector<std::unique_ptr<FaultPoint>> points_;
+  std::unordered_map<std::string, FaultPointId> by_name_;
+};
+
+}  // namespace
+
+FaultPointId RegisterFaultPoint(std::string_view name, FaultSiteKind kind) {
+  return Registry::Get().Register(name, kind);
+}
+
+void ArmFaultPoint(FaultPointId id, const FaultSpec& spec) {
+  FaultPoint* p = Registry::Get().point(id);
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(p->mu);
+  if (!p->armed) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  p->armed = true;
+  p->spec = spec;
+  p->rng = Rng(spec.seed);
+  p->hits = 0;
+  p->fires = 0;
+}
+
+bool ArmFaultPointByName(std::string_view name, const FaultSpec& spec) {
+  const FaultPointId id = Registry::Get().Find(name);
+  if (id == kInvalidFaultPoint) return false;
+  ArmFaultPoint(id, spec);
+  return true;
+}
+
+void DisarmFaultPoint(FaultPointId id) {
+  FaultPoint* p = Registry::Get().point(id);
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(p->mu);
+  if (p->armed) {
+    p->armed = false;
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAllFaultPoints() {
+  const size_t n = Registry::Get().size();
+  for (size_t i = 0; i < n; ++i) {
+    DisarmFaultPoint(static_cast<FaultPointId>(i));
+  }
+}
+
+std::vector<FaultPointInfo> AllFaultPoints() { return Registry::Get().All(); }
+
+FaultPointId FindFaultPoint(std::string_view name) {
+  return Registry::Get().Find(name);
+}
+
+uint64_t FaultPointHits(FaultPointId id) {
+  FaultPoint* p = Registry::Get().point(id);
+  if (p == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(p->mu);
+  return p->hits;
+}
+
+uint64_t FaultPointFires(FaultPointId id) {
+  FaultPoint* p = Registry::Get().point(id);
+  if (p == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(p->mu);
+  return p->fires;
+}
+
+namespace internal {
+
+Status Check(FaultPointId id) {
+  FaultPoint* p = Registry::Get().point(id);
+  if (p == nullptr) return Status();
+  int delay_ms = 0;
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(p->mu);
+    if (!p->armed) return Status();
+    const uint64_t hit = ++p->hits;
+    if (hit <= p->spec.skip_hits) return Status();
+    if (p->spec.max_fires > 0 && p->fires >= p->spec.max_fires) {
+      return Status();
+    }
+    if (p->spec.probability < 1.0 && !p->rng.Chance(p->spec.probability)) {
+      return Status();
+    }
+    ++p->fires;
+    delay_ms = p->spec.delay_ms;
+    if (p->spec.code != StatusCode::kOk) {
+      injected = Status(p->spec.code,
+                        p->spec.message.empty()
+                            ? "injected fault at '" + p->name + "'"
+                            : p->spec.message);
+    }
+  }
+  // Sleep outside the lock so a delay fault never serializes concurrent
+  // hits of the same site beyond the injected latency itself.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
+}
+
+}  // namespace internal
+
+}  // namespace xsact::fault

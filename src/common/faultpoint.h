@@ -1,0 +1,163 @@
+// Deterministic fault injection for robustness testing.
+//
+// A fault point is a named site in production code where tests can make
+// the library fail (return an injected Status), stall (sleep), or both,
+// without recompiling. Sites register themselves once at static
+// initialization, so the registry enumerates every site linked into the
+// binary — the chaos suite (tests/fault_injection_test.cc) walks it and
+// new sites are covered automatically.
+//
+// Zero cost when disabled: the only work on the production path is one
+// relaxed atomic load of a global "anything armed" flag (plus a
+// predictable branch). No site takes a lock, allocates, or reads a clock
+// unless at least one fault point is armed process-wide.
+//
+// Declaring a site (at namespace scope in the owning .cc):
+//
+//   const fault::FaultPointId kFaultIoRead =
+//       fault::RegisterFaultPoint("io.read_file");
+//
+// Injecting at the site, inside a Status/StatusOr-returning function:
+//
+//   XSACT_INJECT_FAULT(kFaultIoRead);
+//
+// Hit-only sites (hot paths with no Status channel; injected errors are
+// dropped, delays still apply) use XSACT_FAULT_HIT and register with
+// FaultSiteKind::kHitOnly so tests know not to expect an error surface.
+//
+// Determinism: an armed site fires per its FaultSpec — skip the first N
+// hits, fire at most M times, fire with probability p driven by a
+// caller-seeded RNG. Same seed + same execution order => same faults.
+// Arming resets the site's hit/fire counters.
+//
+// Thread safety: all functions are thread-safe. Arm/disarm from tests
+// while worker threads hit the sites concurrently is supported.
+
+#ifndef XSACT_COMMON_FAULTPOINT_H_
+#define XSACT_COMMON_FAULTPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsact::fault {
+
+/// Dense id of a registered fault point (stable for the process life).
+using FaultPointId = int;
+
+inline constexpr FaultPointId kInvalidFaultPoint = -1;
+
+/// How a site surfaces an injected fault.
+enum class FaultSiteKind : uint8_t {
+  kStatus,   ///< the injected Status propagates to the site's caller
+  kHitOnly,  ///< only counts/delays; any injected error code is dropped
+};
+
+/// What an armed fault point does when it fires.
+struct FaultSpec {
+  /// Error returned at kStatus sites. kOk = fire without failing
+  /// (useful for pure latency injection at any site).
+  StatusCode code = StatusCode::kInternal;
+  /// Error message; empty = "injected fault at '<site name>'".
+  std::string message;
+  /// Fire on each eligible hit with this probability (1.0 = always),
+  /// drawn from an RNG seeded with `seed` at arm time.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// Skip the first `skip_hits` hits after arming, then become eligible.
+  uint64_t skip_hits = 0;
+  /// Stop firing after this many fires (0 = unlimited).
+  uint64_t max_fires = 0;
+  /// Sleep this long on every fire (latency injection).
+  int delay_ms = 0;
+};
+
+/// Registration metadata, as enumerated by AllFaultPoints().
+struct FaultPointInfo {
+  FaultPointId id = kInvalidFaultPoint;
+  std::string name;
+  FaultSiteKind kind = FaultSiteKind::kStatus;
+};
+
+/// Registers (or looks up) the site named `name`. Idempotent: the same
+/// name always yields the same id. Intended for namespace-scope
+/// initializers in the .cc that owns the site.
+FaultPointId RegisterFaultPoint(std::string_view name,
+                                FaultSiteKind kind = FaultSiteKind::kStatus);
+
+/// Arms `id` with `spec` (replacing any previous arming) and resets the
+/// site's hit/fire counters. No-op on an invalid id.
+void ArmFaultPoint(FaultPointId id, const FaultSpec& spec);
+
+/// Arms by name; false when no such site is registered.
+bool ArmFaultPointByName(std::string_view name, const FaultSpec& spec);
+
+/// Disarms `id` (counters retained for inspection). No-op when invalid.
+void DisarmFaultPoint(FaultPointId id);
+
+/// Disarms every registered site.
+void DisarmAllFaultPoints();
+
+/// All registered sites, in registration order.
+std::vector<FaultPointInfo> AllFaultPoints();
+
+/// Id of the site named `name`, or kInvalidFaultPoint.
+FaultPointId FindFaultPoint(std::string_view name);
+
+/// Times the site was reached while fault injection was enabled, since
+/// it was last armed. (Sites are not counted when nothing is armed —
+/// the disabled fast path does no bookkeeping at all.)
+uint64_t FaultPointHits(FaultPointId id);
+
+/// Times the site actually fired (injected an error and/or delay) since
+/// it was last armed.
+uint64_t FaultPointFires(FaultPointId id);
+
+namespace internal {
+
+/// Count of currently armed sites; > 0 enables the slow path globally.
+extern std::atomic<int> g_armed_count;
+
+/// Slow path: consults the registry; returns the injected error for an
+/// armed, firing kStatus site, OK otherwise. Applies delays.
+Status Check(FaultPointId id);
+
+}  // namespace internal
+
+/// True iff any fault point is armed (one relaxed atomic load).
+inline bool FaultInjectionEnabled() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Full check for call sites that want the Status without a macro.
+inline Status CheckFaultPoint(FaultPointId id) {
+  if (!FaultInjectionEnabled()) return Status();
+  return internal::Check(id);
+}
+
+}  // namespace xsact::fault
+
+/// Status-surfacing injection site: returns the injected Status from the
+/// enclosing function (which must return Status or StatusOr<T>).
+#define XSACT_INJECT_FAULT(id)                                          \
+  do {                                                                  \
+    if (::xsact::fault::FaultInjectionEnabled()) {                      \
+      ::xsact::Status xsact_injected_ = ::xsact::fault::internal::Check(id); \
+      if (!xsact_injected_.ok()) return xsact_injected_;                \
+    }                                                                   \
+  } while (false)
+
+/// Hit-only site: counts the hit and applies any armed delay; injected
+/// error codes are dropped (the site has no Status channel).
+#define XSACT_FAULT_HIT(id)                                             \
+  do {                                                                  \
+    if (::xsact::fault::FaultInjectionEnabled()) {                      \
+      (void)::xsact::fault::internal::Check(id);                        \
+    }                                                                   \
+  } while (false)
+
+#endif  // XSACT_COMMON_FAULTPOINT_H_

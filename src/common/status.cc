@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDataCorruption:
+      return "data corruption";
   }
   return "unknown";
 }

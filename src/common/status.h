@@ -28,6 +28,8 @@ enum class StatusCode : uint8_t {
   kIoError = 8,           ///< underlying I/O failure
   kDeadlineExceeded = 9,  ///< request missed its completion deadline
   kResourceExhausted = 10,  ///< capacity limit hit (queue full, quota)
+  kCancelled = 11,          ///< request cancelled before completion
+  kDataCorruption = 12,     ///< stored data failed checksum/validation
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "parse error"...).
@@ -78,6 +80,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -5,9 +5,16 @@
 #include <functional>
 #include <utility>
 
+#include "common/faultpoint.h"
+
 namespace xsact::engine {
 
 namespace {
+
+const fault::FaultPointId kFaultServiceWorker =
+    fault::RegisterFaultPoint("service.worker");
+const fault::FaultPointId kFaultServiceReload =
+    fault::RegisterFaultPoint("service.reload");
 
 /// 64-bit FNV-1a over the key bytes; cheap, stable, and good enough for
 /// shard striping (shard count is small).
@@ -125,16 +132,77 @@ std::future<Status> QueryService::ReloadCorpus(std::string path) {
   std::lock_guard<std::mutex> lock(reload_mu_);
   if (reload_thread_.joinable()) reload_thread_.join();
   reload_thread_ = std::thread([this, path = std::move(path), promise] {
-    const search::SlcaAlgorithm algorithm = Current()->snapshot->corpus().algorithm;
-    StatusOr<SnapshotPtr> fresh = CorpusSnapshot::FromFile(path, algorithm);
-    if (!fresh.ok()) {
-      promise->set_value(fresh.status());
-      return;
-    }
-    SwapSnapshot(std::move(fresh).value());
-    promise->set_value(Status::Ok());
+    promise->set_value(ReloadNow(path));
   });
   return future;
+}
+
+Status QueryService::ReloadNow(const std::string& path) {
+  const search::SlcaAlgorithm algorithm =
+      Current()->snapshot->corpus().algorithm;
+  const int max_attempts = std::max(options_.reload_max_attempts, 1);
+  int backoff_ms = std::max(options_.reload_backoff_ms, 1);
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++health_.reload_attempts;
+    }
+    // The fault site substitutes for the load so an injected kIoError
+    // exercises the retry loop exactly like a real transient failure.
+    Status injected = fault::CheckFaultPoint(kFaultServiceReload);
+    StatusOr<SnapshotPtr> fresh =
+        injected.ok() ? CorpusSnapshot::FromFile(path, algorithm)
+                      : StatusOr<SnapshotPtr>(std::move(injected));
+    if (fresh.ok()) {
+      // Publishing is the last step: a failure anywhere above leaves the
+      // previous (last-known-good) snapshot serving untouched.
+      SwapSnapshot(std::move(fresh).value());
+      std::lock_guard<std::mutex> lock(health_mu_);
+      health_.healthy = true;
+      ++health_.reload_successes;
+      health_.last_error.clear();
+      return Status::Ok();
+    }
+    // Carry the underlying parse/I-O message so callers see WHY the
+    // reload failed, not just that it did.
+    last = fresh.status().WithContext("reload attempt " +
+                                      std::to_string(attempt) + "/" +
+                                      std::to_string(max_attempts));
+    if (fresh.status().code() != StatusCode::kIoError) break;
+    if (attempt < max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_.healthy = false;
+  ++health_.reload_failures;
+  health_.last_error = last.ToString();
+  return last;
+}
+
+ServiceHealth QueryService::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+void QueryService::Shutdown() {
+  std::deque<Task> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+    drained.swap(queue_);
+  }
+  // Signal in-flight evaluations BEFORE resolving the drained promises so
+  // a caller observing a cancelled future knows no further work runs on
+  // its behalf beyond the current cooperative check interval.
+  drain_.Cancel();
+  for (Task& task : drained) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Status::Cancelled("service shutting down"));
+  }
+  queue_cv_.notify_all();
 }
 
 std::future<StatusOr<OutcomePtr>> QueryService::Submit(
@@ -179,6 +247,12 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(
+          Status::Cancelled("service is shutting down; submission rejected"));
+      return future;
+    }
     if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
       // Load shedding: reject instead of growing the backlog, so a
       // burst degrades into fast failures rather than unbounded latency.
@@ -224,6 +298,7 @@ AdmissionStats QueryService::admission_stats() const {
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.deadline_exceeded =
       deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stats.queue_depth = queue_.size();
@@ -253,10 +328,30 @@ void QueryService::WorkerLoop(QuerySession* session) {
       continue;
     }
 
+    // Injected evaluation failure (chaos suite): resolve like any other
+    // evaluation error — the promise is always satisfied.
+    Status injected = fault::CheckFaultPoint(kFaultServiceWorker);
+    if (!injected.ok()) {
+      task.promise.set_value(std::move(injected));
+      continue;
+    }
+
+    // The deadline also bounds EXECUTION, not just queue time: the
+    // session's cancellation token (deadline + the service's drain
+    // signal) is polled inside the kernels and the extractor, so a slow
+    // query stops within one check interval of expiry.
+    session->cancel = Cancellation(task.deadline, &drain_);
     StatusOr<ComparisonOutcome> outcome =
         SearchAndCompare(*task.snapshot, session, task.query, 0,
                          task.options);
+    session->cancel = Cancellation();
     if (!outcome.ok()) {
+      const StatusCode code = outcome.status().code();
+      if (code == StatusCode::kDeadlineExceeded) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      } else if (code == StatusCode::kCancelled) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
       task.promise.set_value(outcome.status());  // errors are not cached
       continue;
     }

@@ -64,6 +64,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "engine/session.h"
 #include "engine/snapshot.h"
@@ -103,6 +104,25 @@ struct QueryServiceOptions {
   /// Lets tests exercise the hardware_concurrency() == 0 case the
   /// standard permits ("value not computable").
   int hardware_concurrency_override = -1;
+  /// ReloadCorpus retry policy: transient failures (kIoError only — a
+  /// parse or validation error is deterministic and retrying cannot
+  /// help) are retried up to this many total attempts, sleeping
+  /// reload_backoff_ms before the first retry and doubling it each
+  /// further retry. Clamped to >= 1.
+  int reload_max_attempts = 3;
+  int reload_backoff_ms = 10;
+};
+
+/// Reload/serving health of one QueryService, kept current by
+/// ReloadCorpus. A service starts healthy; a reload that exhausts its
+/// retries marks it unhealthy (it keeps serving the last good snapshot)
+/// and the next successful reload restores it.
+struct ServiceHealth {
+  bool healthy = true;
+  uint64_t reload_successes = 0;
+  uint64_t reload_failures = 0;  ///< reloads failed after all retries
+  uint64_t reload_attempts = 0;  ///< individual load attempts, incl. retries
+  std::string last_error;        ///< most recent failure; empty when healthy
 };
 
 /// Monotonic cache counters (totals since construction) plus the current
@@ -124,8 +144,13 @@ struct AdmissionStats {
   uint64_t admitted = 0;
   /// Submissions rejected because the queue was at max_queue.
   uint64_t shed = 0;
-  /// Tasks dequeued at or past their deadline (never evaluated).
+  /// Tasks dequeued at or past their deadline (never evaluated), plus
+  /// tasks whose evaluation was cut short by an expired deadline (the
+  /// cooperative in-flight check; see QuerySession::cancel).
   uint64_t deadline_exceeded = 0;
+  /// Tasks resolved with kCancelled: queued work drained by Shutdown()
+  /// and submissions rejected while draining.
+  uint64_t cancelled = 0;
   /// Tasks currently queued, not yet picked up by a worker.
   uint64_t queue_depth = 0;
 };
@@ -164,6 +189,16 @@ class QueryService {
 
   /// Admission counters (queue depth, shed, deadline-exceeded).
   AdmissionStats admission_stats() const;
+
+  /// Reload health (see ServiceHealth). Thread-safe.
+  ServiceHealth health() const;
+
+  /// Drains the service without destroying it: rejects new submissions
+  /// (kCancelled), resolves all queued tasks with kCancelled, and
+  /// signals in-flight evaluations to stop at their next cooperative
+  /// cancellation check. Idempotent; the destructor still joins the
+  /// workers. Every future obtained from Submit still becomes ready.
+  void Shutdown();
 
   /// Per-shard cache capacities (empty when the cache is disabled).
   /// Invariant: the values sum exactly to options.cache_capacity.
@@ -233,6 +268,9 @@ class QueryService {
   };
 
   void WorkerLoop(QuerySession* session);
+  /// Synchronous reload body (runs on the reload thread): load with
+  /// retry/backoff per options_, swap on success, record health.
+  Status ReloadNow(const std::string& path);
   size_t ShardIndexFor(std::string_view key) const;
   OutcomePtr CacheLookup(std::string_view key);
   void CacheInsert(const std::string& key, uint64_t epoch,
@@ -263,11 +301,20 @@ class QueryService {
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+
+  mutable std::mutex health_mu_;
+  ServiceHealth health_;
+
+  /// Sticky drain signal observed by in-flight evaluations (installed
+  /// into each worker session's Cancellation alongside the deadline).
+  CancelSource drain_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
+  bool draining_ = false;  ///< set by Shutdown(); rejects new submissions
 
   /// One private session per worker (index-aligned with workers_).
   std::vector<std::unique_ptr<QuerySession>> worker_sessions_;

@@ -36,6 +36,14 @@ uint64_t RouterStats::total_queue_depth() const {
   return total;
 }
 
+uint64_t RouterStats::total_unhealthy() const {
+  uint64_t total = 0;
+  for (const DatasetStats& d : datasets) {
+    if (!d.health.healthy) ++total;
+  }
+  return total;
+}
+
 StatusOr<ServiceRouter> ServiceRouter::Create(
     std::vector<DatasetSpec> datasets, const QueryServiceOptions& options) {
   if (datasets.empty()) {
@@ -108,6 +116,7 @@ RouterStats ServiceRouter::stats() const {
     d.epoch = service->snapshot_epoch();
     d.cache = service->cache_stats();
     d.admission = service->admission_stats();
+    d.health = service->health();
     stats.datasets.push_back(std::move(d));
   }
   return stats;

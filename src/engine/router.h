@@ -48,6 +48,7 @@ struct DatasetStats {
   uint64_t epoch = 0;  ///< snapshot generation (bumped by each hot swap)
   CacheStats cache;
   AdmissionStats admission;
+  ServiceHealth health;  ///< reload health (last-known-good retention)
 };
 
 /// Per-dataset stats plus totals, as returned by ServiceRouter::stats().
@@ -58,6 +59,10 @@ struct RouterStats {
   uint64_t total_shed() const;
   uint64_t total_deadline_exceeded() const;
   uint64_t total_queue_depth() const;
+
+  /// Datasets whose most recent reload failed (still serving their
+  /// last-known-good snapshot).
+  uint64_t total_unhealthy() const;
 };
 
 /// Multi-corpus query front-end. See file comment. Movable, not

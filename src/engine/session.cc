@@ -1,18 +1,31 @@
 #include "engine/session.h"
 
+#include "common/faultpoint.h"
+#include "common/macros.h"
 #include "common/timer.h"
 
 namespace xsact::engine {
 
+namespace {
+
+// Hit-only latency site inside the per-root extraction loop — lets the
+// chaos suite stall a comparison mid-flight to exercise cancellation.
+const fault::FaultPointId kFaultSessionExtract = fault::RegisterFaultPoint(
+    "session.extract", fault::FaultSiteKind::kHitOnly);
+
+}  // namespace
+
 StatusOr<std::vector<search::SearchResult>> Search(
     const CorpusSnapshot& snapshot, QuerySession* session,
     std::string_view query) {
+  session->search.cancel = session->cancel;
   return snapshot.engine().Search(query, &session->search);
 }
 
 StatusOr<std::vector<search::SearchResult>> SearchRanked(
     const CorpusSnapshot& snapshot, QuerySession* session,
     std::string_view query) {
+  session->search.cancel = session->cancel;
   return snapshot.engine().SearchRanked(query, &session->search);
 }
 
@@ -20,6 +33,7 @@ StatusOr<ComparisonOutcome> CompareResults(
     const CorpusSnapshot& snapshot, QuerySession* session,
     const std::vector<const xml::Node*>& result_roots,
     const CompareOptions& options) {
+  XSACT_RETURN_IF_ERROR(session->cancel.Check());
   if (result_roots.size() < 2) {
     return Status::InvalidArgument(
         "a comparison needs at least two results, got " +
@@ -64,23 +78,27 @@ StatusOr<ComparisonOutcome> CompareResults(
   std::vector<feature::ResultFeatures> features;
   features.reserve(roots.size());
   for (const xml::Node* root : roots) {
+    XSACT_FAULT_HIT(kFaultSessionExtract);
     // Serve-path fast extraction over the node's pre-order id range; the
     // node-walk fallback covers roots from outside the snapshot's
     // document.
     const xml::NodeId root_id = snapshot.table().IdOf(root);
     if (root_id != xml::kInvalidNodeId) {
-      features.push_back(extractor.Extract(snapshot.table(),
-                                           snapshot.category_index(), root_id,
-                                           outcome.catalog.get(),
-                                           &session->extraction));
+      features.push_back(extractor.Extract(
+          snapshot.table(), snapshot.category_index(), root_id,
+          outcome.catalog.get(), &session->extraction, session->cancel));
     } else {
       features.push_back(extractor.Extract(*root, snapshot.schema(),
                                            outcome.catalog.get(),
-                                           &session->extraction));
+                                           &session->extraction,
+                                           session->cancel));
     }
+    // Expired extraction returns partial features; never compare those.
+    XSACT_RETURN_IF_ERROR(session->cancel.Check());
   }
   outcome.instance = core::ComparisonInstance::Build(
       std::move(features), outcome.catalog.get(), options.diff_threshold);
+  XSACT_RETURN_IF_ERROR(session->cancel.Check());
 
   // DFS generation on the session's pooled selector instance.
   const core::DfsSelector& selector =
@@ -88,6 +106,7 @@ StatusOr<ComparisonOutcome> CompareResults(
   Timer timer;
   outcome.dfss = selector.Select(outcome.instance, options.selector);
   outcome.select_seconds = timer.ElapsedSeconds();
+  XSACT_RETURN_IF_ERROR(session->cancel.Check());
 
   outcome.table = table::BuildComparisonTable(outcome.instance, outcome.dfss);
   outcome.total_dod = outcome.table.total_dod;

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/selector.h"
 #include "engine/snapshot.h"
@@ -84,6 +85,12 @@ class QuerySession {
   /// Lift/dedup buffers of CompareResults.
   std::vector<const xml::Node*> roots;
   std::unordered_set<const xml::Node*> seen;
+  /// Cancellation scope for queries served through this session. The
+  /// serving layer installs the request's deadline + drain token before
+  /// evaluating and resets it afterwards; the Search/Compare entry points
+  /// propagate it into the kernels and the extractor. Default: never
+  /// expires, so direct (non-service) callers are unaffected.
+  Cancellation cancel;
 };
 
 /// Keyword search against a snapshot; all mutable state in *session.

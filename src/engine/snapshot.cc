@@ -1,10 +1,20 @@
 #include "engine/snapshot.h"
 
+#include "common/faultpoint.h"
 #include "common/macros.h"
 #include "xml/io.h"
 #include "xml/parser.h"
 
 namespace xsact::engine {
+
+namespace {
+
+const fault::FaultPointId kFaultSnapshotBuild =
+    fault::RegisterFaultPoint("snapshot.build");
+const fault::FaultPointId kFaultSnapshotValidate =
+    fault::RegisterFaultPoint("snapshot.validate");
+
+}  // namespace
 
 CorpusSnapshot::CorpusSnapshot(xml::Document doc,
                                search::SlcaAlgorithm algorithm)
@@ -19,20 +29,35 @@ SnapshotPtr CorpusSnapshot::Build(xml::Document doc,
   return std::make_shared<const CorpusSnapshot>(std::move(doc), algorithm);
 }
 
+Status CorpusSnapshot::Validate() const {
+  XSACT_INJECT_FAULT(kFaultSnapshotValidate);
+  return engine_.index()
+      .Validate(table().size())
+      .WithContext("corpus snapshot validation");
+}
+
 StatusOr<SnapshotPtr> CorpusSnapshot::FromXml(
     std::string_view xml_text, search::SlcaAlgorithm algorithm) {
+  XSACT_INJECT_FAULT(kFaultSnapshotBuild);
   // Fused zero-copy load: one pass emits the arena document AND its node
   // table; the snapshot retains the text as the view backing buffer.
   XSACT_ASSIGN_OR_RETURN(xml::ParsedCorpus corpus,
                          xml::ParseCorpus(std::string(xml_text)));
-  return std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
+  auto snapshot =
+      std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
+  XSACT_RETURN_IF_ERROR(snapshot->Validate());
+  return snapshot;
 }
 
 StatusOr<SnapshotPtr> CorpusSnapshot::FromFile(
     const std::string& path, search::SlcaAlgorithm algorithm) {
+  XSACT_INJECT_FAULT(kFaultSnapshotBuild);
   XSACT_ASSIGN_OR_RETURN(xml::ParsedCorpus corpus,
                          xml::ParseCorpusFile(path));
-  return std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
+  auto snapshot =
+      std::make_shared<const CorpusSnapshot>(std::move(corpus), algorithm);
+  XSACT_RETURN_IF_ERROR(snapshot->Validate().WithContext(path));
+  return snapshot;
 }
 
 }  // namespace xsact::engine

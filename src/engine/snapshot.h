@@ -77,6 +77,13 @@ class CorpusSnapshot {
       const std::string& path,
       search::SlcaAlgorithm algorithm = search::SlcaAlgorithm::kIndexed);
 
+  /// Structural validation of the derived index structures (per-block
+  /// postings checksums, CSR consistency, id bounds). FromXml/FromFile
+  /// run this before publishing a snapshot, so a corrupted or truncated
+  /// corpus surfaces as kDataCorruption at load/reload time instead of
+  /// undefined behavior on the query path.
+  Status Validate() const;
+
   /// The immutable search tier (document, table, schema, indexes).
   const search::SearchEngine& engine() const { return engine_; }
   const search::CorpusIndex& corpus() const { return engine_.corpus(); }

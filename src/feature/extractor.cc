@@ -231,9 +231,12 @@ ResultFeatures FeatureExtractor::Extract(
 ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
                                          const entity::EntitySchema& schema,
                                          FeatureCatalog* catalog,
-                                         ExtractionScratch* scratch) const {
+                                         ExtractionScratch* scratch,
+                                         const Cancellation& cancel) const {
   ExtractionWorkspace& state = *scratch->impl_;
   state.Reset();
+  const bool expirable = cancel.can_expire();
+  uint32_t tick = 0;
 
   // One non-recursive walk that does everything the seed spread over two
   // passes and per-leaf ancestor climbs: counts entity instances, records
@@ -247,6 +250,8 @@ ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
   };
   std::vector<Item> stack = {{&result_root, &result_root}};
   while (!stack.empty()) {
+    // Partial output on expiry; callers with an expirable token discard it.
+    if (expirable && (++tick & 1023u) == 0 && cancel.Expired()) break;
     const Item item = stack.back();
     stack.pop_back();
     const xml::Node* node = item.node;
@@ -288,10 +293,11 @@ ResultFeatures FeatureExtractor::Extract(const xml::Node& result_root,
 
 ResultFeatures FeatureExtractor::Extract(
     const xml::NodeTable& table, const entity::DocumentCategoryIndex& index,
-    xml::NodeId root_id, FeatureCatalog* catalog,
-    ExtractionScratch* scratch) const {
+    xml::NodeId root_id, FeatureCatalog* catalog, ExtractionScratch* scratch,
+    const Cancellation& cancel) const {
   ExtractionWorkspace& state = *scratch->impl_;
   state.Reset();
+  const bool expirable = cancel.can_expire();
   state.entity_epoch.resize(index.num_tags(), 0);
   state.entity_local.resize(index.num_tags(), -1);
   const uint32_t epoch = state.epoch;
@@ -317,6 +323,7 @@ ResultFeatures FeatureExtractor::Extract(
     xml::NodeId memo_owner = xml::kInvalidNodeId;
     int32_t memo_entity = -1;
     for (xml::NodeId id = root_id; id < end; ++id) {
+      if (expirable && ((id - root_id) & 4095) == 0 && cancel.Expired()) break;
       const entity::NodeCategory category = index.category(id);
       if (category == entity::NodeCategory::kValue) continue;  // text node
       if (id == root_id) {
@@ -383,6 +390,7 @@ ResultFeatures FeatureExtractor::Extract(
   xml::NodeId memo_owner = xml::kInvalidNodeId;
   int32_t memo_entity = -1;
   for (xml::NodeId id = root_id; id < end; ++id) {
+    if (expirable && ((id - root_id) & 4095) == 0 && cancel.Expired()) break;
     const entity::NodeCategory category = index.category(id);
     if (category == entity::NodeCategory::kValue) continue;  // text node
     const int32_t tag = index.tag_id(id);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "entity/category_index.h"
 #include "entity/entity_identifier.h"
 #include "feature/catalog.h"
@@ -78,20 +79,24 @@ class FeatureExtractor {
   /// Extracts the features of the subtree rooted at `result_root`.
   /// `schema` must have been inferred from the corpus (or the result set),
   /// and `catalog` is shared across the results being compared.
+  /// `cancel` is polled at a strided cadence; on expiry extraction stops
+  /// early and returns a partial ResultFeatures — callers that passed an
+  /// expirable token must Check() afterwards and discard the output.
   ResultFeatures Extract(const xml::Node& result_root,
                          const entity::EntitySchema& schema,
-                         FeatureCatalog* catalog,
-                         ExtractionScratch* scratch) const;
+                         FeatureCatalog* catalog, ExtractionScratch* scratch,
+                         const Cancellation& cancel = {}) const;
 
   /// Serve-path fast variant: extracts the subtree rooted at `root_id` as
   /// one linear sweep of its pre-order id range, reading the per-document
   /// category index instead of probing the schema per node. `index` must
   /// have been built from `table`. Produces output identical to the
-  /// node-walk overload.
+  /// node-walk overload. Same partial-output-on-expiry contract.
   ResultFeatures Extract(const xml::NodeTable& table,
                          const entity::DocumentCategoryIndex& index,
                          xml::NodeId root_id, FeatureCatalog* catalog,
-                         ExtractionScratch* scratch) const;
+                         ExtractionScratch* scratch,
+                         const Cancellation& cancel = {}) const;
 
   /// Convenience overloads: one fresh workspace per call.
   ResultFeatures Extract(const xml::Node& result_root,

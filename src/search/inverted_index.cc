@@ -1,14 +1,28 @@
 #include "search/inverted_index.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/faultpoint.h"
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace xsact::search {
 
+namespace {
+
+const fault::FaultPointId kFaultIndexBuild =
+    fault::RegisterFaultPoint("index.build");
+const fault::FaultPointId kFaultIndexValidate =
+    fault::RegisterFaultPoint("index.validate");
+
+}  // namespace
+
 InvertedIndex InvertedIndex::Build(const xml::NodeTable& table) {
   InvertedIndex index;
+  index.build_status_ = fault::CheckFaultPoint(kFaultIndexBuild);
+  if (!index.build_status_.ok()) return index;
 
   // Single sweep: text nodes post against their containing element,
   // attribute values against their owning element. Occurrences are
@@ -68,8 +82,18 @@ InvertedIndex InvertedIndex::Build(const xml::NodeTable& table) {
       if (r > begin && flat[r] == flat[r - 1]) continue;
       flat[write++] = flat[r];
     }
-    EncodePostings(flat.data() + begin, write - begin, &index.bytes_,
-                   &index.skips_);
+    Status encoded = EncodePostings(flat.data() + begin, write - begin,
+                                    &index.bytes_, &index.skips_);
+    if (!encoded.ok()) {
+      // The sorted/deduped ids should always encode; a failure here means
+      // the build sweep produced a malformed sequence. Poison the index
+      // rather than abort — Validate() surfaces it to the snapshot layer.
+      index.build_status_ =
+          encoded.WithContext("term '" + index.terms_.Lookup(
+                                             static_cast<int32_t>(t)) +
+                              "'");
+      return index;
+    }
     index.byte_offsets_.push_back(static_cast<uint32_t>(index.bytes_.size()));
     index.skip_offsets_.push_back(static_cast<uint32_t>(index.skips_.size()));
     index.count_offsets_.push_back(index.count_offsets_.back() +
@@ -78,6 +102,38 @@ InvertedIndex InvertedIndex::Build(const xml::NodeTable& table) {
   index.bytes_.shrink_to_fit();
   index.skips_.shrink_to_fit();
   return index;
+}
+
+Status InvertedIndex::Validate(size_t node_count) const {
+  XSACT_INJECT_FAULT(kFaultIndexValidate);
+  XSACT_RETURN_IF_ERROR(build_status_.WithContext("index build failed"));
+  const size_t num_terms = terms_.size();
+  const bool shapes_ok =
+      byte_offsets_.size() == num_terms + 1 &&
+      skip_offsets_.size() == num_terms + 1 &&
+      count_offsets_.size() == num_terms + 1 &&
+      byte_offsets_.front() == 0 && skip_offsets_.front() == 0 &&
+      count_offsets_.front() == 0 && byte_offsets_.back() == bytes_.size() &&
+      skip_offsets_.back() == skips_.size();
+  if (!shapes_ok) {
+    return Status::DataCorruption("index CSR offset arrays inconsistent");
+  }
+  for (size_t t = 0; t < num_terms; ++t) {
+    if (byte_offsets_[t + 1] < byte_offsets_[t] ||
+        skip_offsets_[t + 1] < skip_offsets_[t] ||
+        count_offsets_[t + 1] < count_offsets_[t]) {
+      return Status::DataCorruption("index CSR offsets not monotone at term " +
+                                    std::to_string(t));
+    }
+  }
+  for (size_t t = 0; t < num_terms; ++t) {
+    Status st = PostingsById(t).Validate(node_count);
+    if (!st.ok()) {
+      return st.WithContext("term '" + terms_.Lookup(static_cast<int32_t>(t)) +
+                            "'");
+    }
+  }
+  return Status();
 }
 
 }  // namespace xsact::search

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/status.h"
 #include "search/posting_list.h"
 #include "search/postings_codec.h"
 #include "xml/document.h"
@@ -42,11 +43,7 @@ class InvertedIndex {
   CompressedPostings Postings(std::string_view term) const {
     const int32_t id = terms_.Find(term);
     if (id < 0) return CompressedPostings();
-    const size_t t = static_cast<size_t>(id);
-    return CompressedPostings(bytes_.data() + byte_offsets_[t],
-                              skips_.data() + skip_offsets_[t],
-                              skip_offsets_[t + 1] - skip_offsets_[t],
-                              count_offsets_[t + 1] - count_offsets_[t]);
+    return PostingsById(static_cast<size_t>(id));
   }
 
   /// Decodes a term's postings into `*scratch` (capacity reused) and
@@ -95,8 +92,29 @@ class InvertedIndex {
            (TermCount() + 1) * sizeof(size_t);
   }
 
+  /// Error captured while building (a malformed per-term id sequence or
+  /// an injected build fault). An index with a non-OK build status must
+  /// not be served; Validate() reports it.
+  const Status& build_status() const { return build_status_; }
+
+  /// Full structural validation: CSR offset consistency plus a checked
+  /// decode of every term's posting list (checksums, bounds, strictly
+  /// increasing ids < `node_count`). Intended to run once per snapshot
+  /// build/reload, not per query.
+  Status Validate(size_t node_count) const;
+
  private:
+  /// Handle for the term with dense id `t` (must be < TermCount()).
+  CompressedPostings PostingsById(size_t t) const {
+    return CompressedPostings(bytes_.data() + byte_offsets_[t],
+                              skips_.data() + skip_offsets_[t],
+                              skip_offsets_[t + 1] - skip_offsets_[t],
+                              count_offsets_[t + 1] - count_offsets_[t],
+                              byte_offsets_[t + 1] - byte_offsets_[t]);
+  }
+
   StringInterner terms_;                  // term -> dense term id
+  Status build_status_;                   // first error hit while building
   std::vector<uint8_t> bytes_;            // all block payloads
   std::vector<PostingsSkip> skips_;       // all skip entries
   std::vector<uint32_t> byte_offsets_;    // term id -> payload byte range

@@ -1,6 +1,8 @@
 #include "search/postings_codec.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "common/macros.h"
 
@@ -11,12 +13,20 @@ namespace {
 // Block payload layout (m ids in the block, m1 = m - 1 gaps; the first
 // id lives in the skip entry):
 //   m1 == 0           -> zero bytes.
+//   otherwise the payload starts with a 4-byte little-endian FNV-1a-32
+//   checksum of everything that follows, then:
 //   header 0x00       -> varbyte mode: m1 varints.
 //   header 0x80 | w   -> packed mode at bit width w (0..32): one byte of
 //                        exception count E, ceil(m1*w/8) bytes of
 //                        little-endian bit-packed low bits, then E
 //                        exceptions {position byte, varbyte high bits}.
 constexpr uint8_t kPackedFlag = 0x80;
+
+// Exception positions and the patch-count byte index gaps within one
+// block, so both must fit in a byte. Guaranteed by the block size; this
+// is why the encoder needs no runtime overflow check on the count.
+static_assert(kPostingsBlockSize <= 256,
+              "exception positions/counts are stored as single bytes");
 
 size_t VarbyteLen(uint32_t v) {
   size_t n = 1;
@@ -33,7 +43,34 @@ size_t BitWidth(uint32_t v) {
   return w;
 }
 
+void PutChecksumLe(uint32_t sum, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(sum);
+  out[1] = static_cast<uint8_t>(sum >> 8);
+  out[2] = static_cast<uint8_t>(sum >> 16);
+  out[3] = static_cast<uint8_t>(sum >> 24);
+}
+
+uint32_t GetChecksumLe(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status Corrupt(size_t block, const char* what) {
+  return Status::DataCorruption("postings block " + std::to_string(block) +
+                                ": " + what);
+}
+
 }  // namespace
+
+uint32_t PostingsBlockChecksum(const uint8_t* data, size_t len) {
+  uint32_t h = 0x811c9dc5u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
 
 void AppendVarbyte(uint32_t v, std::vector<uint8_t>* out) {
   while (v >= 0x80) {
@@ -54,9 +91,38 @@ const uint8_t* DecodeVarbyte(const uint8_t* p, uint32_t* v) {
   return p;
 }
 
-void EncodePostings(const xml::NodeId* ids, size_t count,
-                    std::vector<uint8_t>* bytes,
-                    std::vector<PostingsSkip>* skips) {
+const uint8_t* DecodeVarbyteBounded(const uint8_t* p, const uint8_t* end,
+                                    uint32_t* v) {
+  uint32_t out = 0;
+  int shift = 0;
+  // A uint32 varint is at most 5 bytes; the 5th may only carry 4 bits.
+  while (true) {
+    if (p == end || shift > 28) return nullptr;
+    const uint8_t byte = *p++;
+    const uint32_t low = byte & 0x7Fu;
+    if (shift == 28 && (low >> 4) != 0) return nullptr;
+    out |= low << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = out;
+  return p;
+}
+
+Status EncodePostings(const xml::NodeId* ids, size_t count,
+                      std::vector<uint8_t>* bytes,
+                      std::vector<PostingsSkip>* skips) {
+  if (count == 0) return Status();
+  if (ids[0] < 0) {
+    return Status::InvalidArgument("posting ids must be non-negative");
+  }
+  for (size_t i = 1; i < count; ++i) {
+    if (ids[i] <= ids[i - 1]) {
+      return Status::InvalidArgument(
+          "posting ids must be strictly increasing (position " +
+          std::to_string(i) + ")");
+    }
+  }
   const size_t base = bytes->size();
   uint32_t gaps[kPostingsBlockSize];
   for (size_t b0 = 0; b0 < count; b0 += kPostingsBlockSize) {
@@ -65,6 +131,9 @@ void EncodePostings(const xml::NodeId* ids, size_t count,
         ids[b0], static_cast<uint32_t>(bytes->size() - base)});
     const size_t m1 = m - 1;
     if (m1 == 0) continue;
+    // Reserve the checksum slot; patched after the payload is emitted.
+    const size_t sum_pos = bytes->size();
+    bytes->insert(bytes->end(), kPostingsChecksumBytes, 0);
     size_t max_w = 0;
     size_t varbyte_cost = 1;
     for (size_t i = 0; i < m1; ++i) {
@@ -90,36 +159,40 @@ void EncodePostings(const xml::NodeId* ids, size_t count,
     if (varbyte_cost <= best_cost) {
       bytes->push_back(0x00);
       for (size_t i = 0; i < m1; ++i) AppendVarbyte(gaps[i], bytes);
-      continue;
-    }
-    const size_t w = best_w;
-    bytes->push_back(kPackedFlag | static_cast<uint8_t>(w));
-    const size_t count_pos = bytes->size();
-    bytes->push_back(0);  // exception count, patched below
-    uint64_t acc = 0;
-    int nbits = 0;
-    const uint32_t mask = w >= 32 ? ~0u : ((1u << w) - 1);
-    for (size_t i = 0; i < m1; ++i) {
-      acc |= static_cast<uint64_t>(gaps[i] & mask) << nbits;
-      nbits += static_cast<int>(w);
-      while (nbits >= 8) {
-        bytes->push_back(static_cast<uint8_t>(acc));
-        acc >>= 8;
-        nbits -= 8;
+    } else {
+      const size_t w = best_w;
+      bytes->push_back(kPackedFlag | static_cast<uint8_t>(w));
+      const size_t count_pos = bytes->size();
+      bytes->push_back(0);  // exception count, patched below
+      uint64_t acc = 0;
+      int nbits = 0;
+      const uint32_t mask = w >= 32 ? ~0u : ((1u << w) - 1);
+      for (size_t i = 0; i < m1; ++i) {
+        acc |= static_cast<uint64_t>(gaps[i] & mask) << nbits;
+        nbits += static_cast<int>(w);
+        while (nbits >= 8) {
+          bytes->push_back(static_cast<uint8_t>(acc));
+          acc >>= 8;
+          nbits -= 8;
+        }
       }
+      if (nbits > 0) bytes->push_back(static_cast<uint8_t>(acc));
+      size_t exceptions = 0;
+      for (size_t i = 0; i < m1; ++i) {
+        const uint32_t high = w >= 32 ? 0 : (gaps[i] >> w);
+        if (high == 0) continue;
+        bytes->push_back(static_cast<uint8_t>(i));
+        AppendVarbyte(high, bytes);
+        ++exceptions;
+      }
+      (*bytes)[count_pos] = static_cast<uint8_t>(exceptions);
     }
-    if (nbits > 0) bytes->push_back(static_cast<uint8_t>(acc));
-    size_t exceptions = 0;
-    for (size_t i = 0; i < m1; ++i) {
-      const uint32_t high = w >= 32 ? 0 : (gaps[i] >> w);
-      if (high == 0) continue;
-      bytes->push_back(static_cast<uint8_t>(i));
-      AppendVarbyte(high, bytes);
-      ++exceptions;
-    }
-    XSACT_CHECK(exceptions <= 0xFF);
-    (*bytes)[count_pos] = static_cast<uint8_t>(exceptions);
+    const size_t payload = sum_pos + kPostingsChecksumBytes;
+    PutChecksumLe(
+        PostingsBlockChecksum(bytes->data() + payload, bytes->size() - payload),
+        bytes->data() + sum_pos);
   }
+  return Status();
 }
 
 size_t CompressedPostings::DecodeBlock(size_t b, xml::NodeId* out) const {
@@ -127,7 +200,7 @@ size_t CompressedPostings::DecodeBlock(size_t b, xml::NodeId* out) const {
   out[0] = skips_[b].first_id;
   const size_t m1 = m - 1;
   if (m1 == 0) return m;
-  const uint8_t* p = bytes_ + skips_[b].byte_offset;
+  const uint8_t* p = bytes_ + skips_[b].byte_offset + kPostingsChecksumBytes;
   const uint8_t header = *p++;
   if ((header & kPackedFlag) == 0) {
     xml::NodeId prev = out[0];
@@ -170,6 +243,103 @@ size_t CompressedPostings::DecodeBlock(size_t b, xml::NodeId* out) const {
   return m;
 }
 
+Status CompressedPostings::DecodeBlockChecked(size_t b, xml::NodeId* out,
+                                              size_t* len) const {
+  if (b >= num_blocks_) {
+    return Status::OutOfRange("postings block index " + std::to_string(b) +
+                              " out of range (" + std::to_string(num_blocks_) +
+                              " blocks)");
+  }
+  const size_t m = BlockLength(b);
+  if (m == 0 || m > kPostingsBlockSize) {
+    return Corrupt(b, "invalid block length");
+  }
+  const size_t begin = skips_[b].byte_offset;
+  const size_t finish =
+      b + 1 < num_blocks_ ? skips_[b + 1].byte_offset : byte_size_;
+  if (begin > finish || finish > byte_size_) {
+    return Corrupt(b, "skip offsets out of bounds");
+  }
+  if (skips_[b].first_id < 0) {
+    return Corrupt(b, "negative first id in skip entry");
+  }
+  out[0] = skips_[b].first_id;
+  *len = m;
+  const size_t m1 = m - 1;
+  if (m1 == 0) {
+    if (finish != begin) return Corrupt(b, "single-id block has payload");
+    return Status();
+  }
+  if (finish - begin < kPostingsChecksumBytes + 1) {
+    return Corrupt(b, "payload truncated before header");
+  }
+  const uint8_t* p = bytes_ + begin;
+  const uint8_t* stop = bytes_ + finish;
+  const uint32_t stored = GetChecksumLe(p);
+  p += kPostingsChecksumBytes;
+  if (PostingsBlockChecksum(p, static_cast<size_t>(stop - p)) != stored) {
+    return Corrupt(b, "checksum mismatch");
+  }
+  const uint8_t header = *p++;
+  // Gap values are accumulated in int64 so a hostile payload cannot
+  // overflow past INT32_MAX undetected.
+  int64_t prev = out[0];
+  if ((header & kPackedFlag) == 0) {
+    if (header != 0x00) return Corrupt(b, "unknown header byte");
+    for (size_t i = 0; i < m1; ++i) {
+      uint32_t gap;
+      p = DecodeVarbyteBounded(p, stop, &gap);
+      if (p == nullptr) return Corrupt(b, "varbyte gap overruns payload");
+      prev += static_cast<int64_t>(gap) + 1;
+      if (prev > INT32_MAX) return Corrupt(b, "posting id overflows int32");
+      out[i + 1] = static_cast<xml::NodeId>(prev);
+    }
+    if (p != stop) return Corrupt(b, "trailing bytes after varbyte gaps");
+    return Status();
+  }
+  const size_t w = header & 0x7F;
+  if (w > 32) return Corrupt(b, "packed bit width exceeds 32");
+  if (p == stop) return Corrupt(b, "payload truncated before exception count");
+  const size_t exceptions = *p++;
+  const size_t packed_bytes = (m1 * w + 7) / 8;
+  if (static_cast<size_t>(stop - p) < packed_bytes) {
+    return Corrupt(b, "packed bits overrun payload");
+  }
+  uint32_t gaps[kPostingsBlockSize];
+  uint64_t acc = 0;
+  int nbits = 0;
+  const uint32_t mask = w >= 32 ? ~0u : ((1u << w) - 1);
+  for (size_t i = 0; i < m1; ++i) {
+    while (nbits < static_cast<int>(w)) {
+      acc |= static_cast<uint64_t>(*p++) << nbits;
+      nbits += 8;
+    }
+    gaps[i] = static_cast<uint32_t>(acc & mask);
+    acc >>= w;
+    nbits -= static_cast<int>(w);
+  }
+  for (size_t e = 0; e < exceptions; ++e) {
+    if (p == stop) return Corrupt(b, "exception list truncated");
+    const size_t pos = *p++;
+    if (pos >= m1) return Corrupt(b, "exception position out of range");
+    uint32_t high;
+    p = DecodeVarbyteBounded(p, stop, &high);
+    if (p == nullptr) return Corrupt(b, "exception varbyte overruns payload");
+    if (w >= 32) return Corrupt(b, "exception at full bit width");
+    if (high == 0 || high > (UINT32_MAX >> w)) {
+      return Corrupt(b, "invalid exception high bits");
+    }
+    gaps[pos] |= high << w;
+  }
+  if (p != stop) return Corrupt(b, "trailing bytes after exception list");
+  for (size_t i = 0; i < m1; ++i) {
+    prev += static_cast<int64_t>(gaps[i]) + 1;
+    if (prev > INT32_MAX) return Corrupt(b, "posting id overflows int32");
+    out[i + 1] = static_cast<xml::NodeId>(prev);
+  }
+  return Status();
+}
+
 void CompressedPostings::DecodeInto(xml::NodeId* out) const {
   for (size_t b = 0; b < num_blocks_; ++b) {
     DecodeBlock(b, out + b * kPostingsBlockSize);
@@ -202,6 +372,52 @@ size_t CompressedPostings::Rank(xml::NodeId limit) const {
   const size_t j = static_cast<size_t>(
       std::lower_bound(block, block + m, limit) - block);
   return b * kPostingsBlockSize + j;
+}
+
+Status CompressedPostings::Validate(size_t node_count) const {
+  if (count_ == 0) {
+    if (num_blocks_ != 0 || byte_size_ != 0) {
+      return Status::DataCorruption(
+          "empty posting list has blocks or payload bytes");
+    }
+    return Status();
+  }
+  const size_t want_blocks =
+      (count_ + kPostingsBlockSize - 1) / kPostingsBlockSize;
+  if (num_blocks_ != want_blocks) {
+    return Status::DataCorruption(
+        "block count mismatch: have " + std::to_string(num_blocks_) +
+        ", want " + std::to_string(want_blocks) + " for " +
+        std::to_string(count_) + " postings");
+  }
+  if (skips_[0].byte_offset != 0) {
+    return Status::DataCorruption("first skip entry has nonzero byte offset");
+  }
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const size_t finish =
+        b + 1 < num_blocks_ ? skips_[b + 1].byte_offset : byte_size_;
+    if (skips_[b].byte_offset > finish || finish > byte_size_) {
+      return Corrupt(b, "skip offsets not nondecreasing within payload");
+    }
+  }
+  xml::NodeId block[kPostingsBlockSize];
+  int64_t prev = -1;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    size_t m = 0;
+    XSACT_RETURN_IF_ERROR(DecodeBlockChecked(b, block, &m));
+    for (size_t i = 0; i < m; ++i) {
+      if (block[i] <= prev) {
+        return Corrupt(b, "posting ids not strictly increasing");
+      }
+      prev = block[i];
+    }
+  }
+  if (prev >= static_cast<int64_t>(node_count)) {
+    return Status::DataCorruption(
+        "posting id " + std::to_string(prev) + " out of range for " +
+        std::to_string(node_count) + " nodes");
+  }
+  return Status();
 }
 
 }  // namespace xsact::search

@@ -17,6 +17,15 @@
 //     patched frame-of-reference layout and wins on the uniform-ish
 //     gaps real posting lists have.
 // The choice is a per-block header byte; decoders dispatch on it.
+//
+// Corruption safety: every block with a payload (2+ ids) carries a
+// 4-byte little-endian FNV-1a-32 checksum of its header+body bytes,
+// written before the header. The trusted hot decoders (DecodeBlock,
+// DecodeInto, Rank) skip it; DecodeBlockChecked and Validate verify it
+// and bounds-check every read, so a corrupted or truncated index
+// surfaces as Status::DataCorruption instead of undefined behavior.
+// Validation runs once per snapshot build/reload (see
+// InvertedIndex::Validate), keeping the per-query path checksum-free.
 
 #ifndef XSACT_SEARCH_POSTINGS_CODEC_H_
 #define XSACT_SEARCH_POSTINGS_CODEC_H_
@@ -25,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "search/posting_list.h"
 #include "xml/path.h"
 
@@ -33,6 +43,12 @@ namespace xsact::search {
 /// Ids per block. 128 keeps one decoded block inside two cache lines of
 /// skip metadata and lets exception positions fit in one byte.
 inline constexpr size_t kPostingsBlockSize = 128;
+
+/// Bytes of the per-block payload checksum (FNV-1a-32, little-endian).
+inline constexpr size_t kPostingsChecksumBytes = 4;
+
+/// FNV-1a-32 over `len` bytes at `data` — the per-block checksum.
+uint32_t PostingsBlockChecksum(const uint8_t* data, size_t len);
 
 /// One entry per block: the block's first posting id and the byte offset
 /// of its payload relative to the owning term's payload start.
@@ -48,26 +64,42 @@ void AppendVarbyte(uint32_t v, std::vector<uint8_t>* out);
 /// The buffer is trusted (produced by AppendVarbyte), so no bounds check.
 const uint8_t* DecodeVarbyte(const uint8_t* p, uint32_t* v);
 
+/// Bounds-validated variant for untrusted buffers: decodes one varint
+/// from [p, end) into `*v` and returns the first byte past it, or
+/// nullptr when the varint runs off `end` or overflows 32 bits.
+const uint8_t* DecodeVarbyteBounded(const uint8_t* p, const uint8_t* end,
+                                    uint32_t* v);
+
 /// Encodes `count` sorted unique ids, appending one PostingsSkip per
 /// block to `*skips` and the block payloads to `*bytes`. Skip byte
 /// offsets are relative to the value of `bytes->size()` on entry.
-void EncodePostings(const xml::NodeId* ids, size_t count,
-                    std::vector<uint8_t>* bytes,
-                    std::vector<PostingsSkip>* skips);
+/// Fails with kInvalidArgument when the ids are not non-negative and
+/// strictly increasing; on failure the outputs are unspecified (the
+/// caller must discard them).
+Status EncodePostings(const xml::NodeId* ids, size_t count,
+                      std::vector<uint8_t>* bytes,
+                      std::vector<PostingsSkip>* skips);
 
 /// Read-only handle on one term's compressed posting list. Points into
 /// storage owned by the InvertedIndex (or any caller-owned buffers);
-/// valid as long as that storage lives. Copyable, 4 words.
+/// valid as long as that storage lives. Copyable, 5 words. `byte_size`
+/// is the total payload length — the end bound the checked readers
+/// validate against.
 class CompressedPostings {
  public:
   CompressedPostings() = default;
   CompressedPostings(const uint8_t* bytes, const PostingsSkip* skips,
-                     size_t num_blocks, size_t count)
-      : bytes_(bytes), skips_(skips), num_blocks_(num_blocks), count_(count) {}
+                     size_t num_blocks, size_t count, size_t byte_size)
+      : bytes_(bytes),
+        skips_(skips),
+        num_blocks_(num_blocks),
+        count_(count),
+        byte_size_(byte_size) {}
 
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   size_t num_blocks() const { return num_blocks_; }
+  size_t byte_size() const { return byte_size_; }
   xml::NodeId front() const { return skips_[0].first_id; }
 
   /// First posting id of block `b` — read straight off the skip entry.
@@ -80,8 +112,17 @@ class CompressedPostings {
   }
 
   /// Decodes block `b` into out[0..BlockLength(b)); returns the length.
-  /// `out` must hold at least kPostingsBlockSize ids.
+  /// `out` must hold at least kPostingsBlockSize ids. Trusts the payload
+  /// (validated at build/reload); see DecodeBlockChecked for the
+  /// untrusted path.
   size_t DecodeBlock(size_t b, xml::NodeId* out) const;
+
+  /// Bounds- and checksum-validated block decode: every read is checked
+  /// against the payload extent, the block checksum must match, and the
+  /// decoded ids must be strictly increasing non-negative int32s. On
+  /// success `*len` is the block length. Fails with kDataCorruption (or
+  /// kOutOfRange for a bad block index) and leaves `*out` unspecified.
+  Status DecodeBlockChecked(size_t b, xml::NodeId* out, size_t* len) const;
 
   /// Decodes the whole list into out[0..size()). The caller sizes the
   /// buffer — typically a slice of a pooled decode arena.
@@ -95,11 +136,18 @@ class CompressedPostings {
   /// entries plus at most one block decode (into a stack buffer).
   size_t Rank(xml::NodeId limit) const;
 
+  /// Full structural validation: skip-table shape, per-block checksums,
+  /// bounded decode of every block, ids strictly increasing across the
+  /// whole list and < `node_count`. Run once at snapshot build/reload so
+  /// the trusted hot decoders never see a malformed payload.
+  Status Validate(size_t node_count) const;
+
  private:
   const uint8_t* bytes_ = nullptr;
   const PostingsSkip* skips_ = nullptr;
   size_t num_blocks_ = 0;
   size_t count_ = 0;
+  size_t byte_size_ = 0;
 };
 
 }  // namespace xsact::search

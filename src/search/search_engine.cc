@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <unordered_set>
 
+#include "common/faultpoint.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "search/ranking.h"
 
 namespace xsact::search {
+
+namespace {
+
+// Hit-only site (injected error codes are dropped): lets the chaos suite
+// insert latency at the heart of query evaluation to exercise deadline
+// enforcement mid-execution.
+const fault::FaultPointId kFaultSearchEvaluate =
+    fault::RegisterFaultPoint("search.evaluate", fault::FaultSiteKind::kHitOnly);
+
+}  // namespace
 
 CorpusIndex::CorpusIndex(xml::Document document, SlcaAlgorithm slca)
     : CorpusIndex(std::move(document), xml::NodeTable(), slca) {}
@@ -80,8 +92,10 @@ namespace {
 
 // Decodes every source into the workspace's flat arena (plain sources
 // keep their existing storage) and builds MatchLists views for the scan
-// kernels. One arena resize, no per-list vectors.
-void DecodeSources(SearchWorkspace* ws) {
+// kernels. One arena resize, no per-list vectors. Checks the workspace's
+// cancellation between sources (one source decode is the natural unit of
+// interruptible work here).
+Status DecodeSources(SearchWorkspace* ws) {
   size_t need = 0;
   for (const PostingSource& src : ws->sources) {
     if (!src.is_plain()) need += src.size();
@@ -89,7 +103,9 @@ void DecodeSources(SearchWorkspace* ws) {
   ws->decode_pool.resize(need);
   ws->lists.clear();
   size_t offset = 0;
+  const bool expirable = ws->cancel.can_expire();
   for (const PostingSource& src : ws->sources) {
+    if (expirable) XSACT_RETURN_IF_ERROR(ws->cancel.Check());
     if (src.is_plain()) {
       ws->lists.push_back(src.plain());
       continue;
@@ -99,6 +115,7 @@ void DecodeSources(SearchWorkspace* ws) {
     ws->lists.push_back(PostingList(out, src.size()));
     offset += src.size();
   }
+  return Status();
 }
 
 }  // namespace
@@ -170,33 +187,42 @@ StatusOr<std::vector<SearchResult>> SearchEngine::Search(
   // would gallop over nearly every block anyway.
   const bool selective = total_postings < table.size() / 4;
   const bool prefer_merge = selective || sources.size() > 64;
+  XSACT_FAULT_HIT(kFaultSearchEvaluate);
+  const Cancellation& cancel = ws->cancel;
   std::vector<xml::NodeId> slcas;
   switch (corpus_.algorithm) {
     case SlcaAlgorithm::kScan:
-      DecodeSources(ws);
-      slcas = ComputeSlcaByScan(table, ws->lists);
+      XSACT_RETURN_IF_ERROR(DecodeSources(ws));
+      slcas = ComputeSlcaByScan(table, ws->lists, cancel);
       break;
     case SlcaAlgorithm::kIndexed:
       if (prefer_merge) {
-        slcas = ComputeSlcaMerge(table, sources, &ws->merge);
+        slcas = ComputeSlcaMerge(table, sources, &ws->merge, cancel);
       } else {
-        DecodeSources(ws);
-        slcas = ComputeSlcaByScan(table, ws->lists);
+        XSACT_RETURN_IF_ERROR(DecodeSources(ws));
+        slcas = ComputeSlcaByScan(table, ws->lists, cancel);
       }
       break;
     case SlcaAlgorithm::kElca:
       if (prefer_merge) {
-        slcas = ComputeElcaMerge(table, sources, &ws->merge);
+        slcas = ComputeElcaMerge(table, sources, &ws->merge, cancel);
       } else {
-        DecodeSources(ws);
-        slcas = ComputeElcaByScan(table, ws->lists);
+        XSACT_RETURN_IF_ERROR(DecodeSources(ws));
+        slcas = ComputeElcaByScan(table, ws->lists, cancel);
       }
       break;
   }
+  // The kernels return partial answers on expiry; never surface those.
+  XSACT_RETURN_IF_ERROR(cancel.Check());
 
   std::vector<SearchResult> results;
   std::unordered_set<const xml::Node*>& seen = ws->seen;
+  const bool expirable = cancel.can_expire();
+  uint32_t tick = 0;
   for (xml::NodeId slca_id : slcas) {
+    if (expirable && (++tick & 255u) == 0) {
+      XSACT_RETURN_IF_ERROR(cancel.Check());
+    }
     const xml::Node* slca = table.node(slca_id);
     // Return-node inference: nearest entity ancestor-or-self. The document
     // root bounds the walk: if no entity exists on the path we fall back to

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "entity/category_index.h"
 #include "entity/entity_identifier.h"
@@ -107,6 +108,12 @@ struct SearchWorkspace {
   std::vector<xml::NodeId> decode_pool;   // flat arena for scan fallback
   std::vector<xml::NodeId> field_scratch; // fielded-term decode buffer
   MergeScratch merge;  // merge-kernel state (block cache, heap, stack)
+
+  /// Cancellation scope for queries run through this workspace. Set by
+  /// the caller before Search (the serving layer installs the request's
+  /// deadline + drain token); deliberately NOT touched by Reset() so the
+  /// owner controls its lifetime across queries. Default: never expires.
+  Cancellation cancel;
 
   void Reset() {
     lists.clear();

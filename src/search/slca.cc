@@ -25,14 +25,18 @@ namespace {
 // Arbitrary-keyword-count scan: identical sweep to the 64-keyword fast
 // path below, with ceil(k/64) mask words per node instead of one.
 std::vector<xml::NodeId> SlcaByScanWide(const xml::NodeTable& table,
-                                        const MatchLists& lists) {
+                                        const MatchLists& lists,
+                                        const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
+  const bool expirable = cancel.can_expire();
   const size_t k = lists.size();
   const size_t words = (k + 63) / 64;
   std::vector<uint64_t> mask(table.size() * words, 0);
+  uint32_t tick = 0;
   for (size_t q = 0; q < k; ++q) {
     for (xml::NodeId id : lists[q]) {
       mask[static_cast<size_t>(id) * words + q / 64] |= 1ULL << (q % 64);
+      if (expirable && (++tick & 4095u) == 0 && cancel.Expired()) return result;
     }
   }
   auto covers_all = [&](size_t v) {
@@ -45,6 +49,7 @@ std::vector<xml::NodeId> SlcaByScanWide(const xml::NodeTable& table,
     return true;
   };
   for (size_t i = table.size(); i-- > 1;) {
+    if (expirable && (i & 4095u) == 0 && cancel.Expired()) return result;
     const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
     if (parent == xml::kInvalidNodeId) continue;
     for (size_t w = 0; w < words; ++w) {
@@ -61,6 +66,7 @@ std::vector<xml::NodeId> SlcaByScanWide(const xml::NodeTable& table,
     }
   }
   for (size_t i = 0; i < table.size(); ++i) {
+    if (expirable && (i & 4095u) == 0 && cancel.Expired()) break;
     if (covers_all(i) && !has_full_child[i] &&
         table.node(static_cast<xml::NodeId>(i))->is_element()) {
       result.push_back(static_cast<xml::NodeId>(i));
@@ -72,22 +78,27 @@ std::vector<xml::NodeId> SlcaByScanWide(const xml::NodeTable& table,
 }  // namespace
 
 std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
-                                           const MatchLists& lists) {
+                                           const MatchLists& lists,
+                                           const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
-  if (lists.size() > 64) return SlcaByScanWide(table, lists);
+  if (lists.size() > 64) return SlcaByScanWide(table, lists, cancel);
 
+  const bool expirable = cancel.can_expire();
   const uint64_t full =
       lists.size() == 64 ? ~0ULL : ((1ULL << lists.size()) - 1);
   std::vector<uint64_t> mask(table.size(), 0);
+  uint32_t tick = 0;
   for (size_t k = 0; k < lists.size(); ++k) {
     for (xml::NodeId id : lists[k]) {
       mask[static_cast<size_t>(id)] |= (1ULL << k);
+      if (expirable && (++tick & 4095u) == 0 && cancel.Expired()) return result;
     }
   }
   // Pre-order table: children have larger ids than parents, so a reverse
   // sweep folds every subtree's mask into its root before the root is read.
   for (size_t i = table.size(); i-- > 1;) {
+    if (expirable && (i & 4095u) == 0 && cancel.Expired()) return result;
     const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(i));
     if (parent != xml::kInvalidNodeId) {
       mask[static_cast<size_t>(parent)] |= mask[i];
@@ -104,6 +115,7 @@ std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
     }
   }
   for (size_t i = 0; i < table.size(); ++i) {
+    if (expirable && (i & 4095u) == 0 && cancel.Expired()) break;
     if (mask[i] == full && !has_full_child[i] &&
         table.node(static_cast<xml::NodeId>(i))->is_element()) {
       result.push_back(static_cast<xml::NodeId>(i));
@@ -113,9 +125,11 @@ std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
 }
 
 std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
-                                           const MatchLists& lists) {
+                                           const MatchLists& lists,
+                                           const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
+  const bool expirable = cancel.can_expire();
   const size_t k = lists.size();
   const size_t n = table.size();
 
@@ -137,6 +151,7 @@ std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
     return true;
   };
   for (size_t v = n; v-- > 1;) {
+    if (expirable && (v & 4095u) == 0 && cancel.Expired()) return result;
     const xml::NodeId parent = table.parent(static_cast<xml::NodeId>(v));
     if (parent == xml::kInvalidNodeId) continue;
     const size_t p = static_cast<size_t>(parent);
@@ -150,6 +165,7 @@ std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
     }
   }
   for (size_t v = 0; v < n; ++v) {
+    if (expirable && (v & 4095u) == 0 && cancel.Expired()) break;
     if (!table.node(static_cast<xml::NodeId>(v))->is_element()) continue;
     bool elca = true;
     for (size_t q = 0; q < k; ++q) {
@@ -181,9 +197,11 @@ xml::DeweyId Prefix(const xml::DeweyId& a, size_t len) {
 }  // namespace
 
 std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
-                                            const MatchLists& lists) {
+                                            const MatchLists& lists,
+                                            const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
+  const bool expirable = cancel.can_expire();
 
   // Drive the algorithm with the shortest list.
   size_t shortest = 0;
@@ -192,7 +210,9 @@ std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
   }
 
   std::vector<xml::DeweyId> candidates;
+  uint32_t tick = 0;
   for (xml::NodeId d : lists[shortest]) {
+    if (expirable && (++tick & 63u) == 0 && cancel.Expired()) break;
     xml::DeweyId u = table.dewey(d);
     for (size_t i = 0; i < lists.size(); ++i) {
       if (i == shortest) continue;
@@ -229,7 +249,10 @@ std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
   }
   for (const auto& m : minimal) {
     const xml::NodeId id = table.FindByDewey(m);
-    XSACT_CHECK(id != xml::kInvalidNodeId);
+    // Every minimal candidate is a truncated Dewey label of a real node,
+    // so the lookup should always resolve; if a corrupted table breaks
+    // that, drop the candidate rather than abort the process.
+    if (id == xml::kInvalidNodeId) continue;
     if (table.node(id)->is_element()) result.push_back(id);
   }
   std::sort(result.begin(), result.end());

@@ -35,6 +35,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "search/posting_list.h"
 #include "search/postings_codec.h"
 #include "xml/path.h"
@@ -104,21 +105,31 @@ struct MergeScratch {
   }
 };
 
+// Every kernel takes an optional Cancellation and polls it at a strided
+// cadence (every few thousand fold steps / 64 anchor probes or heap
+// pops). On expiry a kernel stops early and returns whatever partial
+// answer it accumulated — callers that passed an expirable token MUST
+// call cancel.Check() afterwards and discard the result on error (the
+// search engine does; see search_engine.cc).
+
 /// Linear-scan SLCA. Any number of keywords. Returns element ids in
 /// document order; empty when any list is empty (conjunctive semantics).
 std::vector<xml::NodeId> ComputeSlcaByScan(const xml::NodeTable& table,
-                                           const MatchLists& lists);
+                                           const MatchLists& lists,
+                                           const Cancellation& cancel = {});
 
 /// Indexed-lookup SLCA (binary searches into Dewey-ordered lists).
 /// Same contract and results as ComputeSlcaByScan.
 std::vector<xml::NodeId> ComputeSlcaIndexed(const xml::NodeTable& table,
-                                            const MatchLists& lists);
+                                            const MatchLists& lists,
+                                            const Cancellation& cancel = {});
 
 /// Skip-driven SLCA merge over compressed postings. Same contract and
 /// results as ComputeSlcaByScan; cost scales with the shortest list.
 std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
                                           const MergeLists& lists,
-                                          MergeScratch* scratch);
+                                          MergeScratch* scratch,
+                                          const Cancellation& cancel = {});
 
 /// Exclusive LCA (ELCA, XRank-style) semantics: a node v answers the
 /// query iff its subtree contains every keyword through WITNESS matches
@@ -128,7 +139,8 @@ std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
 /// matches everything still answers if the product has further matches
 /// of every keyword outside that name). O(nodes * keywords).
 std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
-                                           const MatchLists& lists);
+                                           const MatchLists& lists,
+                                           const Cancellation& cancel = {});
 
 /// ELCA as a k-way merge of the compressed postings: a heap interleaves
 /// the lists in pre-order while a stack maintains the open ancestor path
@@ -136,7 +148,8 @@ std::vector<xml::NodeId> ComputeElcaByScan(const xml::NodeTable& table,
 /// at cost ~ sum of list lengths (times log k) instead of corpus size.
 std::vector<xml::NodeId> ComputeElcaMerge(const xml::NodeTable& table,
                                           const MergeLists& lists,
-                                          MergeScratch* scratch);
+                                          MergeScratch* scratch,
+                                          const Cancellation& cancel = {});
 
 }  // namespace xsact::search
 

@@ -147,9 +147,11 @@ bool AnyListEmpty(const MergeLists& lists) {
 
 std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
                                           const MergeLists& lists,
-                                          MergeScratch* scratch) {
+                                          MergeScratch* scratch,
+                                          const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
+  const bool expirable = cancel.can_expire();
   const size_t k = lists.size();
   scratch->Clear();
   scratch->blocks.resize(k * kPostingsBlockSize);
@@ -171,6 +173,7 @@ std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
   std::vector<xml::NodeId>& candidates = scratch->candidates;
   const size_t anchor_count = lists[smallest].size();
   for (size_t a = 0; a < anchor_count; ++a) {
+    if (expirable && (a & 63u) == 0 && cancel.Expired()) break;
     const xml::NodeId d = At(lists[smallest], slot(smallest),
                              &scratch->cached_block[smallest], a);
     xml::NodeId u = d;
@@ -210,9 +213,11 @@ std::vector<xml::NodeId> ComputeSlcaMerge(const xml::NodeTable& table,
 
 std::vector<xml::NodeId> ComputeElcaMerge(const xml::NodeTable& table,
                                           const MergeLists& lists,
-                                          MergeScratch* scratch) {
+                                          MergeScratch* scratch,
+                                          const Cancellation& cancel) {
   std::vector<xml::NodeId> result;
   if (AnyListEmpty(lists)) return result;
+  const bool expirable = cancel.can_expire();
   const size_t k = lists.size();
   scratch->Clear();
   scratch->blocks.resize(k * kPostingsBlockSize);
@@ -280,7 +285,12 @@ std::vector<xml::NodeId> ComputeElcaMerge(const xml::NodeTable& table,
   };
 
   std::vector<xml::NodeId>& climb = scratch->candidates;
+  uint32_t pops = 0;
   while (!heap.empty()) {
+    // On expiry, break to the stack drain below so every open ancestor is
+    // finalized against the events seen so far — a well-formed (if
+    // partial) answer the caller will discard via cancel.Check().
+    if (expirable && (++pops & 63u) == 0 && cancel.Expired()) break;
     const size_t q = heap[0];
     const xml::NodeId id = heads[q];
     ++scratch->pos[q];

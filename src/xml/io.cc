@@ -3,12 +3,21 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/faultpoint.h"
 #include "common/macros.h"
 #include "xml/parser.h"
 
 namespace xsact::xml {
 
+namespace {
+
+const fault::FaultPointId kFaultIoRead =
+    fault::RegisterFaultPoint("io.read_file");
+
+}  // namespace
+
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  XSACT_INJECT_FAULT(kFaultIoRead);
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (file == nullptr) {

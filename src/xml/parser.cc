@@ -6,11 +6,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/faultpoint.h"
 #include "common/macros.h"
 
 namespace xsact::xml {
 
 namespace {
+
+const fault::FaultPointId kFaultParseCorpus =
+    fault::RegisterFaultPoint("parse.corpus");
 
 /// Locale-independent character classes as flat 256-entry tables: the
 /// seed parser routed every probe through std::isalpha/std::isspace
@@ -527,6 +531,7 @@ StatusOr<Document> ParseRetained(std::string text, ParseOptions options) {
 }
 
 StatusOr<ParsedCorpus> ParseCorpus(std::string text, ParseOptions options) {
+  XSACT_INJECT_FAULT(kFaultParseCorpus);
   ParsedCorpus corpus;
   ArenaParser parser(std::move(text), options, &corpus.table);
   XSACT_ASSIGN_OR_RETURN(corpus.doc, parser.Run());

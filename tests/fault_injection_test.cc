@@ -1,0 +1,371 @@
+// Chaos suite: walks every fault point registered in the binary and
+// asserts the serving stack degrades gracefully — injected failures
+// surface as error Statuses (never crashes, hangs, or corrupted
+// serving), the service keeps its last-known-good snapshot through
+// failed reloads, deadlines bound execution time (not just queue time),
+// and Shutdown() drains queued and in-flight work with kCancelled.
+//
+// Runs under ASAN+UBSAN in CI with 10 fixed seeds (XSACT_CHAOS_SEED)
+// driving the randomized soak test.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faultpoint.h"
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/session.h"
+#include "engine/snapshot.h"
+#include "table/renderer.h"
+#include "xml/io.h"
+#include "xml/writer.h"
+
+namespace xsact::engine {
+namespace {
+
+std::string Fingerprint(const StatusOr<OutcomePtr>& outcome) {
+  if (!outcome.ok()) return "ERR:" + outcome.status().ToString();
+  return table::RenderAscii((*outcome)->table) + "#" +
+         std::to_string((*outcome)->total_dod);
+}
+
+/// Everything one pass over the serving stack observed: the individual
+/// operation statuses plus which ones failed.
+struct WorkloadResult {
+  Status from_file;
+  std::vector<Status> serves;
+  Status reload;
+
+  bool AllOk() const {
+    if (!from_file.ok() || !reload.ok()) return false;
+    for (const Status& s : serves) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+
+  /// True iff some operation failed with a message containing `needle`.
+  bool SawError(const std::string& needle) const {
+    auto matches = [&needle](const Status& s) {
+      return !s.ok() && s.ToString().find(needle) != std::string::npos;
+    };
+    if (matches(from_file) || matches(reload)) return true;
+    for (const Status& s : serves) {
+      if (matches(s)) return true;
+    }
+    return false;
+  }
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAllFaultPoints();
+    data::ProductReviewsConfig config;
+    config.num_products = 20;
+    config.seed = 11;
+    xml::Document doc = data::GenerateProductReviews(config);
+    corpus_path_ = ::testing::TempDir() + "/xsact_chaos_corpus.xml";
+    ASSERT_TRUE(xml::WriteStringToFile(
+                    corpus_path_,
+                    xml::WriteDocument(doc, {.indent_width = 2,
+                                             .declaration = true}))
+                    .ok());
+    snapshot_ = CorpusSnapshot::Build(std::move(doc));
+    QuerySession session;
+    StatusOr<ComparisonOutcome> reference =
+        SearchAndCompare(*snapshot_, &session, "gps");
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    expected_gps_ = table::RenderAscii(reference->table) + "#" +
+                    std::to_string(reference->total_dod);
+  }
+
+  void TearDown() override {
+    fault::DisarmAllFaultPoints();
+    std::remove(corpus_path_.c_str());
+  }
+
+  /// One pass over every layer carrying a fault site: file load → full
+  /// snapshot build+validate, query serving through the worker pool
+  /// (search, extraction), and a hot reload.
+  WorkloadResult RunWorkload() {
+    WorkloadResult result;
+    result.from_file = CorpusSnapshot::FromFile(corpus_path_).status();
+
+    QueryServiceOptions options;
+    options.num_threads = 1;
+    options.enable_cache = false;  // every serve must reach a worker
+    QueryService service(snapshot_, options);
+    for (const char* query : {"gps", "camera"}) {
+      StatusOr<OutcomePtr> outcome = service.Submit(query).get();
+      result.serves.push_back(outcome.status());
+      // Degradation is fail-stop, never wrong answers: whatever faults
+      // are flying, a serve that DOES succeed is byte-identical to the
+      // reference.
+      if (outcome.ok() && std::string(query) == "gps") {
+        EXPECT_EQ(Fingerprint(outcome), expected_gps_);
+      }
+    }
+    result.reload = service.ReloadCorpus(corpus_path_).get();
+    return result;
+  }
+
+  std::string corpus_path_;
+  SnapshotPtr snapshot_;
+  std::string expected_gps_;
+};
+
+// The tentpole gate: enumerate the registry (so new sites are covered
+// automatically) and prove each one (a) actually fires under the serve
+// workload, (b) surfaces as an error Status at kStatus sites, and
+// (c) leaves the stack fully functional once disarmed.
+TEST_F(FaultInjectionTest, EveryRegisteredFaultPointFiresAndRecovers) {
+  const std::vector<fault::FaultPointInfo> points = fault::AllFaultPoints();
+  ASSERT_GE(points.size(), 10u)
+      << "expected the full set of serving-stack fault sites to be linked";
+
+  for (const fault::FaultPointInfo& point : points) {
+    SCOPED_TRACE("fault point '" + point.name + "'");
+    fault::FaultSpec spec;
+    spec.message = "chaos-" + point.name;
+    if (point.kind == fault::FaultSiteKind::kHitOnly) {
+      spec.delay_ms = 1;  // latency only; the site has no Status channel
+    }
+    fault::ArmFaultPoint(point.id, spec);
+
+    const WorkloadResult faulted = RunWorkload();
+    EXPECT_GT(fault::FaultPointFires(point.id), 0u)
+        << "the workload never reached this site";
+    if (point.kind == fault::FaultSiteKind::kStatus) {
+      EXPECT_TRUE(faulted.SawError(spec.message))
+          << "injected error never surfaced to a caller";
+    } else {
+      // Hit-only sites may not alter any outcome; serving stays correct.
+      EXPECT_TRUE(faulted.AllOk());
+    }
+
+    fault::DisarmFaultPoint(point.id);
+    EXPECT_TRUE(RunWorkload().AllOk())
+        << "stack did not recover after disarming";
+  }
+}
+
+// A transient I/O failure during reload is retried with backoff and the
+// reload still lands: first attempt fails (injected kIoError, max one
+// fire), second attempt succeeds.
+TEST_F(FaultInjectionTest, ReloadRetriesTransientIoFailure) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.reload_max_attempts = 3;
+  options.reload_backoff_ms = 1;
+  QueryService service(snapshot_, options);
+
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.message = "chaos-transient-io";
+  spec.max_fires = 1;
+  ASSERT_TRUE(fault::ArmFaultPointByName("io.read_file", spec));
+
+  const Status reloaded = service.ReloadCorpus(corpus_path_).get();
+  EXPECT_TRUE(reloaded.ok()) << reloaded;
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+
+  const ServiceHealth health = service.health();
+  EXPECT_TRUE(health.healthy);
+  EXPECT_EQ(health.reload_successes, 1u);
+  EXPECT_EQ(health.reload_failures, 0u);
+  EXPECT_EQ(health.reload_attempts, 2u) << "one injected failure + one retry";
+  EXPECT_TRUE(health.last_error.empty());
+}
+
+// A deterministic (non-I/O) reload failure is NOT retried, never
+// advances the serving state, carries the underlying error message, and
+// flips per-service health — which recovers on the next good reload.
+TEST_F(FaultInjectionTest, FailedReloadKeepsLastKnownGoodSnapshot) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  QueryService service(snapshot_, options);
+  const SnapshotPtr before = service.snapshot();
+
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kParseError;
+  spec.message = "chaos-parse-kaput";
+  ASSERT_TRUE(fault::ArmFaultPointByName("parse.corpus", spec));
+
+  const Status failed = service.ReloadCorpus(corpus_path_).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kParseError);
+  EXPECT_NE(failed.ToString().find("chaos-parse-kaput"), std::string::npos)
+      << failed;
+
+  // Serving state untouched: same snapshot object, same epoch, and the
+  // service keeps answering correctly.
+  EXPECT_EQ(service.snapshot().get(), before.get());
+  EXPECT_EQ(service.snapshot_epoch(), 0u);
+  EXPECT_EQ(Fingerprint(service.Submit("gps").get()), expected_gps_);
+
+  ServiceHealth health = service.health();
+  EXPECT_FALSE(health.healthy);
+  EXPECT_EQ(health.reload_failures, 1u);
+  EXPECT_EQ(health.reload_attempts, 1u) << "parse errors must not be retried";
+  EXPECT_NE(health.last_error.find("chaos-parse-kaput"), std::string::npos);
+
+  fault::DisarmAllFaultPoints();
+  const Status recovered = service.ReloadCorpus(corpus_path_).get();
+  EXPECT_TRUE(recovered.ok()) << recovered;
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+  health = service.health();
+  EXPECT_TRUE(health.healthy);
+  EXPECT_EQ(health.reload_successes, 1u);
+  EXPECT_TRUE(health.last_error.empty());
+}
+
+// --deadline-ms bounds EXECUTION time, not just queue time: a query
+// whose evaluation is artificially slowed blows its deadline mid-flight
+// and resolves DEADLINE_EXCEEDED with bounded overrun, via the
+// cooperative cancellation checks inside the kernels.
+TEST_F(FaultInjectionTest, DeadlineBoundsExecutionTime) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.enable_cache = false;
+  QueryService service(snapshot_, options);
+
+  fault::FaultSpec spec;
+  spec.delay_ms = 100;  // every evaluation stalls well past the deadline
+  ASSERT_TRUE(fault::ArmFaultPointByName("search.evaluate", spec));
+
+  const std::vector<std::string> queries = {
+      "gps", "camera", "battery", "laptop",
+      "screen", "gps camera", "battery gps", "camera laptop"};
+  const Deadline deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<StatusOr<OutcomePtr>>> futures;
+  for (const std::string& query : queries) {
+    futures.push_back(service.Submit(query, {}, 0, deadline));
+  }
+  for (auto& future : futures) {
+    const StatusOr<OutcomePtr> outcome = future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded)
+        << outcome.status();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // The in-flight checks fired: at least the first tasks were dequeued
+  // before the deadline, started evaluating, and were cut short (the
+  // site's fire count proves evaluation actually began).
+  EXPECT_GT(fault::FaultPointFires(fault::FindFaultPoint("search.evaluate")),
+            0u);
+  EXPECT_EQ(service.admission_stats().deadline_exceeded, queries.size());
+  // Bounded overrun: without in-flight cancellation 8 stalled queries on
+  // 2 workers would take >= 400ms of injected delay alone; cooperative
+  // checks drain them in roughly one delay per worker. Generous bound
+  // for sanitizer builds.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+}
+
+// Shutdown() drains cleanly: queued tasks resolve kCancelled without
+// evaluating, the in-flight task stops at its next cooperative check,
+// and new submissions are rejected with kCancelled.
+TEST_F(FaultInjectionTest, ShutdownCancelsQueuedAndInflightWork) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  QueryService service(snapshot_, options);
+
+  fault::FaultSpec spec;
+  spec.delay_ms = 150;  // slow extraction keeps work in flight
+  ASSERT_TRUE(fault::ArmFaultPointByName("session.extract", spec));
+
+  std::vector<std::future<StatusOr<OutcomePtr>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit("gps"));
+  }
+  // Let the single worker start (and stall inside) the first task.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto start = std::chrono::steady_clock::now();
+  service.Shutdown();
+  size_t ok = 0;
+  size_t cancelled = 0;
+  for (auto& future : futures) {
+    const StatusOr<OutcomePtr> outcome = future.get();
+    if (outcome.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(outcome.status().code(), StatusCode::kCancelled)
+          << outcome.status();
+      ++cancelled;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(ok + cancelled, futures.size());
+  EXPECT_GE(cancelled, 1u) << "queued work must drain as kCancelled";
+  // Drain latency is one cooperative-check stride (here: one stalled
+  // extraction), not the whole backlog.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+
+  const StatusOr<OutcomePtr> rejected = service.Submit("camera").get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(service.admission_stats().cancelled, cancelled + 1);
+}
+
+// Randomized soak: arm a random subset of sites with random specs
+// (probabilistic firing, mixed codes, small delays) and hammer the
+// stack. Any Status outcome is acceptable; crashes, sanitizer reports,
+// hangs, or a failure to recover after disarming are not. CI runs this
+// under ASAN+UBSAN with XSACT_CHAOS_SEED=1..10.
+TEST_F(FaultInjectionTest, RandomizedChaosSoakIsCrashFreeAndRecovers) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("XSACT_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const StatusCode codes[] = {StatusCode::kIoError, StatusCode::kInternal,
+                              StatusCode::kDataCorruption,
+                              StatusCode::kParseError};
+
+  const std::vector<fault::FaultPointInfo> points = fault::AllFaultPoints();
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " round " +
+                 std::to_string(round));
+    for (const fault::FaultPointInfo& point : points) {
+      if (coin(rng) < 0.35) {
+        fault::FaultSpec spec;
+        spec.code = codes[rng() % (sizeof(codes) / sizeof(codes[0]))];
+        spec.message = "chaos-soak";
+        spec.probability = 0.5;
+        spec.seed = rng();
+        spec.max_fires = 1 + rng() % 3;
+        spec.delay_ms = static_cast<int>(rng() % 2);
+        fault::ArmFaultPoint(point.id, spec);
+      } else {
+        fault::DisarmFaultPoint(point.id);
+      }
+    }
+    RunWorkload();  // any Status mix is fine; it must not crash or hang
+  }
+
+  fault::DisarmAllFaultPoints();
+  EXPECT_TRUE(RunWorkload().AllOk()) << "stack must recover after the soak";
+}
+
+}  // namespace
+}  // namespace xsact::engine

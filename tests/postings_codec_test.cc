@@ -50,14 +50,16 @@ struct Encoded {
 
   CompressedPostings Handle() const {
     return CompressedPostings(bytes.data(), skips.data(), skips.size(),
-                              ids.size());
+                              ids.size(), bytes.size());
   }
 };
 
 Encoded Encode(std::vector<xml::NodeId> ids) {
   Encoded e;
   e.ids = std::move(ids);
-  EncodePostings(e.ids.data(), e.ids.size(), &e.bytes, &e.skips);
+  const Status encoded =
+      EncodePostings(e.ids.data(), e.ids.size(), &e.bytes, &e.skips);
+  EXPECT_TRUE(encoded.ok()) << encoded;
   return e;
 }
 
@@ -68,8 +70,10 @@ void ExpectRoundTrip(const Encoded& e) {
   std::vector<xml::NodeId> all;
   cp.DecodeAll(&all);
   EXPECT_EQ(all, e.ids);
-  // Independent per-block decode, checking skip first-ids and lengths.
+  // Independent per-block decode, checking skip first-ids and lengths;
+  // the checked (validating) decoder must agree with the trusted one.
   std::vector<xml::NodeId> block(kPostingsBlockSize);
+  std::vector<xml::NodeId> checked(kPostingsBlockSize);
   size_t consumed = 0;
   for (size_t b = 0; b < cp.num_blocks(); ++b) {
     const size_t len = cp.DecodeBlock(b, block.data());
@@ -79,9 +83,23 @@ void ExpectRoundTrip(const Encoded& e) {
     for (size_t i = 0; i < len; ++i) {
       ASSERT_EQ(block[i], e.ids[consumed + i]) << "block " << b << " pos " << i;
     }
+    size_t checked_len = 0;
+    const Status status = cp.DecodeBlockChecked(b, checked.data(),
+                                                &checked_len);
+    ASSERT_TRUE(status.ok()) << "block " << b << ": " << status;
+    ASSERT_EQ(checked_len, len);
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(checked[i], block[i]) << "block " << b << " pos " << i;
+    }
     consumed += len;
   }
   EXPECT_EQ(consumed, e.ids.size());
+  // Freshly encoded data always validates (against any id universe that
+  // contains it).
+  const Status valid = e.ids.empty()
+                           ? cp.Validate(0)
+                           : cp.Validate(static_cast<size_t>(e.ids.back()) + 1);
+  EXPECT_TRUE(valid.ok()) << valid;
 }
 
 TEST(PostingsCodecTest, EmptyList) {
@@ -211,20 +229,115 @@ TEST(PostingsCodecTest, SkipOffsetsAreRelativeToEntrySize) {
   std::vector<xml::NodeId> a, b;
   for (int i = 0; i < 300; ++i) a.push_back(2 * i);
   for (int i = 0; i < 200; ++i) b.push_back(7 * i + 3);
-  EncodePostings(a.data(), a.size(), &bytes, &skips);
+  ASSERT_TRUE(EncodePostings(a.data(), a.size(), &bytes, &skips).ok());
   const size_t a_bytes = bytes.size();
   const size_t a_skips = skips.size();
-  EncodePostings(b.data(), b.size(), &bytes, &skips);
+  ASSERT_TRUE(EncodePostings(b.data(), b.size(), &bytes, &skips).ok());
 
-  const CompressedPostings ca(bytes.data(), skips.data(), a_skips, a.size());
+  const CompressedPostings ca(bytes.data(), skips.data(), a_skips, a.size(),
+                              a_bytes);
   const CompressedPostings cb(bytes.data() + a_bytes, skips.data() + a_skips,
-                              skips.size() - a_skips, b.size());
+                              skips.size() - a_skips, b.size(),
+                              bytes.size() - a_bytes);
   std::vector<xml::NodeId> out;
   ca.DecodeAll(&out);
   EXPECT_EQ(out, a);
   cb.DecodeAll(&out);
   EXPECT_EQ(out, b);
   EXPECT_EQ(cb.front(), 3);
+}
+
+TEST(PostingsCodecTest, EncodeRejectsUnsortedInput) {
+  std::vector<uint8_t> bytes;
+  std::vector<PostingsSkip> skips;
+  const std::vector<xml::NodeId> unsorted = {5, 3, 9};
+  EXPECT_EQ(EncodePostings(unsorted.data(), unsorted.size(), &bytes, &skips)
+                .code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<xml::NodeId> duplicate = {3, 3};
+  EXPECT_EQ(EncodePostings(duplicate.data(), duplicate.size(), &bytes, &skips)
+                .code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<xml::NodeId> negative = {-1, 4};
+  EXPECT_EQ(EncodePostings(negative.data(), negative.size(), &bytes, &skips)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Every single-bit flip anywhere in the payload of a multi-id block is
+// caught by the per-block checksum: DecodeBlockChecked reports
+// kDataCorruption instead of returning wrong ids (or walking out of
+// bounds).
+TEST(PostingsCodecTest, ChecksumDetectsBitFlips) {
+  Rng rng(31);
+  std::vector<xml::NodeId> ids;
+  xml::NodeId cur = 0;
+  for (int i = 0; i < 300; ++i) {
+    cur += static_cast<xml::NodeId>(rng.Range(1, 5000));
+    ids.push_back(cur);
+  }
+  const Encoded e = Encode(ids);
+  const size_t node_count = static_cast<size_t>(ids.back()) + 1;
+
+  std::vector<xml::NodeId> out(kPostingsBlockSize);
+  size_t len = 0;
+  size_t detected = 0;
+  for (size_t byte = 0; byte < e.bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {  // every 3rd bit: cheap but dense
+      Encoded mutated = e;
+      mutated.bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+      const CompressedPostings cp = mutated.Handle();
+      bool caught = false;
+      for (size_t b = 0; b < cp.num_blocks() && !caught; ++b) {
+        caught = !cp.DecodeBlockChecked(b, out.data(), &len).ok();
+      }
+      caught = caught || !cp.Validate(node_count).ok();
+      EXPECT_TRUE(caught) << "flip at byte " << byte << " bit " << bit
+                          << " went undetected";
+      detected += caught;
+    }
+  }
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(PostingsCodecTest, CheckedDecodeRejectsTruncation) {
+  std::vector<xml::NodeId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(13 * i + 5);
+  const Encoded e = Encode(ids);
+  ASSERT_GT(e.bytes.size(), kPostingsChecksumBytes + 2);
+
+  // Present the same skips/counts over a shorter byte span: the checked
+  // decoder must notice the missing tail instead of reading past it.
+  const CompressedPostings truncated(e.bytes.data(), e.skips.data(),
+                                     e.skips.size(), e.ids.size(),
+                                     e.bytes.size() - 3);
+  std::vector<xml::NodeId> out(kPostingsBlockSize);
+  size_t len = 0;
+  bool caught = false;
+  for (size_t b = 0; b < truncated.num_blocks() && !caught; ++b) {
+    caught = !truncated.DecodeBlockChecked(b, out.data(), &len).ok();
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_FALSE(truncated.Validate(static_cast<size_t>(ids.back()) + 1).ok());
+}
+
+TEST(PostingsCodecTest, ValidateChecksIdUniverseAndShape) {
+  std::vector<xml::NodeId> ids;
+  for (int i = 0; i < 150; ++i) ids.push_back(4 * i);
+  const Encoded e = Encode(ids);
+  const CompressedPostings cp = e.Handle();
+
+  EXPECT_TRUE(cp.Validate(static_cast<size_t>(ids.back()) + 1).ok());
+  // An id universe smaller than the largest posting is corruption (a
+  // posting would point past the node table).
+  const Status out_of_universe = cp.Validate(static_cast<size_t>(ids.back()));
+  EXPECT_EQ(out_of_universe.code(), StatusCode::kDataCorruption)
+      << out_of_universe;
+  // Block-index bounds surface as errors, not UB.
+  std::vector<xml::NodeId> out(kPostingsBlockSize);
+  size_t len = 0;
+  EXPECT_EQ(cp.DecodeBlockChecked(cp.num_blocks(), out.data(), &len).code(),
+            StatusCode::kOutOfRange);
 }
 
 }  // namespace

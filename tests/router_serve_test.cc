@@ -307,5 +307,70 @@ TEST_F(RouterServeTest, ReloadRoutesToNamedDatasetOnly) {
   std::remove(path.c_str());
 }
 
+// One dataset fed a corrupt corpus must not take the router down: the
+// failed reload leaves that dataset serving its last-known-good
+// snapshot, its health (and the underlying error) shows up in
+// RouterStats, and the healthy dataset is untouched.
+TEST_F(RouterServeTest, CorruptDatasetDegradesAloneAndReportsHealth) {
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/xsact_router_corrupt.xml";
+  ASSERT_TRUE(
+      xml::WriteStringToFile(corrupt_path,
+                             "<products><product><name>truncated mid-tag")
+          .ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  StatusOr<ServiceRouter> router = MakeRouter(options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  const Status failed = router->ReloadCorpus("beta", corrupt_path).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.ToString().find(corrupt_path), std::string::npos)
+      << "reload error must carry the failing path: " << failed;
+
+  // Both datasets keep serving; beta serves its last-known-good corpus.
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    EXPECT_EQ(Fingerprint(router->Submit("alpha", Queries()[q]).get()),
+              expected_alpha_[q]);
+    EXPECT_EQ(Fingerprint(router->Submit("beta", Queries()[q]).get()),
+              expected_beta_[q]);
+  }
+  EXPECT_EQ(router->service("beta")->snapshot_epoch(), 0u)
+      << "failed reload must not advance the serving state";
+
+  const RouterStats stats = router->stats();
+  ASSERT_EQ(stats.datasets.size(), 2u);
+  EXPECT_EQ(stats.datasets[0].dataset, "alpha");
+  EXPECT_TRUE(stats.datasets[0].health.healthy);
+  EXPECT_EQ(stats.datasets[1].dataset, "beta");
+  EXPECT_FALSE(stats.datasets[1].health.healthy);
+  EXPECT_EQ(stats.datasets[1].health.reload_failures, 1u);
+  EXPECT_FALSE(stats.datasets[1].health.last_error.empty());
+  EXPECT_EQ(stats.total_unhealthy(), 1u);
+
+  // A good reload restores beta's health.
+  const std::string good_path =
+      ::testing::TempDir() + "/xsact_router_recover.xml";
+  data::ProductReviewsConfig config;
+  config.num_products = 26;
+  config.seed = 42;
+  ASSERT_TRUE(
+      xml::WriteStringToFile(
+          good_path,
+          xml::WriteDocument(data::GenerateProductReviews(config),
+                             {.indent_width = 2, .declaration = true}))
+          .ok());
+  const Status recovered = router->ReloadCorpus("beta", good_path).get();
+  ASSERT_TRUE(recovered.ok()) << recovered;
+  EXPECT_TRUE(router->stats().datasets[1].health.healthy);
+  EXPECT_EQ(router->stats().total_unhealthy(), 0u);
+  EXPECT_EQ(router->service("beta")->snapshot_epoch(), 1u);
+
+  std::remove(corrupt_path.c_str());
+  std::remove(good_path.c_str());
+}
+
 }  // namespace
 }  // namespace xsact::engine
