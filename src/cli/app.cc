@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/shutdown_signal.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/multi_swap.h"
@@ -14,6 +15,7 @@
 #include "data/product_reviews.h"
 #include "engine/query_service.h"
 #include "engine/router.h"
+#include "server/server.h"
 #include "table/explainer.h"
 #include "table/renderer.h"
 
@@ -273,6 +275,9 @@ int RunWatch(const CliOptions& options, const engine::Xsact& xsact,
   }
   int64_t last_mtime = MtimeNs(st);
   int reloads = 0;
+  // SIGINT/SIGTERM must end the poll loop cleanly (still-serving
+  // snapshot intact, exit code 0), not kill the process mid-reload.
+  InstallShutdownSignalHandlers();
   out << "watching " << options.dataset << " for changes"
       << (options.max_reloads > 0
               ? " (" + std::to_string(options.max_reloads) + " reloads max)"
@@ -280,6 +285,10 @@ int RunWatch(const CliOptions& options, const engine::Xsact& xsact,
       << "...\n";
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (ShutdownRequested()) {
+      out << "shutdown requested; stopping watch\n";
+      return 0;
+    }
     if (::stat(options.dataset.c_str(), &st) != 0) {
       err << "corpus file disappeared; stopping watch\n";
       return 1;
@@ -398,6 +407,8 @@ int RunRouterWatch(engine::ServiceRouter& router, const CliOptions& options,
     }
     watched.push_back({binding.name, binding.source, MtimeNs(st)});
   }
+  // SIGINT/SIGTERM end the poll loop cleanly between reload rounds.
+  InstallShutdownSignalHandlers();
   out << "watching " << watched.size() << " dataset file(s) for changes"
       << (options.max_reloads > 0
               ? " (" + std::to_string(options.max_reloads) + " reloads max)"
@@ -406,6 +417,10 @@ int RunRouterWatch(engine::ServiceRouter& router, const CliOptions& options,
   int reloads = 0;
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (ShutdownRequested()) {
+      out << "shutdown requested; stopping watch\n";
+      return 0;
+    }
     for (WatchedDataset& w : watched) {
       struct stat st;
       if (::stat(w.path.c_str(), &st) != 0) {
@@ -471,6 +486,64 @@ int RunRouter(const CliOptions& options, std::ostream& out,
   return 0;
 }
 
+/// --serve: the HTTP front-end. Builds one ServiceRouter over the
+/// --dataset bindings (a single unnamed dataset serves under its source
+/// name), installs SIGTERM/SIGINT handlers wired to the server's drain
+/// path, and runs the event loop on this thread until a shutdown signal
+/// (or programmatic RequestShutdown) completes a graceful drain.
+int RunServe(const CliOptions& options, std::ostream& out,
+             std::ostream& err) {
+  std::vector<DatasetBinding> bindings = options.datasets;
+  if (bindings.empty()) {
+    bindings.push_back({options.dataset, options.dataset});
+  }
+  std::vector<engine::DatasetSpec> specs;
+  specs.reserve(bindings.size());
+  for (const DatasetBinding& binding : bindings) {
+    StatusOr<engine::SnapshotPtr> snapshot =
+        BuildSnapshot(binding.source, options.seed);
+    if (!snapshot.ok()) {
+      err << "dataset '" << binding.name << "': " << snapshot.status()
+          << "\n";
+      return 1;
+    }
+    specs.push_back({binding.name, std::move(*snapshot)});
+  }
+  StatusOr<engine::ServiceRouter> router = engine::ServiceRouter::Create(
+      std::move(specs), ServiceOptionsFor(options));
+  if (!router.ok()) {
+    err << router.status() << "\n";
+    return 1;
+  }
+
+  InstallShutdownSignalHandlers();
+  server::ServerOptions server_options;
+  server_options.port = options.port;
+  server_options.drain_budget_ms = options.drain_ms;
+  server_options.default_deadline_ms = options.deadline_ms;
+  server_options.wakeup_fd = ShutdownWakeupFd();
+  server::HttpServer server(&*router, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    err << started << "\n";
+    return 1;
+  }
+  out << "serving " << router->num_datasets()
+      << " dataset(s) on http://127.0.0.1:" << server.port()
+      << " (drain budget " << options.drain_ms << " ms)" << std::endl;
+  if (ShutdownRequested()) server.Stop();  // signal won the startup race
+  server.Run();
+
+  const server::ServerStats stats = server.stats();
+  out << "drained: " << stats.requests << " request(s) served ("
+      << stats.responses_ok << " ok, " << stats.responses_error
+      << " error), " << stats.accepted << " connection(s), "
+      << stats.timeouts << " timeout(s), " << stats.disconnects
+      << " disconnect(s)\n";
+  PrintRouterStats(*router, out);
+  return 0;
+}
+
 }  // namespace
 
 StatusOr<engine::SnapshotPtr> BuildSnapshot(const std::string& source,
@@ -511,6 +584,9 @@ int RunApp(const CliOptions& options, std::ostream& out, std::ostream& err) {
   if (options.help) {
     out << CliUsage();
     return 0;
+  }
+  if (options.serve) {
+    return RunServe(options, out, err);
   }
   if (options.datasets.size() >= 2) {
     if (options.list_only || options.ranked) {

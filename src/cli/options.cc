@@ -179,6 +179,22 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
       options.seed = static_cast<uint64_t>(seed);
     } else if (arg == "--cache") {
       options.cache = true;
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (MatchFlag(arg, "port", &value, &has_value)) {
+      if (!has_value) return NeedValue("port");
+      XSACT_ASSIGN_OR_RETURN(const int port, ParseInt("port", value));
+      if (port < 0 || port > 65535) {
+        return Status::InvalidArgument("--port must be in [0, 65535]");
+      }
+      options.port = port;
+    } else if (MatchFlag(arg, "drain-ms", &value, &has_value)) {
+      if (!has_value) return NeedValue("drain-ms");
+      XSACT_ASSIGN_OR_RETURN(const int ms, ParseInt("drain-ms", value));
+      if (ms < 0) {
+        return Status::InvalidArgument("--drain-ms must be >= 0");
+      }
+      options.drain_ms = ms;
     } else if (arg == "--watch") {
       options.watch = true;
     } else if (MatchFlag(arg, "max-reloads", &value, &has_value)) {
@@ -223,9 +239,30 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
   }
   // --stats alone is a valid single-dataset invocation (print corpus and
   // index statistics, no query evaluation); router mode still needs one.
+  // --serve takes queries over HTTP, so none is needed on the command
+  // line.
   const bool stats_only = options.stats && options.datasets.size() < 2;
-  if (!options.help && !stats_only && options.query.empty()) {
+  if (!options.help && !stats_only && !options.serve &&
+      options.query.empty()) {
     return Status::InvalidArgument("--query is required; see --help");
+  }
+  if (options.serve) {
+    if (options.watch || options.list_only || options.ranked) {
+      return Status::InvalidArgument(
+          "--serve is a network serving mode; drop --watch/--list/--ranked");
+    }
+    if (options.repeat > 1) {
+      return Status::InvalidArgument(
+          "--repeat is a load-generation mode; load the server over HTTP "
+          "instead");
+    }
+  } else {
+    if (options.port != 0) {
+      return Status::InvalidArgument("--port needs --serve");
+    }
+    if (options.drain_ms != 2000) {
+      return Status::InvalidArgument("--drain-ms needs --serve");
+    }
   }
   for (size_t i = 0; i < options.datasets.size(); ++i) {
     for (size_t j = i + 1; j < options.datasets.size(); ++j) {
@@ -261,7 +298,7 @@ StatusOr<CliOptions> ParseCliArgs(int argc, const char* const* argv) {
   // single-dataset path never constructs one, so these flags would be
   // silently ignored there.
   const bool uses_service = options.threads > 0 || options.repeat > 1 ||
-                            options.cache || options.watch ||
+                            options.cache || options.watch || options.serve ||
                             options.datasets.size() >= 2;
   if ((options.deadline_ms > 0 || options.max_queue > 0) && !uses_service &&
       !options.help) {
@@ -306,6 +343,15 @@ std::string CliUsage() {
       "                       exhausted' (0 = unbounded)\n"
       "  --cache              enable the QueryService result cache and\n"
       "                       print hit/miss counters\n"
+      "  --serve              serve the dataset(s) over HTTP on 127.0.0.1\n"
+      "                       (endpoints /query /healthz /statz; see\n"
+      "                       docs/serving.md); drains gracefully on\n"
+      "                       SIGTERM/SIGINT\n"
+      "  --port=N             --serve TCP port (default 0 = kernel picks;\n"
+      "                       the bound port is printed at startup)\n"
+      "  --drain-ms=N         --serve graceful-drain budget: in-flight\n"
+      "                       requests get N ms after SIGTERM before the\n"
+      "                       engine is hard-cancelled (default 2000)\n"
       "  --watch              serve, then watch the XML file and hot-swap\n"
       "                       the corpus snapshot whenever it changes\n"
       "                       (file datasets only; re-prints the table)\n"

@@ -48,6 +48,9 @@ struct CliOptions {
   int deadline_ms = 0;       ///< per-request deadline in ms (0 = none)
   int max_queue = 0;         ///< admission queue bound (0 = unbounded)
   bool cache = false;        ///< enable the QueryService result cache
+  bool serve = false;        ///< run the HTTP front-end (src/server/)
+  int port = 0;              ///< --serve TCP port (0 = kernel-assigned)
+  int drain_ms = 2000;       ///< --serve graceful-drain budget on SIGTERM
   bool watch = false;        ///< watch a file dataset, hot-swap on change
   int max_reloads = 0;       ///< stop --watch after N reloads (0 = forever)
   bool stats = false;        ///< print corpus/index statistics

@@ -71,13 +71,19 @@ class Cancellation {
   /// Never expires (the default for callers without deadlines).
   Cancellation() = default;
 
+  /// Up to two independent cancel sources can be attached — e.g. a
+  /// QueryService installs its process-wide drain signal AND the
+  /// per-request disconnect signal the HTTP front-end owns; either one
+  /// firing cancels the evaluation.
   explicit Cancellation(Clock::time_point deadline,
-                        const CancelSource* source = nullptr)
-      : deadline_(deadline), source_(source) {}
+                        const CancelSource* source = nullptr,
+                        const CancelSource* extra_source = nullptr)
+      : deadline_(deadline), source_(source), extra_source_(extra_source) {}
 
   /// False iff this token can never expire — lets loops skip polling.
   bool can_expire() const {
-    return source_ != nullptr || deadline_ != kNoDeadline;
+    return source_ != nullptr || extra_source_ != nullptr ||
+           deadline_ != kNoDeadline;
   }
 
   /// Full check: explicit cancellation, then the deadline clock. Both
@@ -85,6 +91,7 @@ class Cancellation {
   /// stays true.
   bool Expired() const {
     if (source_ != nullptr && source_->cancelled()) return true;
+    if (extra_source_ != nullptr && extra_source_->cancelled()) return true;
     return deadline_ != kNoDeadline && Clock::now() >= deadline_;
   }
 
@@ -100,7 +107,8 @@ class Cancellation {
   /// DeadlineExceeded when the deadline passed. Explicit cancellation
   /// wins when both hold (the owner asked first).
   Status Check() const {
-    if (source_ != nullptr && source_->cancelled()) {
+    if ((source_ != nullptr && source_->cancelled()) ||
+        (extra_source_ != nullptr && extra_source_->cancelled())) {
       return Status::Cancelled("request cancelled");
     }
     if (deadline_ != kNoDeadline && Clock::now() >= deadline_) {
@@ -112,6 +120,7 @@ class Cancellation {
  private:
   Clock::time_point deadline_ = kNoDeadline;
   const CancelSource* source_ = nullptr;
+  const CancelSource* extra_source_ = nullptr;
 };
 
 }  // namespace xsact

@@ -1,0 +1,92 @@
+#include "common/shutdown_signal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace xsact {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+// The self-pipe; fds are created once and never closed (process-lifetime
+// resource, like the signal disposition itself).
+std::atomic<int> g_wakeup_read_fd{-1};
+std::atomic<int> g_wakeup_write_fd{-1};
+std::once_flag g_install_once;
+
+void EnsurePipe() {
+  static std::once_flag pipe_once;
+  std::call_once(pipe_once, [] {
+    int fds[2];
+    if (::pipe(fds) != 0) return;  // flag-only operation still works
+    // Non-blocking on both ends: the handler must never block on a full
+    // pipe, and loops draining it must never block on an empty one.
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    g_wakeup_read_fd.store(fds[0], std::memory_order_release);
+    g_wakeup_write_fd.store(fds[1], std::memory_order_release);
+  });
+}
+
+void SignalWakeup() {
+  const int fd = g_wakeup_write_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 'x';
+    // Best effort; a full pipe already guarantees readability.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void ShutdownSignalHandler(int /*signum*/) {
+  // Only async-signal-safe operations: atomic store + write(2).
+  g_shutdown_requested.store(true, std::memory_order_release);
+  SignalWakeup();
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  std::call_once(g_install_once, [] {
+    EnsurePipe();
+    struct sigaction action = {};
+    action.sa_handler = &ShutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: blocking syscalls in loops without the wakeup fd
+    // still return EINTR and re-check the flag promptly.
+    action.sa_flags = 0;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+  });
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_acquire);
+}
+
+int ShutdownWakeupFd() {
+  return g_wakeup_read_fd.load(std::memory_order_acquire);
+}
+
+void RequestShutdown() {
+  EnsurePipe();
+  g_shutdown_requested.store(true, std::memory_order_release);
+  SignalWakeup();
+}
+
+void ResetShutdownState() {
+  g_shutdown_requested.store(false, std::memory_order_release);
+  const int fd = g_wakeup_read_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char buf[64];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+}
+
+}  // namespace xsact

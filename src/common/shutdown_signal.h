@@ -1,0 +1,47 @@
+// Process-wide graceful-shutdown signal plumbing (SIGINT / SIGTERM).
+//
+// Long-running serving modes (the HTTP front-end's event loop, the CLI
+// --watch poll loops) must drain cleanly when the operator sends
+// SIGTERM/SIGINT instead of dying mid-publication. Signal handlers can
+// do almost nothing safely, so the handler installed here only does the
+// two async-signal-safe things that matter: set a process-wide atomic
+// flag and write one byte to a self-pipe. Poll loops either test
+// ShutdownRequested() at their natural cadence or add
+// ShutdownWakeupFd() to their poll set to be woken immediately.
+//
+// RequestShutdown() triggers the same state programmatically — tests
+// and embedding code use it in place of a real signal. The state is
+// sticky; ResetShutdownState() (tests only) clears it.
+//
+// Thread safety: all functions are thread-safe; the handler itself is
+// async-signal-safe.
+
+#ifndef XSACT_COMMON_SHUTDOWN_SIGNAL_H_
+#define XSACT_COMMON_SHUTDOWN_SIGNAL_H_
+
+namespace xsact {
+
+/// Installs SIGINT + SIGTERM handlers (idempotent). Creates the wakeup
+/// self-pipe on first call. Must be called from a normal thread context
+/// before the signals may arrive.
+void InstallShutdownSignalHandlers();
+
+/// True once a shutdown signal arrived (or RequestShutdown() ran).
+bool ShutdownRequested();
+
+/// Read end of the wakeup self-pipe: becomes readable when shutdown is
+/// requested, so poll/select loops wake without polling the flag.
+/// Returns -1 until InstallShutdownSignalHandlers() (or
+/// RequestShutdown()) has run. Never read from it directly if several
+/// loops share it — treat readability as "check ShutdownRequested()".
+int ShutdownWakeupFd();
+
+/// Programmatic trigger with the exact semantics of a received signal.
+void RequestShutdown();
+
+/// Clears the sticky flag and drains the wakeup pipe (tests only).
+void ResetShutdownState();
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_SHUTDOWN_SIGNAL_H_

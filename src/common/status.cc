@@ -34,6 +34,77 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kDataCorruption:
+      return 500;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+  }
+  return 500;
+}
+
+std::string_view HttpReasonPhrase(int http_status) {
+  switch (http_status) {
+    case 100:
+      return "Continue";
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 414:
+      return "URI Too Long";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Error";
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

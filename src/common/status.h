@@ -35,6 +35,19 @@ enum class StatusCode : uint8_t {
 /// Returns a stable lowercase name for a status code ("ok", "parse error"...).
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Canonical Status→HTTP response code mapping, shared by the HTTP
+/// front-end (src/server/) and everything asserting on its behavior
+/// (tests, the load bench, docs/serving.md). Admission-control codes map
+/// to their retryable HTTP siblings: kResourceExhausted→429 (serve with
+/// Retry-After), kDeadlineExceeded→504, kCancelled→499 (nginx's "client
+/// closed request"), corruption/internal failures→500.
+int HttpStatusForCode(StatusCode code);
+
+/// Standard reason phrase for an HTTP status code ("Too Many Requests");
+/// unknown codes yield "Error". Covers every code HttpStatusForCode can
+/// produce plus the parser/front-end codes (405, 408, 413, 431, 505...).
+std::string_view HttpReasonPhrase(int http_status);
+
 /// Result of a fallible operation that produces no value.
 ///
 /// A `Status` is either OK (the default) or carries an error code plus a

@@ -171,7 +171,18 @@ Status QueryService::ReloadNow(const std::string& path) {
                                       std::to_string(max_attempts));
     if (fresh.status().code() != StatusCode::kIoError) break;
     if (attempt < max_attempts) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      // Interruptible backoff: wait on the drain signal instead of a
+      // plain sleep, so Shutdown() during a backed-off reload returns
+      // promptly instead of blocking for the remaining interval.
+      std::unique_lock<std::mutex> wait_lock(drain_mu_);
+      drain_cv_.wait_for(wait_lock, std::chrono::milliseconds(backoff_ms),
+                         [this] { return drain_.cancelled(); });
+      if (drain_.cancelled()) {
+        last = Status::Cancelled(
+            "reload abandoned: service draining during retry backoff (" +
+            last.ToString() + ")");
+        break;
+      }
       backoff_ms *= 2;
     }
   }
@@ -196,8 +207,14 @@ void QueryService::Shutdown() {
   }
   // Signal in-flight evaluations BEFORE resolving the drained promises so
   // a caller observing a cancelled future knows no further work runs on
-  // its behalf beyond the current cooperative check interval.
-  drain_.Cancel();
+  // its behalf beyond the current cooperative check interval. The cv
+  // wakes the reload thread out of a retry backoff (under drain_mu_ so
+  // the sleeper cannot miss the flag between its predicate and wait).
+  {
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    drain_.Cancel();
+  }
+  drain_cv_.notify_all();
   for (Task& task : drained) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(Status::Cancelled("service shutting down"));
@@ -207,7 +224,7 @@ void QueryService::Shutdown() {
 
 std::future<StatusOr<OutcomePtr>> QueryService::Submit(
     std::string query, const CompareOptions& options, size_t max_results,
-    Deadline deadline) {
+    Deadline deadline, const CancelSource* cancel) {
   // Fold max_results into the options so equivalent requests share a
   // cache entry regardless of which parameter carried the cap.
   CompareOptions effective = options;
@@ -244,6 +261,7 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   task.snapshot = serving->snapshot;
   task.epoch = serving->epoch;
   task.deadline = deadline;
+  task.cancel = cancel;
   std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -328,6 +346,16 @@ void QueryService::WorkerLoop(QuerySession* session) {
       continue;
     }
 
+    // A request whose caller already cancelled (the HTTP front-end saw
+    // the client disconnect) is dead weight: resolve it without burning
+    // worker time on an answer nobody will read.
+    if (task.cancel != nullptr && task.cancel->cancelled()) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(
+          Status::Cancelled("request cancelled before evaluation"));
+      continue;
+    }
+
     // Injected evaluation failure (chaos suite): resolve like any other
     // evaluation error — the promise is always satisfied.
     Status injected = fault::CheckFaultPoint(kFaultServiceWorker);
@@ -338,9 +366,10 @@ void QueryService::WorkerLoop(QuerySession* session) {
 
     // The deadline also bounds EXECUTION, not just queue time: the
     // session's cancellation token (deadline + the service's drain
-    // signal) is polled inside the kernels and the extractor, so a slow
-    // query stops within one check interval of expiry.
-    session->cancel = Cancellation(task.deadline, &drain_);
+    // signal + the caller's per-request cancel) is polled inside the
+    // kernels and the extractor, so a slow query stops within one check
+    // interval of expiry.
+    session->cancel = Cancellation(task.deadline, &drain_, task.cancel);
     StatusOr<ComparisonOutcome> outcome =
         SearchAndCompare(*task.snapshot, session, task.query, 0,
                          task.options);

@@ -173,10 +173,19 @@ class QueryService {
   /// control: when the queue holds max_queue tasks the request is shed
   /// (ResourceExhausted); a task whose worker dequeues it at or past
   /// `deadline` resolves to DeadlineExceeded without being evaluated.
+  ///
+  /// `cancel` (optional) is a caller-owned per-request cancel signal —
+  /// the HTTP front-end fires it when the client disconnects. A task
+  /// whose source has fired by dequeue time resolves to kCancelled
+  /// without being evaluated; one that fires mid-evaluation stops at the
+  /// next cooperative check. The source must stay alive until the
+  /// returned future is ready.
   std::future<StatusOr<OutcomePtr>> Submit(std::string query,
                                            const CompareOptions& options = {},
                                            size_t max_results = 0,
-                                           Deadline deadline = kNoDeadline);
+                                           Deadline deadline = kNoDeadline,
+                                           const CancelSource* cancel =
+                                               nullptr);
 
   /// Enqueues a batch; futures are in input order.
   std::vector<std::future<StatusOr<OutcomePtr>>> SubmitBatch(
@@ -255,6 +264,9 @@ class QueryService {
     uint64_t epoch = 0;
     /// Latest start time; checked when a worker dequeues the task.
     Deadline deadline = kNoDeadline;
+    /// Caller-owned per-request cancellation (client disconnect); may be
+    /// null. Checked at dequeue and polled during evaluation.
+    const CancelSource* cancel = nullptr;
     std::promise<StatusOr<OutcomePtr>> promise;
   };
 
@@ -309,6 +321,11 @@ class QueryService {
   /// Sticky drain signal observed by in-flight evaluations (installed
   /// into each worker session's Cancellation alongside the deadline).
   CancelSource drain_;
+  /// Wakes sleepers that must observe the drain promptly — today the
+  /// reload retry backoff, which would otherwise pin Shutdown() (or the
+  /// destructor) for the full backoff interval.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

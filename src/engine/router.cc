@@ -71,13 +71,15 @@ StatusOr<ServiceRouter> ServiceRouter::Create(
 
 std::future<StatusOr<OutcomePtr>> ServiceRouter::Submit(
     std::string_view dataset, std::string query,
-    const CompareOptions& options, size_t max_results, Deadline deadline) {
+    const CompareOptions& options, size_t max_results, Deadline deadline,
+    const CancelSource* cancel) {
   QueryService* target = service(dataset);
   if (target == nullptr) {
     return ReadyError<StatusOr<OutcomePtr>>(Status::NotFound(
         "unknown dataset '" + std::string(dataset) + "'"));
   }
-  return target->Submit(std::move(query), options, max_results, deadline);
+  return target->Submit(std::move(query), options, max_results, deadline,
+                        cancel);
 }
 
 std::future<Status> ServiceRouter::ReloadCorpus(std::string_view dataset,

@@ -77,14 +77,16 @@ class ServiceRouter {
 
   /// Routes the query to `dataset`'s service. Unknown datasets resolve
   /// immediately to kNotFound; otherwise the semantics (caching,
-  /// shedding, deadlines, snapshot pinning) are exactly
-  /// QueryService::Submit on that dataset's service — routed serving is
-  /// byte-identical to direct per-service serving.
+  /// shedding, deadlines, snapshot pinning, the caller-owned `cancel`
+  /// signal) are exactly QueryService::Submit on that dataset's service
+  /// — routed serving is byte-identical to direct per-service serving.
   std::future<StatusOr<OutcomePtr>> Submit(std::string_view dataset,
                                            std::string query,
                                            const CompareOptions& options = {},
                                            size_t max_results = 0,
-                                           Deadline deadline = kNoDeadline);
+                                           Deadline deadline = kNoDeadline,
+                                           const CancelSource* cancel =
+                                               nullptr);
 
   /// Routes a hot corpus reload to `dataset`'s service
   /// (QueryService::ReloadCorpus); other datasets are untouched.

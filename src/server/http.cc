@@ -1,0 +1,528 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace xsact::server {
+
+namespace {
+
+/// RFC 7230 token characters (header names, methods).
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (!IsTokenChar(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool ContainsCtl(std::string_view text) {
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 && u != '\t') return true;
+    if (u == 0x7f) return true;
+  }
+  return false;
+}
+
+/// Calls `fn(element)` for each comma-separated element, OWS-trimmed.
+template <typename Fn>
+void ForEachListElement(std::string_view value, const Fn& fn) {
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string_view::npos) comma = value.size();
+    fn(TrimOws(value.substr(start, comma - start)));
+    start = comma + 1;
+  }
+}
+
+int HexDigit(unsigned char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(HttpParserLimits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  state_ = State::kStart;
+  started_ = false;
+  error_code_ = 0;
+  error_detail_.clear();
+  request_ = HttpRequest();
+  line_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  chunk_total_ = 0;
+}
+
+size_t HttpParser::FailWith(int code, std::string detail) {
+  state_ = State::kError;
+  error_code_ = code;
+  error_detail_ = std::move(detail);
+  return 0;
+}
+
+size_t HttpParser::Feed(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kDone &&
+         state_ != State::kError) {
+    const std::string_view rest = data.substr(consumed);
+
+    // Bulk states first: body bytes are copied, not line-scanned.
+    if (state_ == State::kBody || state_ == State::kChunkData) {
+      const size_t take = std::min(rest.size(), body_remaining_);
+      request_.body.append(rest.data(), take);
+      body_remaining_ -= take;
+      consumed += take;
+      if (body_remaining_ == 0) {
+        if (state_ == State::kBody) {
+          state_ = State::kDone;
+        } else {
+          state_ = State::kChunkDataEnd;
+        }
+      }
+      continue;
+    }
+
+    // Line-based states: accumulate until '\n' (CRLF or bare LF).
+    const size_t newline = rest.find('\n');
+    const size_t take =
+        newline == std::string_view::npos ? rest.size() : newline + 1;
+
+    // The per-state cap bounds the accumulator BEFORE appending, so a
+    // newline-free garbage stream fails fast instead of buffering.
+    size_t cap = 0;
+    int over_cap_code = 400;
+    switch (state_) {
+      case State::kStart:
+      case State::kRequestLine:
+        cap = limits_.max_request_line;
+        over_cap_code = 431;
+        break;
+      case State::kHeaders:
+      case State::kTrailers:
+        cap = limits_.max_header_bytes;
+        over_cap_code = 431;
+        break;
+      case State::kChunkSize:
+        cap = 128;  // hex size + extensions; anything longer is garbage
+        over_cap_code = 400;
+        break;
+      case State::kChunkDataEnd:
+        cap = 2;  // exactly CRLF (or LF)
+        over_cap_code = 400;
+        break;
+      default:
+        cap = limits_.max_request_line;
+        break;
+    }
+    if (state_ == State::kHeaders || state_ == State::kTrailers) {
+      if (header_bytes_ + line_.size() + take > cap) {
+        return FailWith(over_cap_code, "header block exceeds " +
+                                           std::to_string(cap) + " bytes");
+      }
+    } else if (line_.size() + take > cap) {
+      return FailWith(over_cap_code,
+                      "line exceeds " + std::to_string(cap) + " bytes");
+    }
+
+    line_.append(rest.data(), take);
+    consumed += take;
+    started_ = true;
+    if (newline == std::string_view::npos) break;  // need more bytes
+
+    // Full line available: strip the terminator.
+    std::string_view line(line_);
+    line.remove_suffix(1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    switch (state_) {
+      case State::kStart:
+        if (line.empty()) break;  // tolerated blank line before request
+        state_ = State::kRequestLine;
+        [[fallthrough]];
+      case State::kRequestLine:
+        if (!ParseRequestLine(line)) return consumed;
+        state_ = State::kHeaders;
+        break;
+      case State::kHeaders:
+        header_bytes_ += line_.size();
+        if (!ParseHeaderLine(line)) return consumed;
+        break;
+      case State::kChunkSize: {
+        // chunk-size [;extensions]
+        std::string_view size_part = line.substr(0, line.find(';'));
+        size_part = TrimOws(size_part);
+        if (size_part.empty() || size_part.size() > 16 ||
+            ContainsCtl(line)) {
+          FailWith(400, "invalid chunk size line");
+          return consumed;
+        }
+        size_t value = 0;
+        for (const char c : size_part) {
+          const int digit = HexDigit(static_cast<unsigned char>(c));
+          if (digit < 0) {
+            FailWith(400, "invalid chunk size digit");
+            return consumed;
+          }
+          value = value * 16 + static_cast<size_t>(digit);
+        }
+        if (chunk_total_ + value > limits_.max_body_bytes) {
+          FailWith(413, "chunked body exceeds " +
+                            std::to_string(limits_.max_body_bytes) +
+                            " bytes");
+          return consumed;
+        }
+        chunk_total_ += value;
+        if (value == 0) {
+          state_ = State::kTrailers;
+        } else {
+          body_remaining_ = value;
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkDataEnd:
+        if (!line.empty()) {
+          FailWith(400, "missing CRLF after chunk data");
+          return consumed;
+        }
+        state_ = State::kChunkSize;
+        break;
+      case State::kTrailers:
+        header_bytes_ += line_.size();
+        if (line.empty()) {
+          state_ = State::kDone;
+        } else if (ContainsCtl(line) ||
+                   line.find(':') == std::string_view::npos) {
+          FailWith(400, "malformed trailer field");
+          return consumed;
+        }
+        // Valid trailer fields are discarded.
+        break;
+      default:
+        break;
+    }
+    line_.clear();
+  }
+  return consumed;
+}
+
+bool HttpParser::ParseRequestLine(std::string_view line) {
+  if (ContainsCtl(line)) {
+    FailWith(400, "control bytes in request line");
+    return false;
+  }
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    FailWith(400, "request line is not 'METHOD TARGET VERSION'");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method) || method.size() > 24) {
+    FailWith(400, "invalid method token");
+    return false;
+  }
+  if (target.empty() || !(target.front() == '/' || target == "*")) {
+    FailWith(400, "invalid request target");
+    return false;
+  }
+  if (version.size() != 8 || version.substr(0, 5) != "HTTP/" ||
+      version[6] != '.' || !std::isdigit(static_cast<unsigned char>(version[5])) ||
+      !std::isdigit(static_cast<unsigned char>(version[7]))) {
+    FailWith(400, "malformed HTTP version");
+    return false;
+  }
+  if (version[5] != '1' || (version[7] != '0' && version[7] != '1')) {
+    FailWith(505, "only HTTP/1.0 and HTTP/1.1 are served");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.version_minor = version[7] - '0';
+  return true;
+}
+
+bool HttpParser::ParseHeaderLine(std::string_view line) {
+  if (line.empty()) return FinishHeaders();
+  if (ContainsCtl(line)) {
+    FailWith(400, "control bytes in header field");
+    return false;
+  }
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Deprecated obs-fold continuation; rejecting it is the RFC 7230
+    // recommendation for servers.
+    FailWith(400, "folded header lines are not accepted");
+    return false;
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    FailWith(431, "more than " + std::to_string(limits_.max_headers) +
+                      " header fields");
+    return false;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    FailWith(400, "header field without ':'");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Covers empty names and whitespace before the colon (request
+    // smuggling vector).
+    FailWith(400, "invalid header field name");
+    return false;
+  }
+  request_.headers.emplace_back(ToLower(name),
+                                std::string(TrimOws(line.substr(colon + 1))));
+  return true;
+}
+
+bool HttpParser::FinishHeaders() {
+  // Resolve body framing. Transfer-Encoding beats Content-Length per
+  // RFC 7230, but a request carrying BOTH is a classic smuggling probe:
+  // reject it outright.
+  bool chunked = false;
+  bool has_te = false;
+  const std::string* content_length = nullptr;
+  for (const auto& [name, value] : request_.headers) {
+    if (name == "transfer-encoding") {
+      has_te = true;
+      if (EqualsIgnoreCase(TrimOws(value), "chunked")) {
+        chunked = true;
+      } else {
+        FailWith(501, "unsupported transfer encoding '" + value + "'");
+        return false;
+      }
+    } else if (name == "content-length") {
+      if (content_length != nullptr && *content_length != value) {
+        FailWith(400, "conflicting Content-Length headers");
+        return false;
+      }
+      content_length = &value;
+    }
+  }
+  if (has_te && content_length != nullptr) {
+    FailWith(400, "both Transfer-Encoding and Content-Length present");
+    return false;
+  }
+
+  size_t body_size = 0;
+  if (content_length != nullptr) {
+    const std::string& text = *content_length;
+    if (text.empty() || text.size() > 19 ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+      FailWith(400, "malformed Content-Length '" + text + "'");
+      return false;
+    }
+    for (const char c : text) body_size = body_size * 10 + (c - '0');
+    if (body_size > limits_.max_body_bytes) {
+      FailWith(413, "declared body of " + text + " bytes exceeds " +
+                        std::to_string(limits_.max_body_bytes));
+      return false;
+    }
+  }
+
+  // Keep-alive: HTTP/1.1 defaults on, 1.0 off; Connection overrides.
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* connection = request_.FindHeader("connection")) {
+    ForEachListElement(*connection, [this](std::string_view element) {
+      if (EqualsIgnoreCase(element, "close")) {
+        request_.keep_alive = false;
+      } else if (EqualsIgnoreCase(element, "keep-alive")) {
+        request_.keep_alive = true;
+      }
+    });
+  }
+
+  if (chunked) {
+    state_ = State::kChunkSize;
+  } else if (body_size > 0) {
+    body_remaining_ = body_size;
+    request_.body.reserve(body_size);
+    state_ = State::kBody;
+  } else {
+    state_ = State::kDone;
+  }
+  return true;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.code);
+  out += ' ';
+  out += HttpReasonPhrase(response.code);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += (keep_alive && !response.close) ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query) {
+  const size_t question = target.find('?');
+  if (question == std::string_view::npos) {
+    *path = target;
+    *query = std::string_view();
+  } else {
+    *path = target.substr(0, question);
+    *query = target.substr(question + 1);
+  }
+}
+
+bool PercentDecode(std::string_view in, std::string* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out->push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      const int hi = HexDigit(static_cast<unsigned char>(in[i + 1]));
+      const int lo = HexDigit(static_cast<unsigned char>(in[i + 2]));
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t amp = query.find('&', start);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(start, amp - start);
+    start = amp + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    const std::string_view raw_name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    const std::string_view raw_value =
+        eq == std::string_view::npos ? std::string_view()
+                                     : pair.substr(eq + 1);
+    std::string name;
+    std::string value;
+    if (PercentDecode(raw_name, &name) && PercentDecode(raw_value, &value)) {
+      params.emplace_back(std::move(name), std::move(value));
+    }
+  }
+  return params;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace xsact::server

@@ -1,0 +1,158 @@
+// HTTP/1.1 request parsing and response serialization for the XSACT
+// network front-end.
+//
+// The parser is built failure-first: it is an INCREMENTAL state machine
+// (feed whatever bytes arrived, in any split) whose every allocation is
+// bounded by HttpParserLimits, and whose reaction to any malformed,
+// truncated, oversized, or garbage input is a clean error with a
+// suggested 4xx/5xx response code — never UB, unbounded buffering, or
+// an exception. Slow-loris, random byte streams, and invalid chunked
+// framing all land in the same place: failed() plus an error code the
+// server turns into a response before closing the connection.
+//
+// Supported surface (documented in docs/serving.md): HTTP/1.0 and 1.1
+// request lines, header fields (obs-fold rejected), fixed
+// Content-Length bodies, and chunked transfer encoding with trailers
+// (discarded). Anything else degrades to a specific status: unsupported
+// transfer codings → 501, unsupported versions → 505, size-limit
+// violations → 413/431, everything malformed → 400.
+
+#ifndef XSACT_SERVER_HTTP_H_
+#define XSACT_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xsact::server {
+
+/// Hard caps on what one request may make the parser buffer. Every
+/// internal allocation is bounded by these, so a malicious stream costs
+/// at most max_request_line + max_header_bytes + max_body_bytes.
+struct HttpParserLimits {
+  size_t max_request_line = 4096;   ///< request line, bytes (431 beyond)
+  size_t max_header_bytes = 16384;  ///< whole header block (431 beyond)
+  size_t max_headers = 100;         ///< field count (431 beyond)
+  size_t max_body_bytes = 1 << 20;  ///< fixed or de-chunked body (413)
+};
+
+/// One parsed request. Header names are lowercased at parse time;
+/// values keep their bytes with outer whitespace trimmed.
+struct HttpRequest {
+  std::string method;  ///< verbatim (token-validated), e.g. "GET"
+  std::string target;  ///< raw request-target, e.g. "/query?q=gps"
+  int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 parse
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;  ///< fixed-length or de-chunked payload
+  /// Persistent-connection semantics: HTTP/1.1 default-on, HTTP/1.0
+  /// default-off, both overridable by a Connection header.
+  bool keep_alive = true;
+
+  /// First header named `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Incremental request parser. Lifecycle per request:
+///   while (!done() && !failed()) consumed = Feed(bytes);
+/// Feed returns how many input bytes it consumed; on done() the
+/// remainder is the start of the next pipelined request (keep it and
+/// call Reset() before feeding again). failed() is terminal until
+/// Reset(): the connection should be answered with error_code() and
+/// closed, since request framing is no longer trustworthy.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  /// Consumes as much of `data` as the current state allows. Returns
+  /// the number of bytes consumed (always == data.size() unless the
+  /// request completed or failed mid-buffer).
+  size_t Feed(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// True once any byte of the current request has been consumed —
+  /// distinguishes an idle keep-alive connection from one mid-request
+  /// (a timeout on the former closes silently; on the latter it's 408).
+  bool started() const { return started_; }
+
+  /// HTTP response code describing the failure (400/413/431/501/505).
+  int error_code() const { return error_code_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// Valid when done().
+  const HttpRequest& request() const { return request_; }
+
+  /// Ready for the next request (keep-alive reuse). Limits persist.
+  void Reset();
+
+ private:
+  enum class State {
+    kStart,        // may skip blank line(s) before the request line
+    kRequestLine,
+    kHeaders,
+    kBody,         // fixed Content-Length
+    kChunkSize,    // hex size line
+    kChunkData,    // chunk payload
+    kChunkDataEnd, // CRLF after chunk payload
+    kTrailers,     // trailer fields after the last chunk
+    kDone,
+    kError,
+  };
+
+  /// Transitions to kError; always returns 0 so Feed can tail-return.
+  size_t FailWith(int code, std::string detail);
+  bool ParseRequestLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+  /// On the blank line ending the headers: resolves framing (fixed /
+  /// chunked / none) and keep-alive. Returns false on failure.
+  bool FinishHeaders();
+
+  HttpParserLimits limits_;
+  State state_ = State::kStart;
+  bool started_ = false;
+  int error_code_ = 0;
+  std::string error_detail_;
+  HttpRequest request_;
+  std::string line_;        ///< current line accumulator (bounded)
+  size_t header_bytes_ = 0; ///< header block bytes consumed so far
+  size_t body_remaining_ = 0;
+  size_t chunk_total_ = 0;  ///< de-chunked bytes so far (bounded)
+};
+
+/// One response to serialize. `close` forces "Connection: close"
+/// regardless of the request's keep-alive preference.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  bool close = false;
+};
+
+/// Serializes status line + headers + body. `keep_alive` reflects the
+/// request's preference; the response carries an explicit Connection
+/// header either way so clients never guess.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Splits a request-target into path and query string (no decoding).
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query);
+
+/// Percent-decodes `in` ('+' becomes space — query-string convention).
+/// False on truncated/invalid escapes; *out is then unspecified.
+bool PercentDecode(std::string_view in, std::string* out);
+
+/// Parses "a=1&b=two" into decoded (name, value) pairs, in order.
+/// Pairs with undecodable names/values are dropped (garbage-tolerant).
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace xsact::server
+
+#endif  // XSACT_SERVER_HTTP_H_

@@ -1,0 +1,252 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace xsact::server {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view TrimOws(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(int port, int recv_timeout_ms)
+    : port_(port), recv_timeout_ms_(recv_timeout_ms) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::Ok();
+  buffer_.clear();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  struct timeval timeout;
+  timeout.tv_sec = recv_timeout_ms_ / 1000;
+  timeout.tv_usec = (recv_timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(127.0.0.1:" + std::to_string(port_) +
+                           "): " + std::strerror(err));
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  Status status = Connect();
+  if (!status.ok()) return status;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      Close();
+      return Status::IoError("send(): " + detail);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ClientResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::IoError("not connected");
+
+  // Accumulate until the blank line ending the headers.
+  size_t header_end = std::string::npos;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      Close();
+      return Status::IoError("recv(): " + detail);
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed before response headers");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    if (buffer_.size() > (1u << 20)) {
+      Close();
+      return Status::ParseError("response headers exceed 1 MiB");
+    }
+  }
+
+  ClientResponse response;
+  const std::string_view head =
+      std::string_view(buffer_).substr(0, header_end);
+  size_t line_start = 0;
+  bool first = true;
+  size_t content_length = 0;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line =
+        head.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (line.empty() && !first) break;
+    if (first) {
+      first = false;
+      // "HTTP/1.1 200 OK"
+      if (line.size() < 12 || line.substr(0, 5) != "HTTP/") {
+        Close();
+        return Status::ParseError("malformed status line: '" +
+                                  std::string(line) + "'");
+      }
+      const size_t sp = line.find(' ');
+      if (sp == std::string_view::npos || sp + 4 > line.size()) {
+        Close();
+        return Status::ParseError("malformed status line");
+      }
+      int code = 0;
+      for (size_t i = sp + 1; i < sp + 4 && i < line.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+          Close();
+          return Status::ParseError("non-numeric status code");
+        }
+        code = code * 10 + (line[i] - '0');
+      }
+      response.code = code;
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value(TrimOws(line.substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = 0;
+      for (const char c : value) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          Close();
+          return Status::ParseError("malformed Content-Length");
+        }
+        content_length = content_length * 10 + (c - '0');
+      }
+    } else if (name == "connection") {
+      response.keep_alive = ToLower(value) != "close";
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  // Body: exactly content_length bytes after the header terminator.
+  const size_t body_start = header_end + 4;
+  while (buffer_.size() - body_start < content_length) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      Close();
+      return Status::IoError("recv() body: " + detail);
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed mid-body");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+
+  if (!response.keep_alive) Close();
+  return response;
+}
+
+StatusOr<ClientResponse> HttpClient::Request(
+    std::string_view method, std::string_view target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view body) {
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: 127.0.0.1:";
+  wire += std::to_string(port_);
+  wire += "\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name;
+    wire += ": ";
+    wire += value;
+    wire += "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: ";
+    wire += std::to_string(body.size());
+    wire += "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  Status status = SendRaw(wire);
+  if (!status.ok()) return status;
+  return ReadResponse();
+}
+
+StatusOr<ClientResponse> HttpClient::Get(std::string_view target) {
+  return Request("GET", target, {}, "");
+}
+
+StatusOr<ClientResponse> HttpClient::Post(std::string_view target,
+                                          std::string_view body,
+                                          std::string_view content_type) {
+  return Request("POST", target,
+                 {{"Content-Type", std::string(content_type)}}, body);
+}
+
+}  // namespace xsact::server

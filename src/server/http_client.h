@@ -1,0 +1,85 @@
+// Minimal blocking HTTP/1.1 client for exercising the XSACT server from
+// tests and benchmarks. Deliberately small: keep-alive reuse over one
+// connection, fixed Content-Length responses only (which is all the
+// server emits), and raw-socket escape hatches (SendRaw / Close /
+// fd()) so chaos tests can speak broken HTTP on purpose.
+//
+// Not a general-purpose client: no TLS, no redirects, no chunked
+// response decoding, no connection pooling.
+
+#ifndef XSACT_SERVER_HTTP_CLIENT_H_
+#define XSACT_SERVER_HTTP_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace xsact::server {
+
+/// One parsed response. Header names are lowercased.
+struct ClientResponse {
+  int code = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  ///< server's Connection header decision
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Blocking client bound to one 127.0.0.1 port. Connects lazily on the
+/// first request and reuses the connection while the server keeps it
+/// alive. Not thread-safe; use one instance per thread.
+class HttpClient {
+ public:
+  /// `recv_timeout_ms` bounds every blocking read so a wedged server
+  /// fails the test instead of hanging it.
+  explicit HttpClient(int port, int recv_timeout_ms = 10000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  StatusOr<ClientResponse> Get(std::string_view target);
+  StatusOr<ClientResponse> Post(std::string_view target,
+                                std::string_view body,
+                                std::string_view content_type =
+                                    "application/json");
+
+  /// Fully general request; `headers` are sent verbatim after Host.
+  StatusOr<ClientResponse> Request(
+      std::string_view method, std::string_view target,
+      const std::vector<std::pair<std::string, std::string>>& headers,
+      std::string_view body);
+
+  // ---- raw-socket surface (chaos tests) -------------------------------
+
+  /// Ensures the socket is connected (no-op when already connected).
+  Status Connect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes bytes verbatim — malformed HTTP welcome.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one full response off the wire (status line + headers +
+  /// Content-Length body). Usable after SendRaw of a handwritten
+  /// request.
+  StatusOr<ClientResponse> ReadResponse();
+
+  /// Abruptly closes the connection (mid-request disconnects).
+  void Close();
+
+  int fd() const { return fd_; }
+
+ private:
+  int port_;
+  int recv_timeout_ms_;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace xsact::server
+
+#endif  // XSACT_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,201 @@
+// HttpServer: the hardened network front-end of the XSACT serving stack.
+//
+// One poll()-driven event-loop thread serves HTTP/1.1 (keep-alive,
+// pipelining-tolerant) in front of an engine::ServiceRouter. The design
+// goal is robustness under hostile or failing clients, in layers:
+//
+//   * Bounded everything: connection count (accept beyond the cap is
+//     answered 503 and closed), per-request parser allocations
+//     (HttpParserLimits — oversized requests get 413/431), per-connection
+//     output buffering.
+//   * Timeouts: a connection mid-request that stops sending bytes is a
+//     slow-loris — answered 408 and closed after read_timeout_ms; an
+//     idle keep-alive connection is silently closed after
+//     idle_timeout_ms; a peer that stops reading its response is closed
+//     after write_timeout_ms.
+//   * Malformed input: the incremental parser turns any garbage into a
+//     clean 4xx/5xx + close; random bytes can never reach the engine.
+//   * Backpressure: admission control stays in QueryService (bounded
+//     queue + deadlines); the server maps the resulting Status onto
+//     HTTP via common/status.h — kResourceExhausted → 429 + Retry-After,
+//     kDeadlineExceeded → 504, kCancelled → 499, corruption/internal →
+//     500 — so clients see intent, not stack traces.
+//   * Client-disconnect detection: a peer that hangs up while its query
+//     is queued or evaluating fires the request's CancelSource, so the
+//     engine abandons the work instead of computing for nobody.
+//   * Graceful drain: Stop() (or readability of options.wakeup_fd — wire
+//     it to common/shutdown_signal.h for SIGTERM/SIGINT) closes the
+//     listener, lets in-flight requests finish within drain_budget_ms,
+//     then hard-cancels the engine via QueryService::Shutdown() and
+//     resolves every remaining connection before Run() returns.
+//
+// Endpoints (full contract in docs/serving.md):
+//   GET /query?dataset=D&q=Q[&max_results=N][&timeout_ms=T][&lift=TAG]
+//       200 with the comparison table as JSON — byte-identical to
+//       table::RenderJson on the direct router path (gated by
+//       bench_server_serve) — or a mapped error JSON.
+//   GET /healthz   200 {"status":"ok"} serving; 503 draining/unhealthy.
+//   GET /statz     RouterStats + ServerStats as JSON.
+//
+// Threading: Start() may be called from any thread; Run() occupies the
+// calling thread until drain completes; Stop() and stats() are safe from
+// any thread. All connection state is owned by the Run() thread.
+
+#ifndef XSACT_SERVER_SERVER_H_
+#define XSACT_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/statusor.h"
+#include "engine/query_service.h"
+#include "engine/router.h"
+#include "server/http.h"
+
+namespace xsact::server {
+
+/// Tuning knobs. The defaults serve a trusted LAN; the timeouts are the
+/// knobs to tighten on an exposed port.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (read it via port()).
+  int port = 0;
+  int backlog = 128;
+  /// Accepted connections beyond this are answered 503 and closed.
+  size_t max_connections = 256;
+  /// Mid-request silence budget (slow-loris): 408 + close beyond it.
+  int read_timeout_ms = 5000;
+  /// Idle keep-alive budget: silent close beyond it.
+  int idle_timeout_ms = 30000;
+  /// Stalled-response budget (peer stops reading): close beyond it.
+  int write_timeout_ms = 5000;
+  /// Graceful-drain budget: in-flight work past it is hard-cancelled
+  /// (QueryService::Shutdown + per-request CancelSource).
+  int drain_budget_ms = 2000;
+  /// Per-request engine deadline when the client sends no timeout_ms
+  /// parameter. 0 = no deadline.
+  int default_deadline_ms = 0;
+  /// Request parser caps (line/header/body sizes).
+  HttpParserLimits parser_limits;
+  /// External wakeup fd (e.g. common/shutdown_signal.h's
+  /// ShutdownWakeupFd()): readability triggers the same graceful drain
+  /// as Stop(). -1 = none.
+  int wakeup_fd = -1;
+};
+
+/// Monotonic counters since Start(). Exposed via /statz.
+struct ServerStats {
+  uint64_t accepted = 0;         ///< connections accepted
+  uint64_t rejected_at_capacity = 0;  ///< 503'd at max_connections
+  uint64_t requests = 0;         ///< complete requests parsed
+  uint64_t responses_ok = 0;     ///< 2xx responses queued
+  uint64_t responses_error = 0;  ///< 4xx/5xx responses queued
+  uint64_t parse_errors = 0;     ///< malformed requests (subset of above)
+  uint64_t timeouts = 0;         ///< read/idle/write timeout closes
+  uint64_t disconnects = 0;      ///< peers gone mid-request/mid-response
+  uint64_t cancelled_by_disconnect = 0;  ///< engine work abandoned
+};
+
+/// See file comment. Not copyable/movable (connections hold pointers
+/// back into the server).
+class HttpServer {
+ public:
+  /// `router` must outlive the server and is shared with other callers
+  /// (the server adds no locking of its own around it — the router is
+  /// thread-safe).
+  explicit HttpServer(engine::ServiceRouter* router,
+                      ServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds + listens on 127.0.0.1:options.port. After ok, port() holds
+  /// the bound port (useful with port = 0).
+  Status Start();
+
+  /// Bound port; 0 before Start().
+  int port() const { return port_; }
+
+  /// Serves until a drain completes (triggered by Stop(), wakeup_fd
+  /// readability, or a fatal listener error). Blocks the calling thread.
+  void Run();
+
+  /// Requests a graceful drain (thread-safe, idempotent, returns
+  /// immediately). Run() returns once the drain finishes.
+  void Stop();
+
+  /// True from the moment a drain is requested.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Counter snapshot (thread-safe).
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void AcceptPending();
+  /// Reads whatever the socket has; feeds the parser; may queue a
+  /// response. False = connection must be destroyed.
+  bool HandleReadable(Connection* conn);
+  /// Flushes pending output. False = connection must be destroyed.
+  bool HandleWritable(Connection* conn);
+  /// Routes one parsed request; either queues a response or parks the
+  /// connection on an engine future.
+  void DispatchRequest(Connection* conn);
+  /// Resolves a ready engine future into a response.
+  void FinishQuery(Connection* conn);
+  void QueueResponse(Connection* conn, HttpResponse response);
+  void CloseConnection(std::unique_ptr<Connection> conn);
+  /// Applies read/idle/write timeouts; true = connection survived.
+  bool CheckTimeouts(Connection* conn,
+                     std::chrono::steady_clock::time_point now);
+  void BeginDrain();
+  /// Hard phase: cancel engine work, then resolve stragglers.
+  void ForceDrain();
+
+  std::string HandleHealthz() const;
+  std::string HandleStatz() const;
+
+  engine::ServiceRouter* router_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  /// Self-pipe waking poll() from Stop().
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  bool listener_open_ = false;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Disconnected peers whose engine future (and the CancelSource it
+  /// may dereference) is not ready yet — kept alive until it is.
+  std::vector<std::unique_ptr<Connection>> zombies_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_at_capacity_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> responses_error_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> disconnects_{0};
+  std::atomic<uint64_t> cancelled_by_disconnect_{0};
+};
+
+/// Serializes RouterStats (per-dataset cache/admission/health counters
+/// plus totals) as a JSON object — the /statz "datasets"/"totals"
+/// payload, also reusable by tooling.
+std::string RouterStatsJson(const engine::RouterStats& stats);
+
+}  // namespace xsact::server
+
+#endif  // XSACT_SERVER_SERVER_H_

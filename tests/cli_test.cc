@@ -7,6 +7,10 @@
 
 #include "cli/app.h"
 #include "cli/options.h"
+#include "common/shutdown_signal.h"
+#include "data/product_reviews.h"
+#include "xml/io.h"
+#include "xml/writer.h"
 
 namespace xsact::cli {
 namespace {
@@ -91,7 +95,7 @@ TEST(CliParseTest, UsageMentionsEveryFlag) {
         "--max-results", "--threshold", "--lift", "--format", "--seed",
         "--ranked", "--list", "--show-dfs", "--help", "--deadline-ms",
         "--max-queue", "--threads", "--repeat", "--cache", "--watch",
-        "--max-reloads"}) {
+        "--max-reloads", "--serve", "--port", "--drain-ms"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }
@@ -177,6 +181,35 @@ TEST(CliParseTest, RouterWatchNeedsAFileDataset) {
   auto ok = Parse({"--query=q", "--dataset=a=products",
                    "--dataset=b=corpus/b.xml", "--watch"});
   EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(CliParseTest, ServeFlagsParse) {
+  // --serve needs no --query; it is a network serving mode.
+  auto options = Parse({"--serve", "--port=8080", "--drain-ms=500",
+                        "--dataset=outdoor"});
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_TRUE(options->serve);
+  EXPECT_EQ(options->port, 8080);
+  EXPECT_EQ(options->drain_ms, 500);
+  EXPECT_TRUE(options->query.empty());
+
+  auto defaults = Parse({"--serve"});
+  ASSERT_TRUE(defaults.ok()) << defaults.status();
+  EXPECT_EQ(defaults->port, 0) << "port 0 = kernel-assigned";
+}
+
+TEST(CliParseTest, ServeRejectsConflictsAndBadValues) {
+  EXPECT_FALSE(Parse({"--serve", "--watch"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--list"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--ranked"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--repeat=4"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--port=70000"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--port=-1"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--port=http"}).ok());
+  EXPECT_FALSE(Parse({"--serve", "--drain-ms=-5"}).ok());
+  // Serve-only flags are meaningless (silently ignored) elsewhere.
+  EXPECT_FALSE(Parse({"--query=q", "--port=8080"}).ok());
+  EXPECT_FALSE(Parse({"--query=q", "--drain-ms=100"}).ok());
 }
 
 TEST(CliAppTest, HelpPrintsUsage) {
@@ -287,6 +320,50 @@ TEST(CliAppTest, NoResultsQueryFailsGracefully) {
   std::ostringstream out, err;
   EXPECT_EQ(RunApp(options, out, err), 1);
   EXPECT_NE(err.str().find("at least two results"), std::string::npos);
+}
+
+// --serve with a shutdown already requested (the signal beat the
+// server to its poll loop): the server must start, drain immediately,
+// and exit 0 — the startup race the wakeup pipe exists for.
+TEST(CliAppTest, ServeModeDrainsOnPresetShutdown) {
+  RequestShutdown();
+  CliOptions options;
+  options.serve = true;
+  options.drain_ms = 500;
+  std::ostringstream out, err;
+  const int rc = RunApp(options, out, err);
+  ResetShutdownState();
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("serving 1 dataset(s) on http://127.0.0.1:"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("drained:"), std::string::npos);
+}
+
+// --watch with a shutdown already requested: serve once, then stop at
+// the first loop iteration instead of polling forever.
+TEST(CliAppTest, WatchModeStopsOnPresetShutdown) {
+  data::ProductReviewsConfig config;
+  config.num_products = 8;
+  config.seed = 3;
+  const std::string path = ::testing::TempDir() + "/xsact_cli_watch.xml";
+  ASSERT_TRUE(
+      xml::WriteStringToFile(
+          path, xml::WriteDocument(data::GenerateProductReviews(config)))
+          .ok());
+
+  RequestShutdown();
+  CliOptions options;
+  options.query = "gps";
+  options.dataset = path;
+  options.datasets = {{path, path}};
+  options.watch = true;
+  std::ostringstream out, err;
+  const int rc = RunApp(options, out, err);
+  ResetShutdownState();
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("shutdown requested; stopping watch"),
+            std::string::npos)
+      << out.str();
 }
 
 }  // namespace

@@ -1,0 +1,305 @@
+// HttpParser unit tests: the happy path (fixed bodies, chunked framing,
+// keep-alive semantics, pipelining, byte-at-a-time feeding) and the
+// table-driven malformed-request corpus — every hostile input the
+// front-end promises to answer with a clean 4xx/5xx (docs/serving.md)
+// instead of UB, unbounded buffering, or a hang.
+
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xsact::server {
+namespace {
+
+HttpParser FeedAll(std::string_view wire, HttpParserLimits limits = {}) {
+  HttpParser parser(limits);
+  while (!wire.empty() && !parser.done() && !parser.failed()) {
+    const size_t used = parser.Feed(wire);
+    if (used == 0) break;
+    wire.remove_prefix(used);
+  }
+  return parser;
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser =
+      FeedAll("GET /query?q=gps HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/query?q=gps");
+  EXPECT_EQ(parser.request().version_minor, 1);
+  EXPECT_TRUE(parser.request().keep_alive);
+  ASSERT_NE(parser.request().FindHeader("host"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("host"), "x");
+}
+
+TEST(HttpParserTest, OneByteAtATimeIsIdenticalToOneShot) {
+  const std::string wire =
+      "POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  HttpParser parser;
+  for (const char c : wire) {
+    ASSERT_FALSE(parser.failed());
+    EXPECT_EQ(parser.Feed(std::string_view(&c, 1)), 1u);
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, DecodesChunkedBody) {
+  HttpParser parser = FeedAll(
+      "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "wikipedia");
+}
+
+TEST(HttpParserTest, ChunkedTrailersAreDiscarded) {
+  HttpParser parser = FeedAll(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\nX-Trailer: ignored\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "abc");
+  EXPECT_EQ(parser.request().FindHeader("x-trailer"), nullptr);
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  EXPECT_TRUE(FeedAll("GET / HTTP/1.1\r\n\r\n").request().keep_alive);
+  EXPECT_FALSE(FeedAll("GET / HTTP/1.0\r\n\r\n").request().keep_alive);
+  EXPECT_FALSE(
+      FeedAll("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+          .request()
+          .keep_alive);
+  EXPECT_TRUE(
+      FeedAll("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .request()
+          .keep_alive);
+}
+
+TEST(HttpParserTest, BareLfLineEndingsAreTolerated) {
+  HttpParser parser = FeedAll("GET /x HTTP/1.1\nHost: y\n\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/x");
+}
+
+TEST(HttpParserTest, PipelinedRequestLeavesRemainderUnconsumed) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  HttpParser parser;
+  const size_t used = parser.Feed(wire);
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.Reset();
+  EXPECT_FALSE(parser.started());
+  const size_t used2 = parser.Feed(std::string_view(wire).substr(used));
+  EXPECT_EQ(used + used2, wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, StartedDistinguishesIdleFromMidRequest) {
+  HttpParser parser;
+  EXPECT_FALSE(parser.started());
+  parser.Feed("GET /slow");
+  EXPECT_TRUE(parser.started());
+  EXPECT_FALSE(parser.done());
+  EXPECT_FALSE(parser.failed());
+}
+
+// ---- the malformed-request corpus ------------------------------------
+
+struct MalformedCase {
+  const char* name;
+  std::string wire;
+  int want_code;  ///< expected error_code(); 0 = parser must NOT fail
+                  ///< (truncated input: incomplete, awaiting bytes)
+};
+
+class MalformedRequestTest
+    : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedRequestTest, FailsCleanlyWithDocumentedCode) {
+  const MalformedCase& test_case = GetParam();
+  HttpParser parser = FeedAll(test_case.wire);
+  if (test_case.want_code == 0) {
+    // Truncated mid-request: not an error yet — the server's read
+    // timeout (408) handles peers that never finish.
+    EXPECT_FALSE(parser.failed()) << parser.error_detail();
+    EXPECT_FALSE(parser.done());
+    EXPECT_TRUE(parser.started());
+  } else {
+    ASSERT_TRUE(parser.failed())
+        << "parser accepted malformed input: " << test_case.name;
+    EXPECT_EQ(parser.error_code(), test_case.want_code)
+        << parser.error_detail();
+    EXPECT_FALSE(parser.error_detail().empty());
+  }
+}
+
+std::string Repeat(char c, size_t n) { return std::string(n, c); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MalformedRequestTest,
+    ::testing::Values(
+        // -- request line ------------------------------------------------
+        MalformedCase{"truncated_request_line", "GET /que", 0},
+        MalformedCase{"missing_version", "GET /query\r\n\r\n", 400},
+        MalformedCase{"too_many_fields", "GET /a b HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"empty_method", " /query HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"method_not_token", "GE T/ HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"relative_target", "GET query HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"nul_in_request_line",
+                      std::string("GET /qu\0ry HTTP/1.1\r\n\r\n", 23), 400},
+        MalformedCase{"garbage_binary_tls_hello", "\x16\x03\x01\x7f\r\n",
+                      400},
+        MalformedCase{"not_http_version", "GET / FTP/1.1\r\n\r\n", 400},
+        MalformedCase{"http_2_version", "GET / HTTP/2.0\r\n\r\n", 505},
+        MalformedCase{"http_0_9_version", "GET / HTTP/0.9\r\n\r\n", 505},
+        MalformedCase{"oversized_request_line",
+                      "GET /" + Repeat('a', 8192) + " HTTP/1.1\r\n\r\n",
+                      431},
+        // -- headers ----------------------------------------------------
+        MalformedCase{"truncated_headers",
+                      "GET / HTTP/1.1\r\nHost: x\r\nAccept: ", 0},
+        MalformedCase{"split_header_obs_fold",
+                      "GET / HTTP/1.1\r\nX-A: one\r\n two\r\n\r\n", 400},
+        MalformedCase{"header_without_colon",
+                      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400},
+        MalformedCase{"space_before_colon",
+                      "GET / HTTP/1.1\r\nHost : x\r\n\r\n", 400},
+        MalformedCase{"empty_header_name",
+                      "GET / HTTP/1.1\r\n: value\r\n\r\n", 400},
+        MalformedCase{"nul_in_header",
+                      std::string("GET / HTTP/1.1\r\nX: a\0b\r\n\r\n", 26),
+                      400},
+        MalformedCase{"oversized_header_block",
+                      "GET / HTTP/1.1\r\nX-Big: " + Repeat('b', 20000) +
+                          "\r\n\r\n",
+                      431},
+        MalformedCase{"newline_free_garbage_stream", Repeat('A', 30000),
+                      431},
+        // -- body framing -----------------------------------------------
+        MalformedCase{"oversized_content_length",
+                      "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+                      413},
+        MalformedCase{"negative_content_length",
+                      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+        MalformedCase{"non_numeric_content_length",
+                      "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400},
+        MalformedCase{"conflicting_content_lengths",
+                      "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                      "Content-Length: 6\r\n\r\n",
+                      400},
+        MalformedCase{"content_length_and_chunked",
+                      "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n",
+                      400},
+        MalformedCase{"unsupported_transfer_encoding",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+                      501},
+        MalformedCase{"truncated_body",
+                      "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi", 0},
+        // -- chunked framing --------------------------------------------
+        MalformedCase{"invalid_chunk_size",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "xyz\r\n",
+                      400},
+        MalformedCase{"missing_chunk_terminator",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "3\r\nabcX\r\n",
+                      400},
+        MalformedCase{"oversized_chunked_body",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "FFFFFFFF\r\n",
+                      413},
+        MalformedCase{"malformed_trailer",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "0\r\nbroken trailer no colon\r\n",
+                      400}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+// Header-count cap fires 431 on the 101st field.
+TEST(HttpParserTest, TooManyHeadersIs431) {
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 101; ++i) {
+    wire += "H" + std::to_string(i) + ": v\r\n";
+  }
+  wire += "\r\n";
+  HttpParserLimits limits;
+  limits.max_header_bytes = 1 << 20;  // isolate the field-count cap
+  HttpParser parser = FeedAll(wire, limits);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+// The parser's buffering is bounded even when fed adversarial input
+// forever: a newline-free stream fails at the line cap, after which
+// Feed consumes nothing further.
+TEST(HttpParserTest, FailedParserStopsConsuming) {
+  HttpParser parser = FeedAll(Repeat('Z', 100000));
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.Feed("more"), 0u);
+  EXPECT_TRUE(parser.failed());
+}
+
+// ---- response serialization + helpers --------------------------------
+
+TEST(HttpSerializeTest, SerializesResponseWithContentLength) {
+  HttpResponse response;
+  response.code = 200;
+  response.body = "{\"ok\":true}";
+  const std::string wire = SerializeResponse(response, true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+}
+
+TEST(HttpSerializeTest, CloseForcesConnectionClose) {
+  HttpResponse response;
+  response.code = 429;
+  response.close = true;
+  response.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response, true);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+}
+
+TEST(HttpHelpersTest, SplitTargetAndDecode) {
+  std::string_view path;
+  std::string_view query;
+  SplitTarget("/query?q=gps+camera&n=3", &path, &query);
+  EXPECT_EQ(path, "/query");
+  EXPECT_EQ(query, "q=gps+camera&n=3");
+
+  std::string decoded;
+  ASSERT_TRUE(PercentDecode("a%20b+c%2Fd", &decoded));
+  EXPECT_EQ(decoded, "a b c/d");
+  EXPECT_FALSE(PercentDecode("broken%2", &decoded));
+  EXPECT_FALSE(PercentDecode("broken%zz", &decoded));
+}
+
+TEST(HttpHelpersTest, ParseQueryParamsDropsUndecodablePairs) {
+  const auto params = ParseQueryParams("q=gps+camera&bad=%zz&n=3&flag");
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].first, "q");
+  EXPECT_EQ(params[0].second, "gps camera");
+  EXPECT_EQ(params[1].first, "n");
+  EXPECT_EQ(params[1].second, "3");
+  EXPECT_EQ(params[2].first, "flag");
+  EXPECT_EQ(params[2].second, "");
+}
+
+TEST(HttpHelpersTest, JsonEscapeControlBytes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+}  // namespace
+}  // namespace xsact::server
