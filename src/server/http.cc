@@ -223,7 +223,10 @@ size_t HttpParser::Feed(std::string_view data) {
           }
           value = value * 16 + static_cast<size_t>(digit);
         }
-        if (chunk_total_ + value > limits_.max_body_bytes) {
+        // Checked without addition: a 16-hex-digit chunk size can be up
+        // to 2^64-1, so `chunk_total_ + value` may wrap past the limit.
+        if (value > limits_.max_body_bytes ||
+            chunk_total_ > limits_.max_body_bytes - value) {
           FailWith(413, "chunked body exceeds " +
                             std::to_string(limits_.max_body_bytes) +
                             " bytes");

@@ -33,8 +33,11 @@ const fault::FaultPointId kFaultRead =
 const fault::FaultPointId kFaultWrite =
     fault::RegisterFaultPoint("server.write");
 
-/// Bytes a client may send while its previous request is still being
-/// evaluated. Beyond this the connection is a flood, not a pipeline.
+/// Bytes a client may send that the parser cannot yet consume —
+/// pipelined requests queued behind an in-flight evaluation. Beyond
+/// this the connection is a flood, not a pipeline. (Bytes of the
+/// request currently being parsed don't count against this: the parser
+/// consumes them immediately, bounded by its own HttpParserLimits.)
 constexpr size_t kMaxBufferedInput = 64 * 1024;
 
 bool SetNonBlocking(int fd) {
@@ -421,15 +424,11 @@ bool HttpServer::HandleReadable(Connection* conn) {
       return false;
     }
     if (n == 0) {
-      // Peer closed. If the engine still owns this request, fire its
-      // cancel so the work is abandoned, and keep the connection object
-      // alive (as a zombie) until the future resolves.
-      if (conn->awaiting) {
-        disconnects_.fetch_add(1, std::memory_order_relaxed);
-        cancelled_by_disconnect_.fetch_add(1, std::memory_order_relaxed);
-        if (conn->cancel) conn->cancel->Cancel();
-      } else if (conn->parser.started() ||
-                 conn->outbuf.size() > conn->out_off) {
+      // Peer closed. CloseConnection fires the request's cancel if the
+      // engine still owns one and keeps the object alive (as a zombie)
+      // until the future resolves.
+      if (conn->awaiting || conn->parser.started() ||
+          conn->outbuf.size() > conn->out_off) {
         disconnects_.fetch_add(1, std::memory_order_relaxed);
       }
       return false;
@@ -438,18 +437,21 @@ bool HttpServer::HandleReadable(Connection* conn) {
     if (!conn->close_after_flush) {
       conn->pending_input.append(buf, static_cast<size_t>(n));
     }
+    // Parse eagerly between reads so a large-but-legal body (up to
+    // max_body_bytes) arriving in one burst is consumed as it lands;
+    // only bytes the parser cannot take yet count toward the cap.
+    ParseBuffered(conn);
     if (conn->pending_input.size() > kMaxBufferedInput) {
       // Flooding while a request is in flight (or between requests).
       disconnects_.fetch_add(1, std::memory_order_relaxed);
-      if (conn->awaiting && conn->cancel) {
-        cancelled_by_disconnect_.fetch_add(1, std::memory_order_relaxed);
-        conn->cancel->Cancel();
-      }
       return false;
     }
   }
+  ParseBuffered(conn);
+  return true;
+}
 
-  // Parse whatever is buffered (no-op while awaiting the engine).
+void HttpServer::ParseBuffered(Connection* conn) {
   while (!conn->awaiting && !conn->close_after_flush &&
          !conn->pending_input.empty()) {
     const size_t used = conn->parser.Feed(conn->pending_input);
@@ -463,9 +465,9 @@ bool HttpServer::HandleReadable(Connection* conn) {
       resp.close = true;  // framing is untrustworthy from here on
       QueueResponse(conn, std::move(resp));
       conn->pending_input.clear();
-      break;
+      return;
     }
-    if (!conn->parser.done()) break;  // need more bytes
+    if (!conn->parser.done()) return;  // need more bytes
     requests_.fetch_add(1, std::memory_order_relaxed);
     DispatchRequest(conn);
     if (!conn->awaiting) {
@@ -476,7 +478,6 @@ bool HttpServer::HandleReadable(Connection* conn) {
       }
     }
   }
-  return true;
 }
 
 bool HttpServer::HandleWritable(Connection* conn) {
@@ -692,33 +693,11 @@ void HttpServer::FinishQuery(Connection* conn) {
   }
   QueueResponse(conn, std::move(resp));
 
-  // Pipelined follow-up requests may already be buffered.
+  // Pipelined follow-up requests may already be buffered; feed them
+  // through the same path as fresh reads.
   if (conn->request_keep_alive && !conn->close_after_flush) {
     conn->parser.Reset();
-    // Feed buffered bytes through the same path as fresh reads.
-    while (!conn->awaiting && !conn->close_after_flush &&
-           !conn->pending_input.empty()) {
-      const size_t used = conn->parser.Feed(conn->pending_input);
-      conn->pending_input.erase(0, used);
-      if (conn->parser.failed()) {
-        parse_errors_.fetch_add(1, std::memory_order_relaxed);
-        responses_error_.fetch_add(1, std::memory_order_relaxed);
-        HttpResponse error;
-        error.code = conn->parser.error_code();
-        error.body = ErrorJson(error.code, conn->parser.error_detail());
-        error.close = true;
-        QueueResponse(conn, std::move(error));
-        conn->pending_input.clear();
-        break;
-      }
-      if (!conn->parser.done()) break;
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      DispatchRequest(conn);
-      if (!conn->awaiting && conn->request_keep_alive &&
-          !conn->close_after_flush) {
-        conn->parser.Reset();
-      }
-    }
+    ParseBuffered(conn);
   } else {
     conn->pending_input.clear();
   }
@@ -731,6 +710,10 @@ void HttpServer::QueueResponse(Connection* conn, HttpResponse response) {
   conn->outbuf += SerializeResponse(response, keep_alive);
   if (!keep_alive) conn->close_after_flush = true;
   conn->last_write_progress = Clock::now();
+  // Restart the idle clock: an engine evaluation longer than
+  // idle_timeout_ms must not get the keep-alive connection closed as
+  // "idle" the moment its response flushes.
+  conn->last_read = conn->last_write_progress;
 }
 
 void HttpServer::CloseConnection(std::unique_ptr<Connection> conn) {
@@ -738,12 +721,19 @@ void HttpServer::CloseConnection(std::unique_ptr<Connection> conn) {
     ::close(conn->fd);
     conn->fd = -1;
   }
-  if (conn->awaiting &&
-      conn->future.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready) {
-    // Engine work still references conn->cancel: keep the object alive
-    // until the future resolves (reaped in Run's zombie pass).
-    zombies_.push_back(std::move(conn));
+  if (conn->awaiting) {
+    // Every close path — EOF, recv/write errors, timeouts, floods —
+    // abandons in-flight engine work, not just clean EOF.
+    if (conn->cancel) {
+      cancelled_by_disconnect_.fetch_add(1, std::memory_order_relaxed);
+      conn->cancel->Cancel();
+    }
+    if (conn->future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      // Engine work still references conn->cancel: keep the object
+      // alive until the future resolves (reaped in Run's zombie pass).
+      zombies_.push_back(std::move(conn));
+    }
   }
 }
 

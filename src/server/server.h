@@ -147,6 +147,9 @@ class HttpServer {
   bool HandleReadable(Connection* conn);
   /// Flushes pending output. False = connection must be destroyed.
   bool HandleWritable(Connection* conn);
+  /// Feeds buffered input through the parser, dispatching each complete
+  /// request, until it needs more bytes, fails, or parks on the engine.
+  void ParseBuffered(Connection* conn);
   /// Routes one parsed request; either queues a response or parks the
   /// connection on an engine future.
   void DispatchRequest(Connection* conn);

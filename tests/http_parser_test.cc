@@ -214,6 +214,12 @@ INSTANTIATE_TEST_SUITE_P(
                       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
                       "FFFFFFFF\r\n",
                       413},
+        // 4 + 0xFFFFFFFFFFFFFFFD wraps to 1 in 64 bits: the size check
+        // must reject the chunk, not pass it on the wrapped sum.
+        MalformedCase{"wrapping_chunk_size_sum",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "4\r\nwiki\r\nFFFFFFFFFFFFFFFD\r\n",
+                      413},
         MalformedCase{"malformed_trailer",
                       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
                       "0\r\nbroken trailer no colon\r\n",

@@ -325,6 +325,34 @@ TEST_F(ServerTest, IdleKeepAliveConnectionIsClosedSilently) {
   EXPECT_EQ(health->code, 200);
 }
 
+TEST_F(ServerTest, SlowQueryDoesNotTripIdleTimeoutAfterResponse) {
+  ServerOptions options;
+  options.idle_timeout_ms = 200;
+  QueryServiceOptions service_options;
+  service_options.enable_cache = false;
+  StartServer(options, service_options);
+
+  fault::FaultSpec slow;
+  slow.code = StatusCode::kOk;  // pure latency injection
+  slow.delay_ms = 400;  // evaluation alone outlasts idle_timeout_ms
+  ASSERT_TRUE(fault::ArmFaultPointByName("service.worker", slow));
+
+  HttpClient client(port());
+  StatusOr<ClientResponse> first = client.Get("/query?q=gps");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->code, 200);
+  EXPECT_TRUE(first->keep_alive);
+
+  // The idle clock restarts when the response is queued, so immediate
+  // reuse must ride the SAME connection — not get closed as "idle the
+  // whole time the engine was evaluating".
+  fault::DisarmAllFaultPoints();
+  StatusOr<ClientResponse> second = client.Get("/query?q=camera");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->code, 200);
+  EXPECT_EQ(server_->stats().accepted, 1u);
+}
+
 TEST_F(ServerTest, OversizedHeadersGet431AndClose) {
   StartServer();
   HttpClient client(port());
@@ -344,6 +372,54 @@ TEST_F(ServerTest, GarbageBytesGet400NeverReachTheEngine) {
   EXPECT_EQ(response->code, 400);
   EXPECT_EQ(router_->stats().datasets[0].admission.admitted, 0u)
       << "garbage must be rejected before the engine sees it";
+}
+
+TEST_F(ServerTest, LargePostBodyUpToLimitIsServed) {
+  StartServer();
+  HttpClient client(port());
+  // 256 KiB in one burst — well past the 64 KiB pipelining flood cap
+  // but within max_body_bytes: the parser must consume it as it
+  // arrives instead of the server dropping the connection as a flood.
+  const std::string big(256 * 1024, 'x');
+  StatusOr<ClientResponse> post =
+      client.Post("/query?q=gps", big, "text/plain");
+  ASSERT_TRUE(post.ok()) << post.status();
+  EXPECT_EQ(post->code, 200);
+  EXPECT_TRUE(post->keep_alive);
+  EXPECT_EQ(server_->stats().disconnects, 0u);
+
+  StatusOr<ClientResponse> get = client.Get("/query?q=gps");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(post->body, get->body);
+}
+
+TEST_F(ServerTest, FloodDuringEvaluationClosesAndCancels) {
+  QueryServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.enable_cache = false;
+  StartServer({}, service_options);
+
+  fault::FaultSpec slow;
+  slow.code = StatusCode::kOk;  // pure latency injection
+  slow.delay_ms = 400;
+  ASSERT_TRUE(fault::ArmFaultPointByName("service.worker", slow));
+
+  HttpClient client(port());
+  ASSERT_TRUE(client.SendRaw("GET /query?q=gps HTTP/1.1\r\n\r\n").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Flood 128 KiB while the engine owns the request. The flood close is
+  // NOT a clean EOF, yet it must still abandon the in-flight work.
+  [[maybe_unused]] const Status ignored =
+      client.SendRaw(std::string(128 * 1024, 'F'));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->stats().cancelled_by_disconnect == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->stats().cancelled_by_disconnect, 1u);
+  EXPECT_GE(server_->stats().disconnects, 1u);
 }
 
 TEST_F(ServerTest, ConnectionCapAnswers503) {
