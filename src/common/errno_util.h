@@ -1,0 +1,43 @@
+// Thread-safe errno → message rendering.
+//
+// std::strerror writes into shared static storage on some C libraries,
+// so clang-tidy's concurrency-mt-unsafe (rightly) rejects it in code
+// that runs on server threads. ErrnoString wraps strerror_r instead —
+// and papers over the POSIX/GNU signature split by overload resolution,
+// so it compiles unchanged whether the platform's strerror_r returns
+// int (XSI) or char* (glibc with _GNU_SOURCE).
+
+#ifndef XSACT_COMMON_ERRNO_UTIL_H_
+#define XSACT_COMMON_ERRNO_UTIL_H_
+
+#include <string.h>
+
+#include <string>
+
+namespace xsact {
+
+namespace internal {
+
+/// XSI strerror_r: 0 = buf filled; nonzero = unknown errno.
+inline std::string ErrnoResult(int rc, const char* buf, int err) {
+  if (rc == 0) return std::string(buf);
+  return "errno " + std::to_string(err);
+}
+
+/// GNU strerror_r: returns the message (buf, or an immutable static).
+inline std::string ErrnoResult(const char* msg, const char* /*buf*/,
+                               int /*err*/) {
+  return std::string(msg);
+}
+
+}  // namespace internal
+
+/// Message for `err` (an errno value), safe from any thread.
+inline std::string ErrnoString(int err) {
+  char buf[256] = {};
+  return internal::ErrnoResult(::strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_ERRNO_UTIL_H_

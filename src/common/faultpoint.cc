@@ -2,12 +2,13 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace xsact::fault {
 
@@ -18,15 +19,19 @@ std::atomic<int> g_armed_count{0};
 namespace {
 
 struct FaultPoint {
+  // name/kind are written once under the registry lock before the point
+  // is published and immutable afterwards — readable without mu.
   std::string name;
   FaultSiteKind kind = FaultSiteKind::kStatus;
 
-  std::mutex mu;  // guards everything below
-  bool armed = false;
-  FaultSpec spec;
-  Rng rng{0};
-  uint64_t hits = 0;   // hits since last arm (while injection enabled)
-  uint64_t fires = 0;  // fires since last arm
+  Mutex mu;
+  bool armed XSACT_GUARDED_BY(mu) = false;
+  FaultSpec spec XSACT_GUARDED_BY(mu);
+  Rng rng XSACT_GUARDED_BY(mu){0};
+  /// Hits since last arm (while injection enabled).
+  uint64_t hits XSACT_GUARDED_BY(mu) = 0;
+  /// Fires since last arm.
+  uint64_t fires XSACT_GUARDED_BY(mu) = 0;
 };
 
 /// Registry of every site linked into the binary. Leaked on purpose so
@@ -40,7 +45,7 @@ class Registry {
   }
 
   FaultPointId Register(std::string_view name, FaultSiteKind kind) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = by_name_.find(std::string(name));
     if (it != by_name_.end()) return it->second;
     const FaultPointId id = static_cast<FaultPointId>(points_.size());
@@ -53,19 +58,19 @@ class Registry {
   }
 
   FaultPoint* point(FaultPointId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (id < 0 || static_cast<size_t>(id) >= points_.size()) return nullptr;
     return points_[static_cast<size_t>(id)].get();
   }
 
   FaultPointId Find(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = by_name_.find(std::string(name));
     return it == by_name_.end() ? kInvalidFaultPoint : it->second;
   }
 
   std::vector<FaultPointInfo> All() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<FaultPointInfo> out;
     out.reserve(points_.size());
     for (size_t i = 0; i < points_.size(); ++i) {
@@ -76,14 +81,15 @@ class Registry {
   }
 
   size_t size() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return points_.size();
   }
 
  private:
-  std::mutex mu_;  // guards the containers; per-point state has its own
-  std::vector<std::unique_ptr<FaultPoint>> points_;
-  std::unordered_map<std::string, FaultPointId> by_name_;
+  Mutex mu_;  // per-point state has its own lock (FaultPoint::mu)
+  std::vector<std::unique_ptr<FaultPoint>> points_ XSACT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, FaultPointId> by_name_
+      XSACT_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -95,7 +101,7 @@ FaultPointId RegisterFaultPoint(std::string_view name, FaultSiteKind kind) {
 void ArmFaultPoint(FaultPointId id, const FaultSpec& spec) {
   FaultPoint* p = Registry::Get().point(id);
   if (p == nullptr) return;
-  std::lock_guard<std::mutex> lock(p->mu);
+  MutexLock lock(p->mu);
   if (!p->armed) {
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
@@ -116,7 +122,7 @@ bool ArmFaultPointByName(std::string_view name, const FaultSpec& spec) {
 void DisarmFaultPoint(FaultPointId id) {
   FaultPoint* p = Registry::Get().point(id);
   if (p == nullptr) return;
-  std::lock_guard<std::mutex> lock(p->mu);
+  MutexLock lock(p->mu);
   if (p->armed) {
     p->armed = false;
     internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
@@ -139,14 +145,14 @@ FaultPointId FindFaultPoint(std::string_view name) {
 uint64_t FaultPointHits(FaultPointId id) {
   FaultPoint* p = Registry::Get().point(id);
   if (p == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(p->mu);
+  MutexLock lock(p->mu);
   return p->hits;
 }
 
 uint64_t FaultPointFires(FaultPointId id) {
   FaultPoint* p = Registry::Get().point(id);
   if (p == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(p->mu);
+  MutexLock lock(p->mu);
   return p->fires;
 }
 
@@ -158,7 +164,7 @@ Status Check(FaultPointId id) {
   int delay_ms = 0;
   Status injected;
   {
-    std::lock_guard<std::mutex> lock(p->mu);
+    MutexLock lock(p->mu);
     if (!p->armed) return Status();
     const uint64_t hit = ++p->hits;
     if (hit <= p->spec.skip_hits) return Status();

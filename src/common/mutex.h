@@ -1,0 +1,115 @@
+// Capability-annotated mutex / condition-variable wrappers.
+//
+// xsact::Mutex is std::mutex carrying the Clang CAPABILITY("mutex")
+// attribute, so -Wthread-safety can prove, at compile time, that every
+// XSACT_GUARDED_BY field is only touched with its lock held and every
+// XSACT_REQUIRES method is only called from under the right lock.
+// std::mutex itself carries no capability, which makes annotations on
+// it inert — that is why the project lint (tools/lint/run_lint.py)
+// rejects raw std::mutex / std::lock_guard / std::condition_variable
+// anywhere outside this header.
+//
+// The wrappers are zero-cost: every method is an inline forward to the
+// std counterpart, and the attributes vanish on non-Clang compilers
+// (common/thread_annotations.h).
+//
+// Waiting on a CondVar is deliberately predicate-free:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);          // fields check under lock
+//
+// rather than cv.wait(lock, [&]{ return ready_; }). A predicate lambda
+// is a separate function to the analysis, so guarded fields read inside
+// it would need their own annotations or an escape hatch; an explicit
+// while-loop keeps the accesses inside the annotated scope where the
+// analysis can verify them. Timed waits return false on timeout so
+// deadline loops stay explicit too (see QueryService::ReloadNow).
+
+#ifndef XSACT_COMMON_MUTEX_H_
+#define XSACT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace xsact {
+
+/// Annotated exclusive lock. See file comment.
+class XSACT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XSACT_ACQUIRE() { mu_.lock(); }
+  void Unlock() XSACT_RELEASE() { mu_.unlock(); }
+  bool TryLock() XSACT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope lock over an xsact::Mutex (the project's spelling of
+/// std::lock_guard).
+class XSACT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XSACT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() XSACT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with xsact::Mutex. All waits REQUIRE the
+/// mutex held and return with it held; notifies need no lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken — always re-check the
+  /// predicate in a loop).
+  void Wait(Mutex& mu) XSACT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the unique_lock's ownership claim so the Mutex stays
+    // held by the caller — the capability never changes hands.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `deadline`; false = timed out (predicate loops decide
+  /// whether to retry).
+  bool WaitUntil(Mutex& mu,
+                 std::chrono::steady_clock::time_point deadline)
+      XSACT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Waits at most `timeout`; false = timed out.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      XSACT_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xsact
+
+#endif  // XSACT_COMMON_MUTEX_H_

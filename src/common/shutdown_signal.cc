@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xsact {
 
@@ -13,25 +15,32 @@ namespace {
 
 std::atomic<bool> g_shutdown_requested{false};
 // The self-pipe; fds are created once and never closed (process-lifetime
-// resource, like the signal disposition itself).
+// resource, like the signal disposition itself). Atomics because the
+// WRITE end is read inside the signal handler, which can never take
+// g_init_mu (a handler interrupting the lock holder would self-deadlock).
 std::atomic<int> g_wakeup_read_fd{-1};
 std::atomic<int> g_wakeup_write_fd{-1};
-std::once_flag g_install_once;
 
-void EnsurePipe() {
-  static std::once_flag pipe_once;
-  std::call_once(pipe_once, [] {
-    int fds[2];
-    if (::pipe(fds) != 0) return;  // flag-only operation still works
-    // Non-blocking on both ends: the handler must never block on a full
-    // pipe, and loops draining it must never block on an empty one.
-    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
-    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
-    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
-    g_wakeup_read_fd.store(fds[0], std::memory_order_release);
-    g_wakeup_write_fd.store(fds[1], std::memory_order_release);
-  });
+// One-time-installation state. A plain annotated mutex instead of
+// std::once_flag so the discipline is visible to -Wthread-safety (and
+// because std::call_once's callable is opaque to the analysis).
+Mutex g_init_mu;
+bool g_pipe_created XSACT_GUARDED_BY(g_init_mu) = false;
+bool g_handlers_installed XSACT_GUARDED_BY(g_init_mu) = false;
+
+void EnsurePipeLocked() XSACT_REQUIRES(g_init_mu) {
+  if (g_pipe_created) return;
+  g_pipe_created = true;  // one attempt, like the once_flag it replaces
+  int fds[2];
+  if (::pipe(fds) != 0) return;  // flag-only operation still works
+  // Non-blocking on both ends: the handler must never block on a full
+  // pipe, and loops draining it must never block on an empty one.
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  g_wakeup_read_fd.store(fds[0], std::memory_order_release);
+  g_wakeup_write_fd.store(fds[1], std::memory_order_release);
 }
 
 void SignalWakeup() {
@@ -52,17 +61,18 @@ void ShutdownSignalHandler(int /*signum*/) {
 }  // namespace
 
 void InstallShutdownSignalHandlers() {
-  std::call_once(g_install_once, [] {
-    EnsurePipe();
-    struct sigaction action = {};
-    action.sa_handler = &ShutdownSignalHandler;
-    sigemptyset(&action.sa_mask);
-    // No SA_RESTART: blocking syscalls in loops without the wakeup fd
-    // still return EINTR and re-check the flag promptly.
-    action.sa_flags = 0;
-    ::sigaction(SIGINT, &action, nullptr);
-    ::sigaction(SIGTERM, &action, nullptr);
-  });
+  MutexLock lock(g_init_mu);
+  EnsurePipeLocked();
+  if (g_handlers_installed) return;
+  g_handlers_installed = true;
+  struct sigaction action = {};
+  action.sa_handler = &ShutdownSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking syscalls in loops without the wakeup fd
+  // still return EINTR and re-check the flag promptly.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
 }
 
 bool ShutdownRequested() {
@@ -74,7 +84,10 @@ int ShutdownWakeupFd() {
 }
 
 void RequestShutdown() {
-  EnsurePipe();
+  {
+    MutexLock lock(g_init_mu);
+    EnsurePipeLocked();
+  }
   g_shutdown_requested.store(true, std::memory_order_release);
   SignalWakeup();
 }

@@ -14,7 +14,10 @@
 // sticky; ResetShutdownState() (tests only) clears it.
 //
 // Thread safety: all functions are thread-safe; the handler itself is
-// async-signal-safe.
+// async-signal-safe. One-time installation is serialized by an
+// annotated xsact::Mutex (checked by -Wthread-safety); the handler
+// itself touches only lock-free atomics — a signal handler must never
+// take a lock its interrupted thread might hold.
 
 #ifndef XSACT_COMMON_SHUTDOWN_SIGNAL_H_
 #define XSACT_COMMON_SHUTDOWN_SIGNAL_H_

@@ -23,11 +23,13 @@ template <typename T>
 class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit to allow `return value;`).
-  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(T value)  // NOLINT(google-explicit-constructor): implicit by design
+      : value_(std::move(value)) {}
 
   /// Constructs from an error status. Must not be OK: an OK status carries
   /// no value and would leave the StatusOr in an inconsistent state.
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor): implicit by design
+      : status_(std::move(status)) {
     assert(!status_.ok() && "StatusOr constructed from OK status");
     if (status_.ok()) {
       status_ = Status::Internal("StatusOr constructed from OK status");

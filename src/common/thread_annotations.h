@@ -1,0 +1,115 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These macros let the locking discipline of a class be stated in its
+// declaration — which mutex guards which field, which private methods
+// may only run with a lock held — and have Clang PROVE it on every
+// build with -Wthread-safety (see docs/static_analysis.md). Unlike
+// TSAN, which can only flag interleavings the test suite happens to
+// produce, the analysis covers every call path statically.
+//
+// On compilers without the attributes (GCC, MSVC) every macro expands
+// to nothing, so annotated code builds everywhere; the proof runs in
+// the static-analysis CI job (clang++ -Wthread-safety -Werror).
+//
+// Use the xsact::Mutex / xsact::MutexLock / xsact::CondVar wrappers
+// from common/mutex.h — std::mutex carries no capability attribute, so
+// annotations on it are inert. tools/lint/run_lint.py enforces that no
+// raw std::mutex appears outside common/mutex.h.
+//
+// Annotation policy (short form; full version in
+// docs/static_analysis.md):
+//   * XSACT_GUARDED_BY(mu)  on every field written by more than one
+//     thread under a lock.
+//   * XSACT_REQUIRES(mu)    on private helpers that assume the caller
+//     holds the lock.
+//   * XSACT_EXCLUDES(mu)    on public methods that take the lock
+//     themselves (documents non-reentrancy).
+//   * std::atomic fields need no annotation; hot-path atomics must
+//     spell their memory_order explicitly (also lint-enforced).
+
+#ifndef XSACT_COMMON_THREAD_ANNOTATIONS_H_
+#define XSACT_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define XSACT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XSACT_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+/// `x` names the capability kind in diagnostics (e.g. "mutex").
+#define XSACT_CAPABILITY(x) XSACT_THREAD_ANNOTATION_(capability(x))
+
+/// Class attribute: RAII type that acquires a capability in its
+/// constructor and releases it in its destructor (e.g. MutexLock).
+#define XSACT_SCOPED_CAPABILITY XSACT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field attribute: reads and writes require holding `x`.
+#define XSACT_GUARDED_BY(x) XSACT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Field attribute: the POINTED-TO data requires holding `x` (the
+/// pointer itself may be read freely).
+#define XSACT_PT_GUARDED_BY(x) XSACT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares a required lock-acquisition order between capabilities.
+#define XSACT_ACQUIRED_BEFORE(...) \
+  XSACT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XSACT_ACQUIRED_AFTER(...) \
+  XSACT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the listed capabilities
+/// exclusively (they are neither acquired nor released here).
+#define XSACT_REQUIRES(...) \
+  XSACT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the capabilities at least
+/// shared (reader) mode.
+#define XSACT_REQUIRES_SHARED(...) \
+  XSACT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capabilities; caller must NOT
+/// already hold them.
+#define XSACT_ACQUIRE(...) \
+  XSACT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define XSACT_ACQUIRE_SHARED(...) \
+  XSACT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capabilities; caller must hold them.
+#define XSACT_RELEASE(...) \
+  XSACT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define XSACT_RELEASE_SHARED(...) \
+  XSACT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value
+/// equals `b` (e.g. TryLock).
+#define XSACT_TRY_ACQUIRE(...) \
+  XSACT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the capabilities (the
+/// function acquires them itself; guards against self-deadlock).
+#define XSACT_EXCLUDES(...) \
+  XSACT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (at runtime, to the analysis) that the
+/// capability is held without acquiring it.
+#define XSACT_ASSERT_CAPABILITY(x) \
+  XSACT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function attribute: the returned reference IS the capability `x`
+/// (lets accessors expose a member mutex).
+#define XSACT_RETURN_CAPABILITY(x) \
+  XSACT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must carry a comment justifying it; the lint flags bare uses.
+#define XSACT_NO_THREAD_SAFETY_ANALYSIS \
+  XSACT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Marker (no codegen effect) for functions that run on an
+/// HttpServer-style poll() event-loop thread. tools/lint/run_lint.py
+/// scans the bodies of marked functions for blocking calls (sleeps,
+/// blocking file IO, unbounded future waits) that would stall every
+/// connection the loop serves.
+#define XSACT_EVENT_LOOP_THREAD
+
+#endif  // XSACT_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,7 +1,6 @@
 #include "core/instance.h"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
 #include "common/macros.h"

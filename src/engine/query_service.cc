@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <functional>
 #include <utility>
 
 #include "common/faultpoint.h"
@@ -104,19 +103,19 @@ QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
 
 QueryService::~QueryService() {
   {
-    std::lock_guard<std::mutex> lock(reload_mu_);
+    MutexLock lock(reload_mu_);
     if (reload_thread_.joinable()) reload_thread_.join();
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void QueryService::SwapSnapshot(SnapshotPtr fresh) {
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(swap_mu_);
   auto next = std::make_shared<const ServingState>(
       ServingState{std::move(fresh), Current()->epoch + 1});
   std::atomic_store_explicit(&serving_, std::move(next),
@@ -129,7 +128,7 @@ void QueryService::SwapSnapshot(SnapshotPtr fresh) {
 std::future<Status> QueryService::ReloadCorpus(std::string path) {
   auto promise = std::make_shared<std::promise<Status>>();
   std::future<Status> future = promise->get_future();
-  std::lock_guard<std::mutex> lock(reload_mu_);
+  MutexLock lock(reload_mu_);
   if (reload_thread_.joinable()) reload_thread_.join();
   reload_thread_ = std::thread([this, path = std::move(path), promise] {
     promise->set_value(ReloadNow(path));
@@ -144,8 +143,17 @@ Status QueryService::ReloadNow(const std::string& path) {
   int backoff_ms = std::max(options_.reload_backoff_ms, 1);
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // A draining service must not load a fresh snapshot: a reload racing
+    // Shutdown() could otherwise publish a new serving generation (and
+    // even flip the service back to healthy) after the caller was told
+    // everything is cancelled. Abandon WITHOUT touching health — this is
+    // not a reload failure, and last-known-good state stays meaningful.
+    if (drain_.cancelled()) {
+      return Status::Cancelled(
+          "reload abandoned: service is shutting down");
+    }
     {
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(health_mu_);
       ++health_.reload_attempts;
     }
     // The fault site substitutes for the load so an injected kIoError
@@ -155,10 +163,17 @@ Status QueryService::ReloadNow(const std::string& path) {
         injected.ok() ? CorpusSnapshot::FromFile(path, algorithm)
                       : StatusOr<SnapshotPtr>(std::move(injected));
     if (fresh.ok()) {
+      // Re-check the drain between the (slow) load and publication: the
+      // swap below is the step that must never happen on a drained
+      // service.
+      if (drain_.cancelled()) {
+        return Status::Cancelled(
+            "reload abandoned: service drained during load");
+      }
       // Publishing is the last step: a failure anywhere above leaves the
       // previous (last-known-good) snapshot serving untouched.
       SwapSnapshot(std::move(fresh).value());
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(health_mu_);
       health_.healthy = true;
       ++health_.reload_successes;
       health_.last_error.clear();
@@ -173,11 +188,20 @@ Status QueryService::ReloadNow(const std::string& path) {
     if (attempt < max_attempts) {
       // Interruptible backoff: wait on the drain signal instead of a
       // plain sleep, so Shutdown() during a backed-off reload returns
-      // promptly instead of blocking for the remaining interval.
-      std::unique_lock<std::mutex> wait_lock(drain_mu_);
-      drain_cv_.wait_for(wait_lock, std::chrono::milliseconds(backoff_ms),
-                         [this] { return drain_.cancelled(); });
-      if (drain_.cancelled()) {
+      // promptly instead of blocking for the remaining interval. The
+      // predicate loop is explicit (not a wait-lambda) so the analysis
+      // sees every access inside the locked scope.
+      bool drained_while_waiting;
+      {
+        MutexLock wait_lock(drain_mu_);
+        const auto wait_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(backoff_ms);
+        while (!drain_.cancelled() &&
+               drain_cv_.WaitUntil(drain_mu_, wait_deadline)) {
+        }
+        drained_while_waiting = drain_.cancelled();
+      }
+      if (drained_while_waiting) {
         last = Status::Cancelled(
             "reload abandoned: service draining during retry backoff (" +
             last.ToString() + ")");
@@ -186,7 +210,7 @@ Status QueryService::ReloadNow(const std::string& path) {
       backoff_ms *= 2;
     }
   }
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   health_.healthy = false;
   ++health_.reload_failures;
   health_.last_error = last.ToString();
@@ -194,14 +218,14 @@ Status QueryService::ReloadNow(const std::string& path) {
 }
 
 ServiceHealth QueryService::health() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return health_;
 }
 
 void QueryService::Shutdown() {
   std::deque<Task> drained;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     draining_ = true;
     drained.swap(queue_);
   }
@@ -210,16 +234,19 @@ void QueryService::Shutdown() {
   // its behalf beyond the current cooperative check interval. The cv
   // wakes the reload thread out of a retry backoff (under drain_mu_ so
   // the sleeper cannot miss the flag between its predicate and wait).
+  // queue_mu_ is NOT held here: the two locks are never nested, in
+  // either order (a lock cycle between the drain and queue paths is how
+  // Shutdown could deadlock against a worker).
   {
-    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    MutexLock drain_lock(drain_mu_);
     drain_.Cancel();
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
   for (Task& task : drained) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(Status::Cancelled("service shutting down"));
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 std::future<StatusOr<OutcomePtr>> QueryService::Submit(
@@ -229,6 +256,24 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   // cache entry regardless of which parameter carried the cap.
   CompareOptions effective = options;
   if (max_results > 0) effective.max_compared = max_results;
+
+  // Drain check FIRST — before the cache lookup. Shutdown() promises
+  // that every later submission resolves kCancelled; a cache hit
+  // answered here would hand out real data after that promise (the
+  // lock-discipline audit caught exactly this: tests/
+  // lock_discipline_test.cc::CacheHitDoesNotBypassDrain). The check is
+  // repeated under the same lock at admission below for requests that
+  // race Shutdown() past this point.
+  {
+    MutexLock lock(queue_mu_);
+    if (draining_) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<StatusOr<OutcomePtr>> rejected;
+      rejected.set_value(
+          Status::Cancelled("service is shutting down; submission rejected"));
+      return rejected.get_future();
+    }
+  }
 
   // Pin the task to the serving state current at submission: the worker
   // evaluates against exactly this snapshot, and the cache key carries
@@ -264,7 +309,7 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
   task.cancel = cancel;
   std::future<StatusOr<OutcomePtr>> future = task.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (draining_) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       task.promise.set_value(
@@ -286,7 +331,7 @@ std::future<StatusOr<OutcomePtr>> QueryService::Submit(
     queue_.push_back(std::move(task));
     admitted_.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future;
 }
 
@@ -318,7 +363,7 @@ AdmissionStats QueryService::admission_stats() const {
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stats.queue_depth = queue_.size();
   }
   return stats;
@@ -328,8 +373,8 @@ void QueryService::WorkerLoop(QuerySession* session) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -395,7 +440,7 @@ void QueryService::WorkerLoop(QuerySession* session) {
 
 void QueryService::ClearCache() {
   for (const std::unique_ptr<CacheShard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     const size_t dropped = shard->lru.size();
     shard->map.clear();
     shard->lru.clear();
@@ -410,7 +455,7 @@ size_t QueryService::ShardIndexFor(std::string_view key) const {
 
 OutcomePtr QueryService::CacheLookup(std::string_view key) {
   CacheShard& shard = *shards_[ShardIndexFor(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return nullptr;
   // Refresh recency: move the entry to the front of the LRU list (the
@@ -425,7 +470,7 @@ void QueryService::CacheInsert(const std::string& key, uint64_t epoch,
   const size_t capacity = shard_capacities_[index];
   if (capacity == 0) return;  // this shard stores nothing
   CacheShard& shard = *shards_[index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // A task finishing after a swap must not refill the shard with a
   // stale-epoch key (unreachable by lookups, yet squatting on LRU
   // capacity). SwapSnapshot publishes the new epoch BEFORE clearing the
@@ -445,6 +490,10 @@ void QueryService::CacheInsert(const std::string& key, uint64_t epoch,
   shard.map.emplace(std::string_view(shard.lru.front().first),
                     shard.lru.begin());
   entries_.fetch_add(1, std::memory_order_relaxed);
+  EvictToCapacity(shard, capacity);
+}
+
+void QueryService::EvictToCapacity(CacheShard& shard, size_t capacity) {
   while (shard.lru.size() > capacity) {
     shard.map.erase(std::string_view(shard.lru.back().first));
     shard.lru.pop_back();

@@ -51,13 +51,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -65,7 +63,9 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "engine/session.h"
 #include "engine/snapshot.h"
 
@@ -185,7 +185,8 @@ class QueryService {
                                            size_t max_results = 0,
                                            Deadline deadline = kNoDeadline,
                                            const CancelSource* cancel =
-                                               nullptr);
+                                               nullptr)
+      XSACT_EXCLUDES(queue_mu_);
 
   /// Enqueues a batch; futures are in input order.
   std::vector<std::future<StatusOr<OutcomePtr>>> SubmitBatch(
@@ -197,17 +198,19 @@ class QueryService {
   CacheStats cache_stats() const;
 
   /// Admission counters (queue depth, shed, deadline-exceeded).
-  AdmissionStats admission_stats() const;
+  AdmissionStats admission_stats() const XSACT_EXCLUDES(queue_mu_);
 
   /// Reload health (see ServiceHealth). Thread-safe.
-  ServiceHealth health() const;
+  ServiceHealth health() const XSACT_EXCLUDES(health_mu_);
 
   /// Drains the service without destroying it: rejects new submissions
-  /// (kCancelled), resolves all queued tasks with kCancelled, and
-  /// signals in-flight evaluations to stop at their next cooperative
-  /// cancellation check. Idempotent; the destructor still joins the
-  /// workers. Every future obtained from Submit still becomes ready.
-  void Shutdown();
+  /// (kCancelled — including ones that would have hit the result
+  /// cache), resolves all queued tasks with kCancelled, abandons
+  /// pending reloads, and signals in-flight evaluations to stop at
+  /// their next cooperative cancellation check. Idempotent; the
+  /// destructor still joins the workers. Every future obtained from
+  /// Submit still becomes ready.
+  void Shutdown() XSACT_EXCLUDES(queue_mu_, drain_mu_);
 
   /// Per-shard cache capacities (empty when the cache is disabled).
   /// Invariant: the values sum exactly to options.cache_capacity.
@@ -227,14 +230,16 @@ class QueryService {
   /// Atomically publishes `fresh` as the serving snapshot. In-flight and
   /// already-queued queries finish on the snapshot they were admitted
   /// under; the result cache is epoch-invalidated. Thread-safe.
-  void SwapSnapshot(SnapshotPtr fresh);
+  void SwapSnapshot(SnapshotPtr fresh) XSACT_EXCLUDES(swap_mu_);
 
   /// Loads `path` (fused zero-copy parse + index build) on a background
   /// thread and SwapSnapshot()s the result. The future resolves after
   /// publication — ok, or the load error (serving state untouched).
   /// Concurrent reloads serialize; the SLCA algorithm is inherited from
-  /// the current snapshot.
-  std::future<Status> ReloadCorpus(std::string path);
+  /// the current snapshot. After Shutdown() the reload is abandoned
+  /// (kCancelled) without touching the serving snapshot or health.
+  std::future<Status> ReloadCorpus(std::string path)
+      XSACT_EXCLUDES(reload_mu_);
 
   /// Canonical form of a query for cache keying: the parsed conjuncts
   /// ("term" / "field:term") joined by single spaces — whitespace, case
@@ -272,21 +277,28 @@ class QueryService {
 
   /// One LRU shard: entries in recency order (front = most recent).
   struct CacheShard {
-    std::mutex mu;
-    std::list<std::pair<std::string, OutcomePtr>> lru;
+    Mutex mu;
+    std::list<std::pair<std::string, OutcomePtr>> lru XSACT_GUARDED_BY(mu);
     std::unordered_map<std::string_view,
                        std::list<std::pair<std::string, OutcomePtr>>::iterator>
-        map;  // keys view the list nodes' strings (stable addresses)
+        map XSACT_GUARDED_BY(mu);  // keys view the list nodes' strings
+                                   // (stable addresses)
   };
 
-  void WorkerLoop(QuerySession* session);
+  void WorkerLoop(QuerySession* session) XSACT_EXCLUDES(queue_mu_);
   /// Synchronous reload body (runs on the reload thread): load with
-  /// retry/backoff per options_, swap on success, record health.
-  Status ReloadNow(const std::string& path);
+  /// retry/backoff per options_, swap on success, record health; bails
+  /// out (kCancelled) as soon as the drain signal fires.
+  Status ReloadNow(const std::string& path)
+      XSACT_EXCLUDES(health_mu_, drain_mu_, swap_mu_);
   size_t ShardIndexFor(std::string_view key) const;
   OutcomePtr CacheLookup(std::string_view key);
   void CacheInsert(const std::string& key, uint64_t epoch,
                    OutcomePtr outcome);
+  /// LRU tail eviction down to `capacity`, with counter upkeep. The
+  /// caller holds the shard lock (compile-time enforced).
+  void EvictToCapacity(CacheShard& shard, size_t capacity)
+      XSACT_REQUIRES(shard.mu);
   void ClearCache();
 
   /// Atomic read of the published serving state.
@@ -295,11 +307,13 @@ class QueryService {
   }
 
   /// Published {snapshot, epoch}; swapped atomically by SwapSnapshot.
+  /// NOT guarded: readers go through the lock-free atomic_load in
+  /// Current(); only stores (serialized by swap_mu_) mutate it.
   std::shared_ptr<const ServingState> serving_;
-  std::mutex swap_mu_;  // serializes swappers (epoch monotonicity)
+  Mutex swap_mu_;  // serializes swappers (epoch monotonicity)
 
-  std::mutex reload_mu_;  // guards reload_thread_
-  std::thread reload_thread_;
+  Mutex reload_mu_;
+  std::thread reload_thread_ XSACT_GUARDED_BY(reload_mu_);
 
   QueryServiceOptions options_;
   /// Per-shard LRU capacities; sum exactly to options_.cache_capacity.
@@ -315,23 +329,28 @@ class QueryService {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
 
-  mutable std::mutex health_mu_;
-  ServiceHealth health_;
+  mutable Mutex health_mu_;
+  ServiceHealth health_ XSACT_GUARDED_BY(health_mu_);
 
   /// Sticky drain signal observed by in-flight evaluations (installed
   /// into each worker session's Cancellation alongside the deadline).
+  /// Internally atomic; reads need no lock. Cancel() fires under
+  /// drain_mu_ so the backoff sleeper cannot miss the flag between its
+  /// predicate check and its wait.
   CancelSource drain_;
   /// Wakes sleepers that must observe the drain promptly — today the
   /// reload retry backoff, which would otherwise pin Shutdown() (or the
   /// destructor) for the full backoff interval.
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
-  bool draining_ = false;  ///< set by Shutdown(); rejects new submissions
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ XSACT_GUARDED_BY(queue_mu_);
+  bool stopping_ XSACT_GUARDED_BY(queue_mu_) = false;
+  /// Set by Shutdown(); rejects new submissions (checked BEFORE the
+  /// cache so a drained service never answers from the cache either).
+  bool draining_ XSACT_GUARDED_BY(queue_mu_) = false;
 
   /// One private session per worker (index-aligned with workers_).
   std::vector<std::unique_ptr<QuerySession>> worker_sessions_;

@@ -16,8 +16,14 @@
 //
 // Thread safety: the dataset map is immutable after Create(), so routing
 // is lock-free; all mutability lives inside the individual services,
-// which are themselves thread-safe. Any number of threads may call
-// Submit / ReloadCorpus / stats concurrently.
+// which are themselves thread-safe (their locking discipline is
+// annotated with common/thread_annotations.h and proven by the
+// -Wthread-safety static-analysis gate — see docs/static_analysis.md).
+// Any number of threads may call Submit / ReloadCorpus / stats
+// concurrently. The router itself must therefore stay lock-free: if a
+// future change adds shared mutable state here, it takes an
+// XSACT_GUARDED_BY'd field and an xsact::Mutex, never a raw std::mutex
+// (tools/lint/run_lint.py rejects the latter repo-wide).
 
 #ifndef XSACT_ENGINE_ROUTER_H_
 #define XSACT_ENGINE_ROUTER_H_

@@ -152,7 +152,7 @@ SessionPool::Lease::~Lease() {
 SessionPool::Lease SessionPool::Acquire() {
   std::unique_ptr<QuerySession> session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!idle_.empty()) {
       session = std::move(idle_.back());
       idle_.pop_back();
@@ -163,12 +163,12 @@ SessionPool::Lease SessionPool::Acquire() {
 }
 
 size_t SessionPool::IdleCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return idle_.size();
 }
 
 void SessionPool::Release(std::unique_ptr<QuerySession> session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   idle_.push_back(std::move(session));
 }
 

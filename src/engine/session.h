@@ -16,13 +16,14 @@
 #define XSACT_ENGINE_SESSION_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "core/selector.h"
 #include "engine/snapshot.h"
@@ -151,16 +152,16 @@ class SessionPool {
   SessionPool& operator=(const SessionPool&) = delete;
 
   /// Pops an idle session, or creates a fresh one when the pool is empty.
-  Lease Acquire();
+  Lease Acquire() XSACT_EXCLUDES(mu_);
 
   /// Number of sessions currently idle in the pool.
-  size_t IdleCount() const;
+  size_t IdleCount() const XSACT_EXCLUDES(mu_);
 
  private:
-  void Release(std::unique_ptr<QuerySession> session);
+  void Release(std::unique_ptr<QuerySession> session) XSACT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<QuerySession>> idle_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<QuerySession>> idle_ XSACT_GUARDED_BY(mu_);
 };
 
 }  // namespace xsact::engine

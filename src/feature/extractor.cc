@@ -1,7 +1,6 @@
 #include "feature/extractor.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
 #include <numeric>
 #include <unordered_map>

@@ -3,7 +3,6 @@
 #ifndef XSACT_FEATURE_RESULT_FEATURES_H_
 #define XSACT_FEATURE_RESULT_FEATURES_H_
 
-#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>

@@ -28,8 +28,8 @@ CorpusIndex::CorpusIndex(xml::Document document, SlcaAlgorithm slca)
 CorpusIndex::CorpusIndex(xml::Document document, xml::NodeTable node_table,
                          SlcaAlgorithm slca)
     : doc(std::move(document)),
-      table(node_table.size() > 0 ? std::move(node_table)
-                                  : xml::NodeTable::Build(doc)),
+      table(!node_table.empty() ? std::move(node_table)
+                                : xml::NodeTable::Build(doc)),
       schema(entity::InferSchema(doc)),
       index(InvertedIndex::Build(table)),
       category_index(table, schema),

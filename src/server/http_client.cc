@@ -11,6 +11,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/errno_util.h"
+
 namespace xsact::server {
 
 namespace {
@@ -52,7 +54,7 @@ Status HttpClient::Connect() {
   buffer_.clear();
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    return Status::IoError("socket(): " + ErrnoString(errno));
   }
   struct timeval timeout;
   timeout.tv_sec = recv_timeout_ms_ / 1000;
@@ -70,7 +72,7 @@ Status HttpClient::Connect() {
     const int err = errno;
     ::close(fd);
     return Status::IoError("connect(127.0.0.1:" + std::to_string(port_) +
-                           "): " + std::strerror(err));
+                           "): " + ErrnoString(err));
   }
   fd_ = fd;
   return Status::Ok();
@@ -93,7 +95,7 @@ Status HttpClient::SendRaw(std::string_view bytes) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      const std::string detail = std::strerror(errno);
+      const std::string detail = ErrnoString(errno);
       Close();
       return Status::IoError("send(): " + detail);
     }
@@ -112,7 +114,7 @@ StatusOr<ClientResponse> HttpClient::ReadResponse() {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      const std::string detail = std::strerror(errno);
+      const std::string detail = ErrnoString(errno);
       Close();
       return Status::IoError("recv(): " + detail);
     }
@@ -190,7 +192,7 @@ StatusOr<ClientResponse> HttpClient::ReadResponse() {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      const std::string detail = std::strerror(errno);
+      const std::string detail = ErrnoString(errno);
       Close();
       return Status::IoError("recv() body: " + detail);
     }

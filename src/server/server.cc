@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/errno_util.h"
 #include "common/faultpoint.h"
 #include "table/renderer.h"
 
@@ -116,7 +117,7 @@ HttpServer::~HttpServer() {
 Status HttpServer::Start() {
   if (listen_fd_ >= 0) return Status::Ok();
   if (::pipe(stop_pipe_) != 0) {
-    return Status::IoError("pipe(): " + std::string(std::strerror(errno)));
+    return Status::IoError("pipe(): " + ErrnoString(errno));
   }
   SetNonBlocking(stop_pipe_[0]);
   SetNonBlocking(stop_pipe_[1]);
@@ -125,7 +126,7 @@ Status HttpServer::Start() {
 
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    return Status::IoError("socket(): " + ErrnoString(errno));
   }
   const int reuse = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
@@ -140,12 +141,12 @@ Status HttpServer::Start() {
     ::close(fd);
     return Status::IoError("bind(127.0.0.1:" +
                            std::to_string(options_.port) +
-                           "): " + std::strerror(err));
+                           "): " + ErrnoString(err));
   }
   if (::listen(fd, options_.backlog) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError("listen(): " + std::string(std::strerror(err)));
+    return Status::IoError("listen(): " + ErrnoString(err));
   }
   if (!SetNonBlocking(fd)) {
     ::close(fd);
@@ -222,12 +223,16 @@ void HttpServer::Run() {
         // WILL resolve; wait it out rather than freeing a CancelSource
         // the engine might still read.
         for (auto& conn : connections_) {
+          // LINT:ALLOW(blocking-call): post-ForceDrain only; the engine
+          // is Shutdown() so the future resolves within one cooperative
+          // cancellation check, and the loop is exiting anyway.
           if (conn->awaiting) conn->future.wait();
           ::close(conn->fd);
           conn->fd = -1;
         }
         connections_.clear();
         for (auto& conn : zombies_) {
+          // LINT:ALLOW(blocking-call): same post-ForceDrain guarantee.
           if (conn->awaiting) conn->future.wait();
           ::close(conn->fd);
           conn->fd = -1;

@@ -54,6 +54,7 @@
 
 #include "common/cancellation.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "engine/query_service.h"
 #include "engine/router.h"
 #include "server/http.h"
@@ -124,7 +125,12 @@ class HttpServer {
 
   /// Serves until a drain completes (triggered by Stop(), wakeup_fd
   /// readability, or a fatal listener error). Blocks the calling thread.
-  void Run();
+  /// The XSACT_EVENT_LOOP_THREAD marker (here and on the private
+  /// handlers below) feeds tools/lint/run_lint.py: the bodies of marked
+  /// functions must not block — no sleeps, no file IO, no unbounded
+  /// future waits — because one stalled callback stalls every
+  /// connection this loop serves.
+  XSACT_EVENT_LOOP_THREAD void Run();
 
   /// Requests a graceful drain (thread-safe, idempotent, returns
   /// immediately). Run() returns once the drain finishes.
@@ -141,31 +147,33 @@ class HttpServer {
  private:
   struct Connection;
 
-  void AcceptPending();
+  XSACT_EVENT_LOOP_THREAD void AcceptPending();
   /// Reads whatever the socket has; feeds the parser; may queue a
   /// response. False = connection must be destroyed.
-  bool HandleReadable(Connection* conn);
+  XSACT_EVENT_LOOP_THREAD bool HandleReadable(Connection* conn);
   /// Flushes pending output. False = connection must be destroyed.
-  bool HandleWritable(Connection* conn);
+  XSACT_EVENT_LOOP_THREAD bool HandleWritable(Connection* conn);
   /// Feeds buffered input through the parser, dispatching each complete
   /// request, until it needs more bytes, fails, or parks on the engine.
-  void ParseBuffered(Connection* conn);
+  XSACT_EVENT_LOOP_THREAD void ParseBuffered(Connection* conn);
   /// Routes one parsed request; either queues a response or parks the
   /// connection on an engine future.
-  void DispatchRequest(Connection* conn);
+  XSACT_EVENT_LOOP_THREAD void DispatchRequest(Connection* conn);
   /// Resolves a ready engine future into a response.
-  void FinishQuery(Connection* conn);
-  void QueueResponse(Connection* conn, HttpResponse response);
-  void CloseConnection(std::unique_ptr<Connection> conn);
+  XSACT_EVENT_LOOP_THREAD void FinishQuery(Connection* conn);
+  XSACT_EVENT_LOOP_THREAD void QueueResponse(Connection* conn,
+                                             HttpResponse response);
+  XSACT_EVENT_LOOP_THREAD void CloseConnection(
+      std::unique_ptr<Connection> conn);
   /// Applies read/idle/write timeouts; true = connection survived.
-  bool CheckTimeouts(Connection* conn,
-                     std::chrono::steady_clock::time_point now);
-  void BeginDrain();
+  XSACT_EVENT_LOOP_THREAD bool CheckTimeouts(
+      Connection* conn, std::chrono::steady_clock::time_point now);
+  XSACT_EVENT_LOOP_THREAD void BeginDrain();
   /// Hard phase: cancel engine work, then resolve stragglers.
-  void ForceDrain();
+  XSACT_EVENT_LOOP_THREAD void ForceDrain();
 
-  std::string HandleHealthz() const;
-  std::string HandleStatz() const;
+  XSACT_EVENT_LOOP_THREAD std::string HandleHealthz() const;
+  XSACT_EVENT_LOOP_THREAD std::string HandleStatz() const;
 
   engine::ServiceRouter* router_;
   ServerOptions options_;

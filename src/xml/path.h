@@ -38,6 +38,7 @@ class NodeTable {
 
   /// Number of nodes.
   size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
 
   const Node* node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
   const DeweyId& dewey(NodeId id) const {

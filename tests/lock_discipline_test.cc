@@ -1,0 +1,166 @@
+// Lock-discipline regression tests. These pin the two defects the
+// thread-safety annotation pass surfaced (see docs/static_analysis.md):
+//
+//   1. ReloadCorpus after Shutdown() used to load + swap the new
+//      snapshot anyway — the drained service silently came back to life
+//      on a fresh corpus and its health flipped back to healthy. A
+//      drained service must abandon the reload (kCancelled) and leave
+//      snapshot, epoch, and health exactly as the drain left them.
+//
+//   2. Submit consulted the result cache BEFORE checking the drain
+//      flag, so a query whose outcome was cached before Shutdown()
+//      still returned real data afterwards, violating the documented
+//      "rejects new submissions" contract. The draining check now runs
+//      before the cache lookup.
+//
+// Both are behavioral (not data races), so they hold under plain builds
+// as well as the TSAN CI job.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/product_reviews.h"
+#include "engine/query_service.h"
+#include "engine/snapshot.h"
+#include "table/renderer.h"
+#include "xml/io.h"
+#include "xml/writer.h"
+
+namespace xsact::engine {
+namespace {
+
+/// Deterministic byte fingerprint of a serve outcome (table + DoD, or
+/// the error text) — equal fingerprints mean equal outcomes.
+std::string Fingerprint(const StatusOr<OutcomePtr>& outcome) {
+  if (!outcome.ok()) return "ERR:" + outcome.status().ToString();
+  return table::RenderAscii((*outcome)->table) + "#" +
+         std::to_string((*outcome)->total_dod);
+}
+
+class LockDisciplineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::ProductReviewsConfig config_a;
+    config_a.num_products = 24;
+    config_a.seed = 1;
+    snapshot_a_ = CorpusSnapshot::Build(data::GenerateProductReviews(config_a));
+
+    data::ProductReviewsConfig config_b;
+    config_b.num_products = 30;
+    config_b.seed = 7;
+    xml_b_ = xml::WriteDocument(data::GenerateProductReviews(config_b),
+                                {.indent_width = 2, .declaration = true});
+  }
+
+  SnapshotPtr snapshot_a_;
+  std::string xml_b_;
+};
+
+TEST_F(LockDisciplineTest, ReloadAfterShutdownIsAbandoned) {
+  const std::string path =
+      ::testing::TempDir() + "/xsact_lock_discipline_reload.xml";
+  ASSERT_TRUE(xml::WriteStringToFile(path, xml_b_).ok());
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(snapshot_a_, options);
+  const SnapshotPtr before_snapshot = service.snapshot();
+  const uint64_t before_epoch = service.snapshot_epoch();
+  const ServiceHealth before_health = service.health();
+  ASSERT_TRUE(before_health.healthy);
+
+  service.Shutdown();
+
+  // The reload must resolve kCancelled — not load, not swap, not retry.
+  const Status reloaded = service.ReloadCorpus(path).get();
+  EXPECT_EQ(reloaded.code(), StatusCode::kCancelled) << reloaded;
+
+  // Serving state and health are untouched by the abandoned reload.
+  EXPECT_EQ(service.snapshot(), before_snapshot);
+  EXPECT_EQ(service.snapshot_epoch(), before_epoch);
+  const ServiceHealth after = service.health();
+  EXPECT_TRUE(after.healthy);
+  EXPECT_EQ(after.reload_successes, before_health.reload_successes);
+  EXPECT_EQ(after.reload_failures, before_health.reload_failures);
+  EXPECT_TRUE(after.last_error.empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(LockDisciplineTest, ReloadAfterShutdownDoesNotBurnAttempts) {
+  // Even against a path that would fail with a retryable IO error, a
+  // drained service must bail out before the first load attempt rather
+  // than spinning through the retry/backoff schedule.
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.reload_max_attempts = 3;
+  options.reload_backoff_ms = 50;
+  QueryService service(snapshot_a_, options);
+  service.Shutdown();
+
+  const Status reloaded =
+      service.ReloadCorpus("/nonexistent/xsact_corpus.xml").get();
+  EXPECT_EQ(reloaded.code(), StatusCode::kCancelled) << reloaded;
+  EXPECT_EQ(service.health().reload_attempts, 0u);
+}
+
+TEST_F(LockDisciplineTest, CacheHitDoesNotBypassDrain) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.enable_cache = true;
+  QueryService service(snapshot_a_, options);
+
+  // Compute and cache an outcome, then verify it's a hit.
+  const std::string query = "gps";
+  const std::string warm = Fingerprint(service.Submit(query).get());
+  ASSERT_NE(warm.substr(0, 4), "ERR:");
+  EXPECT_EQ(Fingerprint(service.Submit(query).get()), warm);
+  ASSERT_GE(service.cache_stats().hits, 1u);
+
+  service.Shutdown();
+
+  // The drained service must reject the submission even though the
+  // answer is sitting in the cache.
+  const StatusOr<OutcomePtr> after = service.Submit(query).get();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kCancelled) << after.status();
+
+  // The rejection is counted as a cancellation, not a cache hit.
+  const uint64_t hits_before = service.cache_stats().hits;
+  const uint64_t cancelled_before = service.admission_stats().cancelled;
+  const StatusOr<OutcomePtr> again = service.Submit(query).get();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.cache_stats().hits, hits_before);
+  EXPECT_EQ(service.admission_stats().cancelled, cancelled_before + 1);
+}
+
+TEST_F(LockDisciplineTest, ShutdownIsIdempotentAndFuturesResolve) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(snapshot_a_, options);
+
+  // Queue a burst, drain mid-flight, drain again: every future must
+  // still become ready (ok, or kCancelled for work the drain caught).
+  std::vector<std::future<StatusOr<OutcomePtr>>> futures;
+  futures.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.Submit("camera"));
+  }
+  service.Shutdown();
+  service.Shutdown();
+  for (auto& future : futures) {
+    const StatusOr<OutcomePtr> outcome = future.get();
+    if (!outcome.ok()) {
+      EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled)
+          << outcome.status();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsact::engine

@@ -1,0 +1,22 @@
+// Negative fixture: an XSACT_EVENT_LOOP_THREAD function that blocks.
+// tools/lint/run_lint.py MUST flag the sleep_for ([blocking-call]) —
+// one stalled callback stalls every connection the loop serves. If
+// run_lint.py passes this file, the lint is dead — check_fixtures.py
+// fails the CI job.
+//
+// Not part of the normal build: linted only by
+// tests/static_analysis/check_fixtures.py.
+
+#include "blocking_event_loop.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xsact_fixture {
+
+// BUG (deliberate): sleeping on the event-loop thread.
+void Loop::Tick() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+}  // namespace xsact_fixture

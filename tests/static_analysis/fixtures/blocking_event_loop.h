@@ -1,0 +1,22 @@
+// Negative fixture (header half): declares an event-loop function whose
+// definition in blocking_event_loop.cc sleeps. tools/lint/run_lint.py
+// MUST flag the sleep ([blocking-call]). See blocking_event_loop.cc.
+//
+// Not part of the normal build: linted only by
+// tests/static_analysis/check_fixtures.py.
+
+#ifndef XSACT_TESTS_STATIC_ANALYSIS_FIXTURES_BLOCKING_EVENT_LOOP_H_
+#define XSACT_TESTS_STATIC_ANALYSIS_FIXTURES_BLOCKING_EVENT_LOOP_H_
+
+#include "common/thread_annotations.h"
+
+namespace xsact_fixture {
+
+class Loop {
+ public:
+  XSACT_EVENT_LOOP_THREAD void Tick();
+};
+
+}  // namespace xsact_fixture
+
+#endif  // XSACT_TESTS_STATIC_ANALYSIS_FIXTURES_BLOCKING_EVENT_LOOP_H_

@@ -1,0 +1,21 @@
+// Negative fixture: atomic operations with the defaulted (seq_cst)
+// memory order. tools/lint/run_lint.py MUST flag both the load and the
+// fetch_add ([memory-order]) — the codebase spells ordering out
+// everywhere so cost and intent stay visible. If run_lint.py passes
+// this file, the lint is dead — check_fixtures.py fails the CI job.
+//
+// Not part of the normal build: linted only by
+// tests/static_analysis/check_fixtures.py.
+
+#include <atomic>
+
+namespace {
+
+std::atomic<int> g_count{0};
+
+}  // namespace
+
+int FixtureMain() {
+  g_count.fetch_add(1);  // BUG (deliberate): no memory_order argument
+  return g_count.load();  // BUG (deliberate): no memory_order argument
+}

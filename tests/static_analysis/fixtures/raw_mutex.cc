@@ -1,0 +1,22 @@
+// Negative fixture: uses raw std::mutex / std::lock_guard instead of
+// the annotated xsact::Mutex. tools/lint/run_lint.py MUST flag both
+// ([raw-mutex]) — a raw mutex is invisible to -Wthread-safety, so the
+// lint is the only gate that catches it. If run_lint.py passes this
+// file, the lint is dead — check_fixtures.py fails the CI job.
+//
+// Not part of the normal build: linted only by
+// tests/static_analysis/check_fixtures.py.
+
+#include <mutex>
+
+namespace {
+
+std::mutex g_mu;
+int g_count = 0;
+
+}  // namespace
+
+int FixtureMain() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ++g_count;
+}

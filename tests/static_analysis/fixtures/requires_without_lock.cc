@@ -1,0 +1,33 @@
+// Negative fixture: calls an XSACT_REQUIRES(mu_) method without holding
+// the mutex. clang -Wthread-safety -Werror MUST refuse to compile this
+// file (expected diagnostic: "calling function 'InsertLocked' requires
+// holding mutex 'mu_' exclusively"). If it ever compiles, the
+// thread-safety gate is dead — check_fixtures.py fails the CI job.
+//
+// Not part of the normal build: compiled only by
+// tests/static_analysis/check_fixtures.py.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void InsertLocked(int key) XSACT_REQUIRES(mu_) { last_ = key; }
+
+  // BUG (deliberate): lock-free call into a REQUIRES method.
+  void Insert(int key) { InsertLocked(key); }
+
+ private:
+  xsact::Mutex mu_;
+  int last_ XSACT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int FixtureMain() {
+  Table table;
+  table.Insert(7);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative fixture: writes a GUARDED_BY field without holding its
+// mutex. clang -Wthread-safety -Werror MUST refuse to compile this file
+// (expected diagnostic: -Wthread-safety-analysis, "writing variable
+// 'value_' requires holding mutex 'mu_'"). If it ever compiles, the
+// thread-safety gate is dead — check_fixtures.py fails the CI job.
+//
+// Not part of the normal build: compiled only by
+// tests/static_analysis/check_fixtures.py.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): mutates value_ with mu_ not held.
+  void Increment() { ++value_; }
+
+ private:
+  xsact::Mutex mu_;
+  int value_ XSACT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int FixtureMain() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Control fixture: correct locking discipline. This file MUST compile
+// clean under clang -Wthread-safety -Werror and pass tools/lint — it
+// proves the gates are wired up (a broken harness would "reject" it for
+// unrelated reasons and check_fixtures.py would catch that).
+//
+// Not part of the normal build: compiled only by
+// tests/static_analysis/check_fixtures.py.
+
+#include <atomic>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() XSACT_EXCLUDES(mu_) {
+    xsact::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Get() const XSACT_EXCLUDES(mu_) {
+    xsact::MutexLock lock(mu_);
+    return value_;
+  }
+
+  int GetLocked() const XSACT_REQUIRES(mu_) { return value_; }
+
+  void Wake() { ready_.store(true, std::memory_order_release); }
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  mutable xsact::Mutex mu_;
+  int value_ XSACT_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace
+
+int FixtureMain() {
+  Counter counter;
+  counter.Increment();
+  counter.Wake();
+  return counter.Get() + static_cast<int>(counter.Ready());
+}
